@@ -1,0 +1,46 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every figure benchmark regenerates the corresponding paper figure's data
+series, asserts the paper's qualitative shape, and writes the full series
+to ``benchmarks/results/<name>.txt`` (pytest captures stdout, so files are
+the durable record; EXPERIMENTS.md is compiled from them).
+
+The default scale is the ``bench`` preset (400 nodes — large enough that
+every published shape reproduces clearly, small enough that the suite
+finishes in minutes).  Set ``REPRO_BENCH_SCALE=paper`` for the full
+1,000-node published configuration, or ``fast`` for a smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import Scale, preset
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    """The scale preset the whole benchmark session runs at."""
+    return preset(os.environ.get("REPRO_BENCH_SCALE", "bench"))
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    """Persist one benchmark's regenerated series to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _write

@@ -1,0 +1,31 @@
+"""Ablation — distributed GM vs centralised EM and k-means.
+
+The natural quality ceiling: how much estimate quality does staying
+in-network cost versus shipping all values to one machine?  (The paper's
+answer, and ours: essentially nothing on this workload.)
+"""
+
+from repro.analysis.reporting import banner, format_table
+from repro.experiments.ablations import run_centralized_gap
+
+
+def test_ablation_centralized(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_centralized_gap, args=(bench_scale,), rounds=1, iterations=1
+    )
+    by_label = {row.label: row for row in rows}
+
+    gap = (
+        by_label["centralized_em"]["loglik_per_value"]
+        - by_label["distributed_gm"]["loglik_per_value"]
+    )
+    assert gap < 0.3  # the distributed estimate is competitive
+
+    table = format_table(
+        ["estimator", "loglik/value", "rounds"],
+        [[row.label, row["loglik_per_value"], int(row["rounds"])] for row in rows],
+    )
+    write_report(
+        "ablation_centralized",
+        f"{banner('Ablation — distributed vs centralised estimation')}\n{table}",
+    )

@@ -1,0 +1,34 @@
+"""Ablation — gossip communication patterns (push / pull / push-pull).
+
+Section 4.1 allows all three; this bench measures their cost/quality
+trade-off on the complete graph.
+"""
+
+from repro.analysis.reporting import banner, format_table
+from repro.experiments.ablations import run_gossip_variant_ablation
+
+
+def test_ablation_gossip_variants(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_gossip_variant_ablation, args=(bench_scale,), rounds=1, iterations=1
+    )
+    by_label = {row.label: row for row in rows}
+
+    assert set(by_label) == {"push", "pull", "pushpull"}
+    # Push-pull moves ~2x the messages of push *per round* (its total can
+    # be lower: the bilateral exchange converges in fewer rounds).
+    pushpull_rate = by_label["pushpull"]["messages"] / by_label["pushpull"]["rounds"]
+    push_rate = by_label["push"]["messages"] / by_label["push"]["rounds"]
+    assert pushpull_rate > 1.5 * push_rate
+    # All three converge.
+    for row in rows:
+        assert row["disagreement"] < 0.2
+
+    table = format_table(
+        ["variant", "rounds", "messages", "final_disagreement"],
+        [[row.label, int(row["rounds"]), int(row["messages"]), row["disagreement"]] for row in rows],
+    )
+    write_report(
+        "ablation_gossip",
+        f"{banner('Ablation — gossip variant')}\n{table}",
+    )

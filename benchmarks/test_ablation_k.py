@@ -1,0 +1,32 @@
+"""Ablation — the compression bound k.
+
+k forces lossy in-network compression (merged collections can never be
+separated again).  This bench sweeps k on the fence-fire workload and
+measures the quality of the resulting density estimate.
+"""
+
+from repro.analysis.reporting import banner, format_table
+from repro.experiments.ablations import run_k_ablation
+
+
+def test_ablation_k(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_k_ablation, args=(bench_scale,), kwargs={"ks": (3, 5, 7, 10)}, rounds=1, iterations=1
+    )
+    by_k = {int(row["k"]): row for row in rows}
+
+    # More collections => richer model => higher data likelihood.
+    assert by_k[10]["loglik_per_value"] >= by_k[3]["loglik_per_value"]
+    # The k bound is always respected.
+    for k, row in by_k.items():
+        assert row["collections"] <= k
+
+    table = format_table(
+        ["k", "rounds", "collections", "loglik/value", "source loglik/value"],
+        [
+            [int(row["k"]), int(row["rounds"]), int(row["collections"]),
+             row["loglik_per_value"], row["loglik_source"]]
+            for row in rows
+        ],
+    )
+    write_report("ablation_k", f"{banner('Ablation — compression bound k')}\n{table}")

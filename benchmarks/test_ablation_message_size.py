@@ -1,0 +1,44 @@
+"""Ablation — wire bytes per message, across schemes and network sizes.
+
+Regenerates the paper's Section 2 efficiency claim as a measurement:
+message size depends only on the dataset parameters (k, the value
+dimension), never on the number of nodes.  Real converged payloads are
+serialised through the binary wire format at two network sizes and the
+byte counts compared — per scheme, including the lightweight
+diagonal-Gaussian variant.
+"""
+
+from repro.analysis.reporting import banner, format_table
+from repro.experiments.scalability import run_message_size_ablation
+
+
+def test_ablation_message_size(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_message_size_ablation, args=(bench_scale,), rounds=1, iterations=1
+    )
+    by_label = {row.label: row for row in rows}
+
+    # The headline claim: byte-identical messages at every network size.
+    assert all(row["size_independent_of_n"] == 1.0 for row in rows)
+    # The summary-richness ordering: centroid < diagonal < full Gaussian.
+    byte_column = next(key for key in rows[0].metrics if key.startswith("bytes_at"))
+    assert (
+        by_label["centroid"][byte_column]
+        < by_label["diagonal_gaussian"][byte_column]
+        < by_label["gaussian_mixture"][byte_column]
+    )
+
+    headers = ["scheme", *[k for k in rows[0].metrics if k.startswith("bytes_at")], "n-independent"]
+    table_rows = [
+        [
+            row.label,
+            *[int(row[k]) for k in row.metrics if k.startswith("bytes_at")],
+            bool(row["size_independent_of_n"]),
+        ]
+        for row in rows
+    ]
+    write_report(
+        "ablation_message_size",
+        f"{banner('Ablation — wire bytes per message (k=2, d=2)')}\n"
+        + format_table(headers, table_rows),
+    )

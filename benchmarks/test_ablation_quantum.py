@@ -1,0 +1,38 @@
+"""Ablation — the weight quantum q.
+
+Section 4.1 quantises weights to multiples of q to rule out Zeno
+executions and assumes q << 1/n.  This bench violates that assumption on
+purpose: with a coarse lattice the split rule rounds aggressively and
+relative weights wander, while exact conservation of total weight holds
+at every resolution.
+"""
+
+from repro.analysis.reporting import banner, format_table
+from repro.experiments.ablations import run_quantum_ablation
+
+
+def test_ablation_quantum(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_quantum_ablation,
+        args=(bench_scale,),
+        kwargs={"quanta": (4, 16, 256, 1 << 20)},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Weight conservation is exact on every lattice.
+    assert all(row["total_quanta_conserved"] == 1.0 for row in rows)
+    # Finer lattices track relative weights better.
+    coarsest, finest = rows[0], rows[-1]
+    assert coarsest["avg_balance_error"] > finest["avg_balance_error"]
+    assert finest["avg_balance_error"] < 0.02
+
+    table = format_table(
+        ["quanta_per_unit (1/q)", "avg_balance_error", "weight_conserved"],
+        [
+            [int(row["quanta_per_unit"]), row["avg_balance_error"],
+             bool(row["total_quanta_conserved"])]
+            for row in rows
+        ],
+    )
+    write_report("ablation_quantum", f"{banner('Ablation — weight quantum q')}\n{table}")

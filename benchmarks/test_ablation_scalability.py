@@ -1,0 +1,39 @@
+"""Ablation — scalability in the network size n.
+
+Sweeps n on the fully connected gossip topology and reports rounds to
+convergence, per-node message counts, and wire bytes per message.  The
+claims: per-node round counts grow slowly (gossip mixing), and message
+size does not grow at all.
+"""
+
+from repro.analysis.reporting import banner, format_table
+from repro.experiments.scalability import run_scalability
+
+
+def test_ablation_scalability(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_scalability, args=(bench_scale,), rounds=1, iterations=1
+    )
+
+    # Bytes per message are identical at every n.
+    assert len({row["bytes_per_message"] for row in rows}) == 1
+    # Every size converges (runs end below the movement threshold).
+    for row in rows:
+        assert row["final_disagreement"] < 0.5
+    # Rounds grow sub-linearly: the largest network needs nowhere near
+    # proportionally more rounds than the smallest.
+    smallest, largest = rows[0], rows[-1]
+    if largest["n"] > smallest["n"]:
+        ratio = largest["rounds"] / smallest["rounds"]
+        assert ratio < (largest["n"] / smallest["n"])
+
+    table = format_table(
+        ["n", "rounds", "messages", "msgs/node", "bytes/msg", "final_disagreement"],
+        [
+            [int(row["n"]), int(row["rounds"]), int(row["messages"]),
+             row["messages_per_node"], int(row["bytes_per_message"]),
+             row["final_disagreement"]]
+            for row in rows
+        ],
+    )
+    write_report("ablation_scalability", f"{banner('Ablation — scalability in n')}\n{table}")

@@ -1,0 +1,34 @@
+"""Ablation — convergence across topology shapes.
+
+Section 6 guarantees convergence on *any* connected topology; this bench
+measures the price of sparseness: rounds (and messages) to convergence on
+complete / ring / grid / geometric / small-world graphs at equal n.
+"""
+
+from repro.analysis.reporting import banner, format_table
+from repro.experiments.ablations import run_topology_ablation
+
+
+def test_ablation_topology(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_topology_ablation, args=(bench_scale,), rounds=1, iterations=1
+    )
+    by_label = {row.label: row for row in rows}
+
+    # Dense mixes fastest; every topology still converges (Theorem 1).
+    assert by_label["complete"]["rounds"] <= by_label["grid"]["rounds"]
+    assert by_label["complete"]["rounds"] <= by_label["ring"]["rounds"]
+    for row in rows:
+        assert row["disagreement"] < 2.0  # bounded even on the slowest shape
+
+    table = format_table(
+        ["topology", "n", "rounds", "messages", "final_disagreement"],
+        [
+            [row.label, int(row["n"]), int(row["rounds"]), int(row["messages"]), row["disagreement"]]
+            for row in rows
+        ],
+    )
+    write_report(
+        "ablation_topology",
+        f"{banner('Ablation — topology vs convergence speed')}\n{table}",
+    )

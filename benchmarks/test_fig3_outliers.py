@@ -1,0 +1,65 @@
+"""Figure 3 — robust averaging vs outlier separation (the delta sweep).
+
+Regenerates Figure 3b's three series over the full delta sweep and checks
+the paper's shape claims:
+
+- the *regular* aggregation error grows linearly in delta (the 5% outlier
+  mass drags the mean by ~0.05 delta);
+- the *robust* error stays bounded and, once the collections separate,
+  drops well below the regular error;
+- the missed-outlier rate collapses once delta clears the separation
+  threshold (the paper's cliff near delta ~ 5).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_outlier_sweep(benchmark, bench_scale, write_report):
+    result = benchmark.pedantic(
+        run_fig3, args=(bench_scale,), kwargs={"seed": 3}, rounds=1, iterations=1
+    )
+
+    deltas = np.array(result.column("delta"))
+    regular = np.array(result.column("regular_error"))
+    robust = np.array(result.column("robust_error"))
+    missed = np.array(result.column("missed_outliers_pct"))
+
+    # Shape 1: regular error grows ~linearly in delta.  Check a strong
+    # positive linear fit with slope near the 5%-outlier prediction.
+    slope = np.polyfit(deltas, regular, 1)[0]
+    assert 0.02 < slope < 0.10
+    correlation = np.corrcoef(deltas, regular)[0, 1]
+    assert correlation > 0.98
+
+    # Shape 2: robust beats regular clearly once separated (delta >= 10).
+    separated = deltas >= 10.0
+    assert np.all(robust[separated] < regular[separated])
+
+    # The finer-grained claims need statistical mass; the `fast` preset
+    # (n=100, 5 outliers) is a smoke run, not a measurement.
+    if bench_scale.n_nodes >= 200:
+        assert robust[separated].max() < 0.6
+        # Shape 3: the miss-rate cliff — high miss rate while the outlier
+        # cluster overlaps the good one (small but nonzero delta; at
+        # delta=0 the paper's density definition flags no outliers at
+        # all), near-zero once far.
+        overlapping = (deltas > 0.0) & (deltas <= 5.0)
+        assert missed[overlapping].max() > 50.0
+        assert missed[deltas >= 15.0].max() < 15.0
+
+    report = format_series(
+        f"Figure 3 — outlier separation sweep ({bench_scale.name} scale, "
+        f"n={result.n_nodes}, f_min={result.f_min})",
+        "delta",
+        result.column("delta"),
+        {
+            "missed_outliers_%": result.column("missed_outliers_pct"),
+            "robust_error": result.column("robust_error"),
+            "regular_error": result.column("regular_error"),
+            "rounds": result.column("rounds"),
+        },
+    )
+    write_report("fig3_outliers", report)

@@ -1,0 +1,61 @@
+"""Figure 4 — crash robustness and convergence speed.
+
+Regenerates the four per-round error traces ({robust, regular} x
+{no crashes, 5%-per-round crashes}) at delta = 10 and checks the paper's
+claims:
+
+- the robust protocol converges to a lower error than regular
+  aggregation, with and without crashes;
+- crashes barely change the curves (outlier removal is indifferent to
+  them);
+- convergence speed is equivalent: both protocols settle within a few
+  tens of rounds.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_crash_robustness(benchmark, bench_scale, write_report):
+    result = benchmark.pedantic(
+        run_fig4, args=(bench_scale,), kwargs={"rounds": 50, "seed": 4}, rounds=1, iterations=1
+    )
+
+    finals = result.final_errors()
+
+    # Shape 1: robust < regular in the failure-free regime.
+    assert finals["robust_no_crashes"] < finals["regular_no_crashes"]
+
+    # The crash claims need survivors to average over: 50 rounds of 5%
+    # crashes keep ~0.95^50 of the network, so the `fast` preset (n=100,
+    # ~8 survivors) is a smoke run only.
+    if bench_scale.n_nodes >= 200:
+        assert finals["robust_with_crashes"] < finals["regular_with_crashes"]
+        # Shape 2: crash indifference — the crashed curve ends within a
+        # small factor of the clean one.
+        assert finals["robust_with_crashes"] < 3.0 * max(finals["robust_no_crashes"], 0.05)
+        assert finals["regular_with_crashes"] < 1.5 * finals["regular_no_crashes"] + 0.1
+
+    # Shape 3: equivalent convergence speed — by round 20 both protocols
+    # are already within 20% of their final error.
+    robust = np.array(result.robust_no_crashes)
+    regular = np.array(result.regular_no_crashes)
+    assert abs(robust[19] - robust[-1]) < 0.2 * max(robust[-1], 0.05) + 0.05
+    assert abs(regular[19] - regular[-1]) < 0.2 * max(regular[-1], 0.05) + 0.05
+
+    report = format_series(
+        f"Figure 4 — crash robustness (delta={result.delta}, "
+        f"{bench_scale.name} scale, n={result.n_nodes}, p_crash=0.05/round)",
+        "round",
+        list(result.rounds),
+        {
+            "robust_no_crash": list(result.robust_no_crashes),
+            "regular_no_crash": list(result.regular_no_crashes),
+            "robust_crash": list(result.robust_with_crashes),
+            "regular_crash": list(result.regular_with_crashes),
+            "survivors": list(result.survivors_with_crashes),
+        },
+    )
+    write_report("fig4_crashes", report)

@@ -1,0 +1,73 @@
+"""Robustness extension benches: contamination, crash rate, k mismatch.
+
+These extend Figures 3/4 along the axes the paper's companion report [8]
+analyses: how much contamination, how many crashes, and how much
+configuration slack the robust-average application tolerates.
+"""
+
+from repro.analysis.reporting import banner, format_table
+from repro.experiments.robustness import (
+    run_crash_rate_sweep,
+    run_k_mismatch,
+    run_outlier_fraction_sweep,
+)
+
+
+def test_robustness_outlier_fraction(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_outlier_fraction_sweep, args=(bench_scale,), rounds=1, iterations=1
+    )
+
+    # Regular error grows roughly linearly with contamination...
+    regular = [row["regular_error"] for row in rows]
+    assert regular == sorted(regular)
+    # ...while the robust estimator holds until far higher contamination.
+    assert rows[-1]["robust_error"] < 0.5 * rows[-1]["regular_error"]
+
+    table = format_table(
+        ["outliers", "robust_error", "regular_error"],
+        [[row.label, row["robust_error"], row["regular_error"]] for row in rows],
+    )
+    write_report(
+        "robustness_outlier_fraction",
+        f"{banner('Robustness — contamination level (delta=10)')}\n{table}",
+    )
+
+
+def test_robustness_crash_rate(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_crash_rate_sweep, args=(bench_scale,), rounds=1, iterations=1
+    )
+
+    survivors = [row["survivors"] for row in rows]
+    assert survivors == sorted(survivors, reverse=True)
+    # Even the heaviest crash regime leaves a usable estimate.
+    assert all(row["robust_error"] < 1.0 for row in rows)
+
+    table = format_table(
+        ["crash_rate", "robust_error", "survivors"],
+        [[row.label, row["robust_error"], int(row["survivors"])] for row in rows],
+    )
+    write_report(
+        "robustness_crash_rate",
+        f"{banner('Robustness — per-round crash rate (delta=10)')}\n{table}",
+    )
+
+
+def test_robustness_k_mismatch(benchmark, bench_scale, write_report):
+    rows = benchmark.pedantic(
+        run_k_mismatch, args=(bench_scale,), rounds=1, iterations=1
+    )
+    by_k = {int(row["k"]): row for row in rows}
+
+    # Fragmentation slack: k=5 performs comparably to the intended k=2.
+    assert by_k[5]["robust_error"] < 3.0 * by_k[2]["robust_error"] + 0.1
+
+    table = format_table(
+        ["k", "robust_error"],
+        [[int(row["k"]), row["robust_error"]] for row in rows],
+    )
+    write_report(
+        "robustness_k_mismatch",
+        f"{banner('Robustness — collection budget mismatch (delta=10)')}\n{table}",
+    )

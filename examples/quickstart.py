@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: distributed classification in ~40 lines.
+
+64 sensors each take one 2-D reading drawn from two well-separated
+clusters.  No node ever sees the full data set; gossiping split/merge
+steps of the generic algorithm (Algorithm 1 of the paper) let every node
+converge to the same two-collection classification of all 64 readings.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GaussianMixtureScheme, build_classification_network, disagreement
+from repro.network import topology
+
+N_SENSORS = 64
+ROUNDS = 30
+
+# Each sensor's single reading: two clusters of 32 readings each.
+rng = np.random.default_rng(42)
+readings = np.vstack(
+    [
+        rng.normal([20.0, 5.0], 1.0, size=(32, 2)),  # cool region
+        rng.normal([35.0, 9.0], 1.5, size=(32, 2)),  # warm region
+    ]
+)
+
+# Build the network: one classifier node per sensor, gossiping over a
+# fully connected topology, classifying into at most k=2 collections.
+scheme = GaussianMixtureScheme(seed=42)
+engine, nodes = build_classification_network(
+    readings, scheme, k=2, graph=topology.complete(N_SENSORS), seed=42
+)
+
+engine.run(rounds=ROUNDS)
+
+# Every node now holds (approximately) the same classification.
+print(f"after {ROUNDS} gossip rounds ({engine.metrics.messages_sent} messages):")
+for collection in nodes[0].classification.sorted_by_weight():
+    share = collection.quanta / nodes[0].total_quanta
+    mean = np.round(collection.summary.mean, 2)
+    print(f"  collection: {share:5.1%} of weight, mean = {mean}")
+
+print(f"max disagreement across all {N_SENSORS} nodes: "
+      f"{disagreement(nodes, scheme):.2e}")

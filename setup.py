@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so the package can
+be installed in environments whose setuptools predates PEP 660 editable
+installs or lacks the ``wheel`` package (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

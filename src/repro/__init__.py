@@ -1,0 +1,81 @@
+"""repro — Distributed Data Classification in Sensor Networks (PODC 2010).
+
+A full reproduction of Eyal, Keidar and Rom's gossip-based distributed
+classification system:
+
+- :mod:`repro.core` — the generic algorithm (Algorithm 1), quantised
+  weights, mixture-space auxiliaries and convergence machinery;
+- :mod:`repro.schemes` — the centroid (Algorithm 2), Gaussian-Mixture
+  (Section 5) and histogram instantiations;
+- :mod:`repro.ml` — the machine-learning substrate (Gaussians, GMMs,
+  k-means, EM, EM-based mixture reduction);
+- :mod:`repro.network` — the event-driven / round-based sensor-network
+  simulator with crash injection;
+- :mod:`repro.protocols` — Algorithm 1 and the push-sum baseline wired
+  onto the simulator;
+- :mod:`repro.data`, :mod:`repro.analysis` — the paper's synthetic
+  workloads and measurement code;
+- :mod:`repro.experiments` — one module per figure of the evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import build_classification_network, GaussianMixtureScheme
+    from repro.network import topology
+
+    values = np.random.default_rng(7).normal(size=(64, 2))
+    engine, nodes = build_classification_network(
+        values, GaussianMixtureScheme(seed=7), k=3, graph=topology.complete(64)
+    )
+    engine.run(rounds=30)
+    print(nodes[0].classification)
+"""
+
+from repro.core import (
+    Classification,
+    ClassifierNode,
+    Collection,
+    ConvergenceDetector,
+    MixtureVector,
+    Quantization,
+    SummaryScheme,
+    classification_distance,
+    disagreement,
+)
+from repro.protocols import (
+    ClassificationProtocol,
+    PushSumProtocol,
+    build_classification_network,
+    build_push_sum_network,
+)
+from repro.schemes import (
+    CentroidScheme,
+    GaussianMixtureScheme,
+    GaussianSummary,
+    HistogramScheme,
+    classification_to_gmm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CentroidScheme",
+    "Classification",
+    "ClassificationProtocol",
+    "ClassifierNode",
+    "Collection",
+    "ConvergenceDetector",
+    "GaussianMixtureScheme",
+    "GaussianSummary",
+    "HistogramScheme",
+    "MixtureVector",
+    "PushSumProtocol",
+    "Quantization",
+    "SummaryScheme",
+    "__version__",
+    "build_classification_network",
+    "build_push_sum_network",
+    "classification_distance",
+    "classification_to_gmm",
+    "disagreement",
+]

@@ -1,0 +1,40 @@
+"""Measurement and reporting utilities for the experiments."""
+
+from repro.analysis.assignment import (
+    classification_accuracy,
+    mean_node_accuracy,
+    weight_confusion_matrix,
+)
+from repro.analysis.accuracy import (
+    ComponentMatch,
+    GmmRecovery,
+    average_error,
+    match_mixtures,
+    mean_error,
+)
+from repro.analysis.outliers import (
+    F_MIN,
+    good_collection_index,
+    missed_outlier_fraction,
+    robust_mean,
+)
+from repro.analysis.reporting import banner, format_series, format_table, format_value
+
+__all__ = [
+    "ComponentMatch",
+    "F_MIN",
+    "GmmRecovery",
+    "average_error",
+    "banner",
+    "classification_accuracy",
+    "format_series",
+    "format_table",
+    "format_value",
+    "good_collection_index",
+    "match_mixtures",
+    "mean_error",
+    "mean_node_accuracy",
+    "weight_confusion_matrix",
+    "missed_outlier_fraction",
+    "robust_mean",
+]

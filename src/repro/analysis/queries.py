@@ -1,0 +1,129 @@
+"""Answering application queries from a converged classification.
+
+The paper motivates distributed classification with *decisions*: a grid
+machine asks "am I with the lightly- or heavily-loaded crowd?"; a sensor
+operator asks "what fraction of readings exceed 30 degrees?".  Once the
+gossip has converged, every node holds a Gaussian-Mixture description of
+the global data and can answer such queries locally.  This module is that
+read-out layer:
+
+- :class:`MixtureQueries` wraps a node's classification (as a GMM) and
+  answers marginal CDF / tail-fraction / interval-mass / membership
+  queries in closed form (Gaussian marginals are Gaussian);
+- queries cost O(k) arithmetic — no communication, no raw data.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.classification import Classification
+from repro.ml.gmm import GaussianMixtureModel
+from repro.schemes.gaussian import classification_to_gmm
+
+__all__ = ["MixtureQueries"]
+
+
+def _normal_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (vectorised)."""
+    return 0.5 * (1.0 + np.vectorize(math.erf)(z / math.sqrt(2.0)))
+
+
+class MixtureQueries:
+    """Closed-form queries over a Gaussian-Mixture classification.
+
+    Parameters
+    ----------
+    model:
+        The mixture to query.  Use :meth:`from_classification` to build
+        one straight from a node's converged classification.
+    min_std:
+        Floor on per-dimension standard deviations.  Singleton
+        collections have exactly zero variance; the floor turns their
+        marginals into step functions with a tiny width instead of
+        dividing by zero.
+    """
+
+    def __init__(self, model: GaussianMixtureModel, min_std: float = 1e-9) -> None:
+        if min_std <= 0:
+            raise ValueError("min_std must be positive")
+        self.model = model
+        self.min_std = min_std
+
+    @classmethod
+    def from_classification(
+        cls, classification: Classification, min_std: float = 1e-9
+    ) -> "MixtureQueries":
+        """Build the query view of a node's (Gaussian-schemed) classification."""
+        return cls(classification_to_gmm(classification), min_std=min_std)
+
+    # ------------------------------------------------------------------
+    # Marginal machinery
+    # ------------------------------------------------------------------
+    def _marginal(self, dimension: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(weights, means, stds) of the mixture's 1-D marginal."""
+        if not 0 <= dimension < self.model.dimension:
+            raise ValueError(
+                f"dimension {dimension} out of range for d={self.model.dimension}"
+            )
+        means = self.model.means[:, dimension]
+        variances = self.model.covs[:, dimension, dimension]
+        stds = np.sqrt(np.maximum(variances, self.min_std**2))
+        return self.model.weights, means, stds
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def cdf(self, dimension: int, threshold: float) -> float:
+        """P(value_dimension <= threshold) under the mixture."""
+        weights, means, stds = self._marginal(dimension)
+        z = (threshold - means) / stds
+        return float(np.sum(weights * _normal_cdf(z)))
+
+    def fraction_above(self, dimension: int, threshold: float) -> float:
+        """Estimated fraction of readings exceeding a threshold.
+
+        The fence-fire operator's query: "what share of sensors read more
+        than 30 degrees?"
+        """
+        return 1.0 - self.cdf(dimension, threshold)
+
+    def interval_mass(self, dimension: int, low: float, high: float) -> float:
+        """Estimated fraction of readings inside ``[low, high]``."""
+        if high < low:
+            raise ValueError("need high >= low")
+        return self.cdf(dimension, high) - self.cdf(dimension, low)
+
+    def component_membership(self, value: np.ndarray) -> int:
+        """Which collection a value belongs with (max responsibility).
+
+        The introduction's load-balancing decision: a machine classifies
+        *its own* load against the global classification and acts on the
+        answer.
+        """
+        return int(self.model.classify(np.atleast_2d(np.asarray(value, dtype=float)))[0])
+
+    def membership_probabilities(self, value: np.ndarray) -> np.ndarray:
+        """Posterior collection memberships of a value (sums to 1)."""
+        return self.model.responsibilities(
+            np.atleast_2d(np.asarray(value, dtype=float))
+        )[0]
+
+    def quantile(self, dimension: int, probability: float, tolerance: float = 1e-9) -> float:
+        """Inverse marginal CDF by bisection (the mixture CDF is monotone)."""
+        if not 0.0 < probability < 1.0:
+            raise ValueError("probability must be strictly between 0 and 1")
+        weights, means, stds = self._marginal(dimension)
+        low = float(np.min(means - 12.0 * stds))
+        high = float(np.max(means + 12.0 * stds))
+        for _ in range(200):
+            mid = (low + high) / 2.0
+            if high - low < tolerance:
+                break
+            if self.cdf(dimension, mid) < probability:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2.0

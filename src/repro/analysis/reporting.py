@@ -1,0 +1,76 @@
+"""Plain-text reporting: the benchmarks' stand-in for the paper's plots.
+
+Benches regenerate each figure's underlying series and print them as
+fixed-width tables; these helpers keep every bench's output uniform and
+diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_value", "format_table", "format_series", "banner"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Render one cell: floats to fixed precision, the rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 4,
+) -> str:
+    """Fixed-width table with a header rule.
+
+    >>> print(format_table(["x", "y"], [[1, 2.0]], precision=1))
+    x  y
+    -  ---
+    1  2.0
+    """
+    rendered = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[index] for index in range(len(headers))).rstrip(),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_name: str,
+    x_values: Sequence[Any],
+    columns: Mapping[str, Sequence[Any]],
+    precision: int = 4,
+) -> str:
+    """One figure's data: an x column plus one column per plotted line."""
+    for name, values in columns.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"column {name!r} length does not match x values")
+    headers = [x_name, *columns.keys()]
+    rows = [
+        [x, *(columns[name][index] for name in columns)]
+        for index, x in enumerate(x_values)
+    ]
+    return f"{banner(title)}\n{format_table(headers, rows, precision)}"
+
+
+def banner(title: str) -> str:
+    """A visually distinct section header."""
+    rule = "=" * max(len(title), 8)
+    return f"{rule}\n{title}\n{rule}"

@@ -1,0 +1,68 @@
+"""Core of the paper's contribution: the generic classification algorithm.
+
+This package contains everything in Sections 3, 4 and 6 of the paper that
+is scheme-independent: quantised weights, collections and classifications,
+the auxiliary mixture-space vectors, the instantiation contract (with
+requirements R1-R4), the generic node itself, and the convergence
+measurement machinery.
+"""
+
+from repro.core.audit import AuditFailure, AuditReport, SchemeAuditor, pooled_values_f
+from repro.core.classification import Classification
+from repro.core.collection import Collection
+from repro.core.convergence import (
+    ConvergenceDetector,
+    classification_distance,
+    disagreement,
+    match_collections,
+    max_reference_angles,
+    pool_collections,
+)
+from repro.core.mixture import MixtureVector
+from repro.core.node import ClassifierNode, NodeStats
+from repro.core.scheme import PartitionError, SummaryScheme, validate_partition
+from repro.core.serialization import (
+    CentroidCodec,
+    DiagonalGaussianCodec,
+    GaussianCodec,
+    HistogramCodec,
+    SummaryCodec,
+    codec_for_scheme,
+    decode_payload,
+    encode_payload,
+    payload_size_bytes,
+)
+from repro.core.weights import DEFAULT_QUANTA_PER_UNIT, Quantization, WeightError
+
+__all__ = [
+    "AuditFailure",
+    "AuditReport",
+    "CentroidCodec",
+    "Classification",
+    "Collection",
+    "ClassifierNode",
+    "DiagonalGaussianCodec",
+    "GaussianCodec",
+    "HistogramCodec",
+    "ConvergenceDetector",
+    "DEFAULT_QUANTA_PER_UNIT",
+    "MixtureVector",
+    "NodeStats",
+    "PartitionError",
+    "Quantization",
+    "SchemeAuditor",
+    "SummaryCodec",
+    "SummaryScheme",
+    "WeightError",
+    "classification_distance",
+    "codec_for_scheme",
+    "decode_payload",
+    "disagreement",
+    "match_collections",
+    "max_reference_angles",
+    "encode_payload",
+    "payload_size_bytes",
+    "pool_collections",
+    "pooled_values_f",
+    "validate_partition",
+]

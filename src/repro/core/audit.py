@@ -1,0 +1,292 @@
+"""Empirical auditing of user-defined summary schemes.
+
+The generic algorithm converges *provided* its instantiation satisfies
+requirements R1-R4 (Section 4.2.1).  The schemes shipped here are proven
+(and property-tested) to satisfy them, but the whole point of a generic
+algorithm is that downstream users write their own schemes — and a scheme
+that silently violates R3 or R4 produces summaries that drift away from
+the data they claim to describe, with no error ever raised.
+
+:class:`SchemeAuditor` gives scheme authors a machine check: it samples
+random collections over a caller-supplied value set, computes the ground
+truth through an explicit ``f`` (summarise-the-raw-values), and verifies:
+
+- **R2**: ``val_to_summary(val_i)`` equals summarising the singleton
+  collection ``{val_i}``;
+- **R3**: ``merge_set`` is invariant to rescaling all weights;
+- **R4**: merging summaries equals summarising the merged collection;
+- **partition conformance**: outputs respect the ``k`` bound and the
+  minimum-weight rule on random inputs.
+
+R1 (Lipschitz continuity in the mixture-space angle) cannot be certified
+by sampling — a counterexample may hide anywhere — so the auditor instead
+performs a falsification pass: it searches random vector pairs for
+distance ratios that blow up, reporting the worst ratio found.
+
+The auditor needs an explicit ``f``; for convenience,
+:func:`pooled_values_f` builds one for any scheme whose summary of a
+collection equals its ``merge_set`` over singleton summaries (true for
+every scheme satisfying R2 + R4, which is exactly what is being audited —
+the circularity is broken by the consistency check, which re-derives the
+same summary through sequential pairwise merges in random orders and
+verifies all routes agree).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.collection import Collection
+from repro.core.scheme import PartitionError, SummaryScheme, validate_partition
+from repro.core.weights import Quantization
+
+__all__ = ["AuditFailure", "AuditReport", "SchemeAuditor", "pooled_values_f"]
+
+
+@dataclass(frozen=True)
+class AuditFailure:
+    """One discovered violation."""
+
+    requirement: str
+    detail: str
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an audit run."""
+
+    failures: list[AuditFailure] = field(default_factory=list)
+    checks_run: int = 0
+    worst_r1_ratio: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "PASSED" if self.passed else "FAILED"
+        lines = [f"scheme audit {status}: {self.checks_run} checks, "
+                 f"worst d_S/d_M ratio {self.worst_r1_ratio:.3g}"]
+        for failure in self.failures:
+            lines.append(f"  [{failure.requirement}] {failure.detail}")
+        return "\n".join(lines)
+
+
+def pooled_values_f(
+    scheme: SummaryScheme,
+) -> Callable[[np.ndarray, np.ndarray], Any]:
+    """Build an explicit ``f`` from a scheme's own primitive operations.
+
+    ``f(values, vector)`` summarises the collection holding ``vector[i]``
+    weight of ``values[i]`` by merging the weighted singleton summaries in
+    one call — the definition of ``f`` under R2 + R4.
+    """
+
+    def f(values: np.ndarray, vector: np.ndarray) -> Any:
+        items = [
+            (scheme.val_to_summary(values[index]), float(weight))
+            for index, weight in enumerate(vector)
+            if weight > 0
+        ]
+        if not items:
+            raise ValueError("empty collection has no summary")
+        if len(items) == 1:
+            return items[0][0]
+        return scheme.merge_set(items)
+
+    return f
+
+
+class SchemeAuditor:
+    """Randomised conformance checking for a summary scheme.
+
+    Parameters
+    ----------
+    scheme:
+        The instantiation under audit.
+    values:
+        The input-value set collections are drawn over (each row one
+        value, in whatever form the scheme accepts).
+    seed:
+        Seeds the audit's RNG; audits are reproducible.
+    tolerance:
+        Numerical slack for summary equality, applied through the
+        scheme's own ``distance``.
+    """
+
+    def __init__(
+        self,
+        scheme: SummaryScheme,
+        values: np.ndarray,
+        seed: int = 0,
+        tolerance: float = 1e-7,
+    ) -> None:
+        self.scheme = scheme
+        self.values = np.asarray(values)
+        if len(self.values) < 2:
+            raise ValueError("auditing needs at least two input values")
+        self.rng = np.random.default_rng(seed)
+        self.tolerance = tolerance
+        self.f = pooled_values_f(scheme)
+
+    # ------------------------------------------------------------------
+    # Sampling helpers
+    # ------------------------------------------------------------------
+    def _random_vector(self) -> np.ndarray:
+        """A random mixture vector with components bounded away from 0."""
+        n = len(self.values)
+        vector = self.rng.uniform(0.05, 1.0, size=n)
+        # Randomly zero some coordinates so partial collections are covered.
+        mask = self.rng.uniform(size=n) < 0.4
+        if mask.all():
+            mask[self.rng.integers(n)] = False
+        vector[mask] = 0.0
+        return vector
+
+    def _distance(self, a: Any, b: Any) -> float:
+        return float(self.scheme.distance(a, b))
+
+    # ------------------------------------------------------------------
+    # Requirement checks
+    # ------------------------------------------------------------------
+    def check_r2(self, report: AuditReport) -> None:
+        """val_to_summary agrees with f on singleton collections."""
+        for index in range(len(self.values)):
+            report.checks_run += 1
+            direct = self.scheme.val_to_summary(self.values[index])
+            unit = np.zeros(len(self.values))
+            unit[index] = 1.0
+            via_f = self.f(self.values, unit)
+            gap = self._distance(direct, via_f)
+            if gap > self.tolerance:
+                report.failures.append(
+                    AuditFailure("R2", f"value {index}: d_S(valToSummary, f(e_i)) = {gap:.3g}")
+                )
+
+    def check_r3(self, report: AuditReport, samples: int = 30) -> None:
+        """merge_set is invariant to rescaling all weights."""
+        for _ in range(samples):
+            report.checks_run += 1
+            vectors = [self._random_vector() for _ in range(3)]
+            items = [(self.f(self.values, v), float(v.sum())) for v in vectors]
+            alpha = float(self.rng.uniform(0.01, 50.0))
+            scaled = [(summary, alpha * weight) for summary, weight in items]
+            gap = self._distance(self.scheme.merge_set(items), self.scheme.merge_set(scaled))
+            if gap > self.tolerance:
+                report.failures.append(
+                    AuditFailure("R3", f"rescaling weights by {alpha:.3g} moved the merge by {gap:.3g}")
+                )
+
+    def check_r4(self, report: AuditReport, samples: int = 30) -> None:
+        """Merging summaries commutes with merging collections."""
+        for _ in range(samples):
+            report.checks_run += 1
+            count = int(self.rng.integers(2, 5))
+            vectors = [self._random_vector() for _ in range(count)]
+            items = [(self.f(self.values, v), float(v.sum())) for v in vectors]
+            merged = self.scheme.merge_set(items)
+            expected = self.f(self.values, np.sum(vectors, axis=0))
+            gap = self._distance(merged, expected)
+            if gap > self.tolerance:
+                report.failures.append(
+                    AuditFailure("R4", f"merge of {count} summaries off by d_S = {gap:.3g}")
+                )
+
+    def check_r1(self, report: AuditReport, samples: int = 100) -> None:
+        """Falsification pass: look for exploding d_S / d_M ratios."""
+        worst = 0.0
+        for _ in range(samples):
+            report.checks_run += 1
+            v1 = self._random_vector()
+            v2 = self._random_vector()
+            norm1, norm2 = np.linalg.norm(v1), np.linalg.norm(v2)
+            if norm1 == 0 or norm2 == 0:
+                continue
+            cosine = float(v1 @ v2 / (norm1 * norm2))
+            angle = math.acos(min(1.0, max(-1.0, cosine)))
+            if angle < 1e-6:
+                continue
+            gap = self._distance(self.f(self.values, v1), self.f(self.values, v2))
+            worst = max(worst, gap / angle)
+        report.worst_r1_ratio = max(report.worst_r1_ratio, worst)
+
+    def check_f_consistency(self, report: AuditReport, samples: int = 20) -> None:
+        """All merge orders produce the same summary.
+
+        Summarising a collection via one big ``merge_set`` call must agree
+        with folding the weighted singletons in pairwise, in any order —
+        otherwise gossip executions (which merge in network-dependent
+        orders) would not share a destination.
+        """
+        for _ in range(samples):
+            report.checks_run += 1
+            vector = self._random_vector()
+            all_at_once = self.f(self.values, vector)
+            items = [
+                (self.scheme.val_to_summary(self.values[index]), float(weight))
+                for index, weight in enumerate(vector)
+                if weight > 0
+            ]
+            order = self.rng.permutation(len(items))
+            running_summary, running_weight = items[order[0]]
+            for position in order[1:]:
+                summary, weight = items[position]
+                running_summary = self.scheme.merge_set(
+                    [(running_summary, running_weight), (summary, weight)]
+                )
+                running_weight += weight
+            gap = self._distance(all_at_once, running_summary)
+            if gap > self.tolerance:
+                report.failures.append(
+                    AuditFailure(
+                        "consistency",
+                        f"sequential pairwise merge disagrees with batch merge by {gap:.3g}",
+                    )
+                )
+
+    def check_partition(
+        self,
+        report: AuditReport,
+        k: int = 3,
+        samples: int = 20,
+        quantization: Quantization | None = None,
+    ) -> None:
+        """Partition outputs respect Algorithm 1's structural rules."""
+        quantization = quantization or Quantization(16)
+        for _ in range(samples):
+            report.checks_run += 1
+            count = int(self.rng.integers(2, 9))
+            collections = []
+            for _ in range(count):
+                vector = self._random_vector()
+                quanta = int(self.rng.integers(1, 65))
+                collections.append(
+                    Collection(summary=self.f(self.values, vector), quanta=quanta)
+                )
+            try:
+                groups = self.scheme.partition(collections, k, quantization)
+                validate_partition(groups, collections, k, quantization)
+            except PartitionError as error:
+                report.failures.append(AuditFailure("partition", str(error)))
+            except Exception as error:  # noqa: BLE001 - auditing must not crash
+                report.failures.append(
+                    AuditFailure("partition", f"raised {type(error).__name__}: {error}")
+                )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, k: int = 3) -> AuditReport:
+        """Run all checks; returns the collected report."""
+        report = AuditReport()
+        self.check_r2(report)
+        self.check_r3(report)
+        self.check_r4(report)
+        self.check_r1(report)
+        self.check_f_consistency(report)
+        self.check_partition(report, k=k)
+        return report

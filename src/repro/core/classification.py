@@ -1,0 +1,88 @@
+"""Classifications: the per-node estimate of the global data partition.
+
+A *classification* (Definition 2) is a set of weighted collection
+summaries.  Each node maintains one at all times; the distributed
+classification problem (Definition 4) asks that all these per-node
+classifications converge to a single classification of the complete input
+set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.collection import Collection
+from repro.core.weights import Quantization
+
+__all__ = ["Classification"]
+
+
+class Classification:
+    """An ordered container of collections with weight bookkeeping.
+
+    The order of collections carries no meaning (a classification is a
+    set); it is kept stable purely for reproducibility of iteration.
+    """
+
+    __slots__ = ("collections",)
+
+    def __init__(self, collections: Sequence[Collection]) -> None:
+        self.collections = list(collections)
+        if not self.collections:
+            raise ValueError("a classification must contain at least one collection")
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.collections)
+
+    def __iter__(self) -> Iterator[Collection]:
+        return iter(self.collections)
+
+    def __getitem__(self, index: int) -> Collection:
+        return self.collections[index]
+
+    # ------------------------------------------------------------------
+    # Weight bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def total_quanta(self) -> int:
+        """Total weight (in quanta) described by this classification."""
+        return sum(collection.quanta for collection in self.collections)
+
+    def total_weight(self, quantization: Quantization) -> float:
+        return quantization.to_float(self.total_quanta)
+
+    def relative_weights(self) -> np.ndarray:
+        """Each collection's share of the total weight.
+
+        Definition 3's second condition is phrased in terms of these
+        relative weights, which is why they are a first-class accessor.
+        """
+        quanta = np.array([collection.quanta for collection in self.collections], dtype=float)
+        return quanta / quanta.sum()
+
+    def summaries(self) -> list[Any]:
+        return [collection.summary for collection in self.collections]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def heaviest(self) -> Collection:
+        """The collection holding the most weight.
+
+        The robust-average application (Section 5.3.2) treats the heaviest
+        of the ``k = 2`` collections as the "good" one and the rest as
+        outliers.
+        """
+        return max(self.collections, key=lambda collection: collection.quanta)
+
+    def sorted_by_weight(self) -> list[Collection]:
+        """Collections ordered heaviest-first (stable)."""
+        return sorted(self.collections, key=lambda collection: -collection.quanta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Classification({len(self.collections)} collections, {self.total_quanta} quanta)"

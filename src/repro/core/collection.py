@@ -1,0 +1,72 @@
+"""Collections: weighted, concisely summarised groups of input values.
+
+A *collection* (Definition 1) is a set of weighted values.  The algorithm
+never stores the values themselves — only a summary in the scheme's summary
+domain ``S`` and the collection's total weight (Section 4.1's "slight abuse
+of terminology").  Optionally a collection also carries its auxiliary
+mixture vector, which *does* identify the constituent values; see
+:mod:`repro.core.mixture`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.mixture import MixtureVector
+from repro.core.weights import Quantization
+
+__all__ = ["Collection"]
+
+
+@dataclass(slots=True)
+class Collection:
+    """A summary-weight pair, optionally with provenance.
+
+    Attributes
+    ----------
+    summary:
+        The scheme-specific concise description of the collection's values
+        (a centroid, a weighted Gaussian, a histogram, ...).
+    quanta:
+        The collection weight as an integer number of quanta (see
+        :class:`~repro.core.weights.Quantization`).  Always positive.
+    aux:
+        Optional auxiliary mixture vector.  ``None`` unless provenance
+        tracking was requested at node construction.
+    """
+
+    summary: Any
+    quanta: int
+    aux: Optional[MixtureVector] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.quanta, int) or self.quanta <= 0:
+            raise ValueError(f"collection weight must be a positive quanta count, got {self.quanta!r}")
+
+    def weight(self, quantization: Quantization) -> float:
+        """Real-valued weight of this collection on the given lattice."""
+        return quantization.to_float(self.quanta)
+
+    def split(self, quantization: Quantization) -> tuple["Collection", Optional["Collection"]]:
+        """Split into (kept, sent) shares per Algorithm 1 lines 5-7.
+
+        Both shares carry the *same summary*; only the weight (and the
+        auxiliary vector, proportionally) is divided.  When the collection
+        holds a single quantum the sent share would be empty, so ``None``
+        is returned for it and the caller must not send anything — this is
+        how quantisation stops Zeno executions.
+        """
+        kept_quanta, sent_quanta = quantization.split(self.quanta)
+        if sent_quanta == 0:
+            return self, None
+        kept_aux = sent_aux = None
+        if self.aux is not None:
+            kept_aux = self.aux.scaled(kept_quanta, self.quanta)
+            sent_aux = self.aux.scaled(sent_quanta, self.quanta)
+        kept = Collection(summary=self.summary, quanta=kept_quanta, aux=kept_aux)
+        sent = Collection(summary=self.summary, quanta=sent_quanta, aux=sent_aux)
+        return kept, sent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Collection(quanta={self.quanta}, summary={self.summary!r})"

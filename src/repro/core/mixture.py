@@ -1,0 +1,145 @@
+"""Auxiliary mixture-space vectors (the dashed-frame code of Algorithm 1).
+
+Section 4.2 of the paper describes every collection as a vector in the
+*mixture space* R^n (``n`` being the number of input values): coordinate
+``j`` holds the amount of weight of input value ``j`` contained in the
+collection.  The paper uses these vectors purely as proof machinery
+(Lemma 1 shows the summary a node maintains always equals ``f`` applied to
+the collection's mixture vector), but they are also the perfect
+*measurement* instrument: they record exactly which original inputs, and in
+what proportion, ended up inside each collection.  The Figure 3 benchmark
+uses them to compute the missed-outlier rate, and the convergence tests use
+them to check Lemma 2's monotonically decreasing maximal reference angles.
+
+Tracking the vectors costs O(n) per collection, so it is optional
+(``track_aux`` on :class:`~repro.core.node.ClassifierNode`) and switched on
+only by tests and instrumentation-heavy experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["MixtureVector"]
+
+
+class MixtureVector:
+    """A point in the mixture space R^n, measured in weight quanta.
+
+    The vector is non-negative, and its L1 norm equals the weight (in
+    quanta) of the collection it describes — that is Equation (2) of
+    Lemma 1.  Components are stored as floats: splits multiply by rational
+    factors, so exact integrality is not preserved per-component, only the
+    L1 total is (up to float rounding, which the tests bound).
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: np.ndarray) -> None:
+        self.components = np.asarray(components, dtype=float)
+        if self.components.ndim != 1:
+            raise ValueError("mixture vector must be one-dimensional")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def unit(cls, index: int, n_inputs: int, quanta: int) -> "MixtureVector":
+        """The initial vector of node ``index``: ``quanta`` times e_index.
+
+        Algorithm 1 line 2 initialises node ``i`` with the unit vector
+        ``e_i``; in quantum units that is ``quanta_per_unit * e_i``.
+        """
+        if not 0 <= index < n_inputs:
+            raise ValueError(f"index {index} out of range for n_inputs={n_inputs}")
+        components = np.zeros(n_inputs)
+        components[index] = float(quanta)
+        return cls(components)
+
+    @classmethod
+    def sum_of(cls, vectors: Iterable["MixtureVector"]) -> "MixtureVector":
+        """Merge rule (Algorithm 1 line 11): component-wise sum."""
+        vectors = list(vectors)
+        if not vectors:
+            raise ValueError("cannot sum an empty set of mixture vectors")
+        total = np.zeros_like(vectors[0].components)
+        for vector in vectors:
+            total = total + vector.components
+        return cls(total)
+
+    # ------------------------------------------------------------------
+    # Algorithm operations
+    # ------------------------------------------------------------------
+    def scaled(self, numerator: int, denominator: int) -> "MixtureVector":
+        """Split rule (Algorithm 1 lines 6-7): scale by a rational factor.
+
+        When a collection of weight ``w`` is split into shares ``kept`` and
+        ``sent``, the kept vector is ``aux * kept / w`` and the sent vector
+        is ``aux * sent / w``; the two scalings sum back to the original,
+        preserving system-wide weight per input value.
+        """
+        if denominator <= 0:
+            raise ValueError("denominator must be positive")
+        return MixtureVector(self.components * (numerator / denominator))
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    @property
+    def l1(self) -> float:
+        """L1 norm, in quanta.  Equals the collection weight (Lemma 1)."""
+        return float(np.sum(self.components))
+
+    @property
+    def l2(self) -> float:
+        return float(np.linalg.norm(self.components))
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.components.shape[0])
+
+    def normalized(self) -> np.ndarray:
+        """Direction of the vector (unit L2 norm), used for destinations."""
+        norm = self.l2
+        if norm == 0:
+            raise ValueError("cannot normalise a zero mixture vector")
+        return self.components / norm
+
+    def reference_angle(self, axis: int) -> float:
+        """The paper's i'th reference angle: angle between ``self`` and e_i.
+
+        Section 6.1 proves the maximal reference angle over the pool is
+        monotonically decreasing (Lemma 2); tests exercise that invariant
+        through this accessor.
+        """
+        norm = self.l2
+        if norm == 0:
+            raise ValueError("zero vector has no reference angles")
+        cosine = self.components[axis] / norm
+        return math.acos(min(1.0, max(-1.0, cosine)))
+
+    def reference_angles(self) -> np.ndarray:
+        """All n reference angles at once (vectorised)."""
+        norm = self.l2
+        if norm == 0:
+            raise ValueError("zero vector has no reference angles")
+        cosines = np.clip(self.components / norm, -1.0, 1.0)
+        return np.arccos(cosines)
+
+    def share_of(self, indices: np.ndarray | list[int]) -> float:
+        """Fraction of this collection's weight originating from ``indices``.
+
+        This is the provenance query behind the missed-outlier measurement:
+        with ``indices`` the outlier-generated inputs, it returns how much
+        of the collection is (mis)attributed outlier mass.
+        """
+        total = self.l1
+        if total == 0:
+            return 0.0
+        return float(np.sum(self.components[list(indices)])) / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MixtureVector(l1={self.l1:.3f}, n={self.n_inputs})"

@@ -1,0 +1,201 @@
+"""The generic distributed classification algorithm (Algorithm 1).
+
+A :class:`ClassifierNode` holds a node's entire protocol state: its current
+classification (a set of weighted collection summaries).  Two operations
+mirror the two atomic blocks of Algorithm 1:
+
+- :meth:`ClassifierNode.make_message` is the periodic split-and-send block
+  (lines 3-7): every collection's weight is halved on the quantum lattice,
+  one share stays, the other is returned for transmission.
+- :meth:`ClassifierNode.receive` is the receipt handler (lines 8-11): the
+  incoming collections are pooled with the local ones, the scheme's
+  ``partition`` groups them into at most ``k`` sets, and each set is merged
+  into a single collection via the scheme's ``merge_set``.
+
+The node is transport-agnostic: neighbour choice, fairness, and message
+delivery live in :mod:`repro.network` and :mod:`repro.protocols`.  This
+separation lets the same node run under round-based gossip (the paper's
+simulation methodology) and fully asynchronous event-driven executions (the
+setting of the convergence proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.classification import Classification
+from repro.core.collection import Collection
+from repro.core.mixture import MixtureVector
+from repro.core.scheme import SummaryScheme, validate_partition
+from repro.core.weights import Quantization
+
+__all__ = ["ClassifierNode", "NodeStats"]
+
+
+@dataclass(slots=True)
+class NodeStats:
+    """Instrumentation counters; purely observational."""
+
+    splits: int = 0
+    merges: int = 0
+    messages_made: int = 0
+    batches_received: int = 0
+    collections_received: int = 0
+    partition_calls: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "splits": self.splits,
+            "merges": self.merges,
+            "messages_made": self.messages_made,
+            "batches_received": self.batches_received,
+            "collections_received": self.collections_received,
+            "partition_calls": self.partition_calls,
+        }
+
+
+class ClassifierNode:
+    """State machine for one node of the generic algorithm.
+
+    Parameters
+    ----------
+    node_id:
+        This node's index in ``0..n-1``; doubles as the input-value index
+        for auxiliary tracking.
+    value:
+        The input value taken at time 0 (any object the scheme accepts).
+    scheme:
+        The instantiation: summary domain plus ``val_to_summary`` /
+        ``merge_set`` / ``partition`` / ``distance``.
+    k:
+        Maximum number of collections per classification (the compression
+        bound).
+    quantization:
+        The weight lattice; defaults to a 2**20-quanta unit.
+    track_aux:
+        When true, every collection carries its mixture-space vector
+        (requires ``n_inputs``).  Used by tests and provenance-based
+        measurements; costs O(n) memory per collection.
+    n_inputs:
+        Total number of input values in the system; only needed when
+        ``track_aux`` is set.
+    validate:
+        When true, every partition returned by the scheme is checked
+        against Algorithm 1's structural rules.  On by default in tests,
+        off in large benchmarks.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        value: Any,
+        scheme: SummaryScheme,
+        k: int,
+        quantization: Optional[Quantization] = None,
+        track_aux: bool = False,
+        n_inputs: Optional[int] = None,
+        validate: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self.node_id = node_id
+        self.scheme = scheme
+        self.k = k
+        self.quantization = quantization or Quantization()
+        self.validate = validate
+        self.stats = NodeStats()
+
+        aux = None
+        if track_aux:
+            if n_inputs is None:
+                raise ValueError("track_aux requires n_inputs")
+            aux = MixtureVector.unit(node_id, n_inputs, self.quantization.unit)
+        initial = Collection(
+            summary=scheme.val_to_summary(value),
+            quanta=self.quantization.unit,
+            aux=aux,
+        )
+        self._collections: list[Collection] = [initial]
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def classification(self) -> Classification:
+        """The node's current output (Definition 4's ``classification_i(t)``)."""
+        return Classification(self._collections)
+
+    @property
+    def total_quanta(self) -> int:
+        return sum(collection.quanta for collection in self._collections)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 3-7: split
+    # ------------------------------------------------------------------
+    def make_message(self) -> list[Collection]:
+        """Halve every collection; keep one share, return the other.
+
+        The returned list is the message payload for one neighbour.  It may
+        be empty when every local collection holds a single quantum (then
+        nothing can be sent without violating quantisation); callers should
+        skip transmission in that case.
+        """
+        kept: list[Collection] = []
+        sent: list[Collection] = []
+        for collection in self._collections:
+            kept_share, sent_share = collection.split(self.quantization)
+            kept.append(kept_share)
+            if sent_share is not None:
+                sent.append(sent_share)
+        self._collections = kept
+        self.stats.splits += 1
+        if sent:
+            self.stats.messages_made += 1
+        return sent
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 8-11: receive and merge
+    # ------------------------------------------------------------------
+    def receive(self, incoming: Sequence[Collection]) -> None:
+        """Pool incoming collections with local state, partition, and merge.
+
+        ``incoming`` may concatenate the payloads of several messages: the
+        paper's simulations have nodes that hear from multiple neighbours
+        in a round "accumulate all the received collections and run EM once
+        for the entire set" (Section 5.3), and batching is also how the
+        asynchronous handler processes one message at a time.
+        """
+        self.stats.batches_received += 1
+        self.stats.collections_received += len(incoming)
+        if not incoming:
+            return
+        big_set = self._collections + list(incoming)
+        groups = self.scheme.partition(big_set, self.k, self.quantization)
+        self.stats.partition_calls += 1
+        if self.validate:
+            validate_partition(groups, big_set, self.k, self.quantization)
+        self._collections = [self._merge_group(big_set, group) for group in groups]
+
+    def _merge_group(self, big_set: list[Collection], group: Sequence[int]) -> Collection:
+        """Merge one partition group into a single collection (line 11)."""
+        if len(group) == 1:
+            # Merging a singleton is the identity under R4; skip the
+            # arithmetic so repeated gossip cannot accumulate float churn.
+            return big_set[group[0]]
+        members = [big_set[index] for index in group]
+        summary = self.scheme.merge_set(
+            [(member.summary, float(member.quanta)) for member in members]
+        )
+        quanta = sum(member.quanta for member in members)
+        aux = None
+        if members[0].aux is not None:
+            aux = MixtureVector.sum_of(member.aux for member in members)
+        self.stats.merges += 1
+        return Collection(summary=summary, quanta=quanta, aux=aux)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClassifierNode(id={self.node_id}, collections={len(self._collections)}, "
+            f"quanta={self.total_quanta})"
+        )

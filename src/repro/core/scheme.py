@@ -1,0 +1,131 @@
+"""The instantiation interface of the generic algorithm.
+
+Algorithm 1 is generic: it is instantiated with a summary domain ``S`` and
+three functions — ``valToSummary``, ``mergeSet`` and ``partition`` — plus a
+pseudo-metric ``d_S`` on summaries.  This module defines that contract as
+the :class:`SummaryScheme` strategy interface, together with a validator
+for the structural rules ``partition`` must respect.
+
+Section 4.2.1 places four requirements on instantiations; they are recorded
+here so scheme implementations (and the property tests in
+``tests/core/test_requirements.py``) can refer to them by name:
+
+R1  Summaries are Lipschitz in the mixture space: collections whose mixture
+    vectors are close in angle have summaries close in ``d_S``.
+R2  ``valToSummary(val_i) == f(e_i)``: initial summaries agree with ``f``.
+R3  ``f`` is scale-invariant: ``f(v) == f(alpha * v)`` for ``alpha > 0``.
+    (This is why schemes may treat integer quanta counts as weights.)
+R4  Merging summaries commutes with merging collections:
+    ``mergeSet({(f(v), |v|_1)}) == f(sum v)``.
+
+R2-R4 give Lemma 1 (the summaries a node maintains are exactly the
+summaries of the collections its mixture vectors describe); R1 turns
+mixture-space convergence into summary convergence (Corollary 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generic, Sequence, TypeVar
+
+from repro.core.collection import Collection
+from repro.core.weights import Quantization
+
+__all__ = ["SummaryScheme", "PartitionError", "validate_partition"]
+
+S = TypeVar("S")
+
+
+class PartitionError(ValueError):
+    """Raised when a partition violates Algorithm 1's structural rules."""
+
+
+class SummaryScheme(abc.ABC, Generic[S]):
+    """Strategy object bundling the application-specific functions.
+
+    Implementations must satisfy requirements R1-R4 above for the
+    convergence theorem (Section 6) to apply; the repository ships
+    machine checks for all four in the test suite.
+    """
+
+    @abc.abstractmethod
+    def val_to_summary(self, value: Any) -> S:
+        """Summarise a single whole input value (Algorithm 1 line 2)."""
+
+    @abc.abstractmethod
+    def merge_set(self, items: Sequence[tuple[S, float]]) -> S:
+        """Summarise the union of collections given their (summary, weight) pairs.
+
+        Weights may be given in any common scale (R3 guarantees the result
+        is the same); the algorithm passes integer quanta counts.
+        """
+
+    @abc.abstractmethod
+    def partition(
+        self,
+        collections: Sequence[Collection],
+        k: int,
+        quantization: Quantization,
+    ) -> list[list[int]]:
+        """Group collections for merging (Algorithm 1 line 10).
+
+        Returns a partition of ``range(len(collections))`` into at most
+        ``k`` groups.  Every minimum-weight collection (weight exactly
+        ``q``) must share its group with at least one other collection
+        whenever the input has more than one collection.
+        """
+
+    @abc.abstractmethod
+    def distance(self, a: S, b: S) -> float:
+        """The pseudo-metric ``d_S`` on the summary domain."""
+
+    def summary_dimension(self, summary: S) -> int:
+        """Best-effort dimensionality of a summary (for reporting only)."""
+        try:
+            return len(summary)  # type: ignore[arg-type]
+        except TypeError:
+            return 1
+
+
+def validate_partition(
+    groups: Sequence[Sequence[int]],
+    collections: Sequence[Collection],
+    k: int,
+    quantization: Quantization,
+) -> None:
+    """Check a partition against Algorithm 1's two conformance rules.
+
+    Rule 1: at most ``k`` groups.  Rule 2: no group consists of a single
+    collection of minimum weight ``q`` (unless that collection is the only
+    one in the input, in which case no merge partner exists).
+
+    Additionally verifies the groups are an exact partition — every index
+    exactly once — since weight conservation depends on it.
+
+    Raises
+    ------
+    PartitionError
+        On any violation.
+    """
+    if len(groups) > k:
+        raise PartitionError(f"partition produced {len(groups)} groups, bound is k={k}")
+    seen: set[int] = set()
+    for group in groups:
+        if not group:
+            raise PartitionError("partition contains an empty group")
+        for index in group:
+            if index in seen:
+                raise PartitionError(f"collection index {index} appears in two groups")
+            if not 0 <= index < len(collections):
+                raise PartitionError(f"collection index {index} out of range")
+            seen.add(index)
+    if len(seen) != len(collections):
+        missing = set(range(len(collections))) - seen
+        raise PartitionError(f"partition drops collection indices {sorted(missing)}")
+    if len(collections) > 1:
+        for group in groups:
+            if len(group) == 1 and quantization.is_minimum(collections[group[0]].quanta):
+                raise PartitionError(
+                    "a minimum-weight collection was left unmerged "
+                    f"(index {group[0]}); Section 4.1 rule 2 forbids this"
+                )

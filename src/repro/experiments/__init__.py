@@ -1,0 +1,72 @@
+"""Experiment reproductions: one module per figure, plus ablations.
+
+The paper's evaluation has no numbered tables; its results are Figures
+1-4.  Each ``fig*.py`` module regenerates one figure's underlying data and
+returns it as a plain dataclass; the benchmark suite prints and checks the
+series, and the test suite runs the same code at the ``fast`` scale.
+"""
+
+from repro.experiments.ablations import (
+    AblationRow,
+    run_centralized_gap,
+    run_gossip_variant_ablation,
+    run_k_ablation,
+    run_quantum_ablation,
+    run_scheme_ablation,
+    run_topology_ablation,
+    weighted_assignment_accuracy,
+)
+from repro.experiments.common import BENCH, FAST, PAPER, Scale, preset, run_until_convergence
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, Fig3Row, run_fig3, run_fig3_row
+from repro.experiments.fig4 import CRASH_PROBABILITY, Fig4Result, run_fig4
+from repro.experiments.partitions import PartitionResult, run_partition_heal
+from repro.experiments.robustness import (
+    run_crash_rate_sweep,
+    run_k_mismatch,
+    run_outlier_fraction_sweep,
+)
+from repro.experiments.scalability import (
+    measured_payload_bytes,
+    run_async_ablation,
+    run_message_size_ablation,
+    run_scalability,
+)
+
+__all__ = [
+    "AblationRow",
+    "BENCH",
+    "CRASH_PROBABILITY",
+    "FAST",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig3Row",
+    "Fig4Result",
+    "PAPER",
+    "PartitionResult",
+    "Scale",
+    "preset",
+    "measured_payload_bytes",
+    "run_async_ablation",
+    "run_centralized_gap",
+    "run_crash_rate_sweep",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig3_row",
+    "run_fig4",
+    "run_gossip_variant_ablation",
+    "run_k_ablation",
+    "run_k_mismatch",
+    "run_message_size_ablation",
+    "run_outlier_fraction_sweep",
+    "run_partition_heal",
+    "run_quantum_ablation",
+    "run_scalability",
+    "run_scheme_ablation",
+    "run_topology_ablation",
+    "run_until_convergence",
+    "weighted_assignment_accuracy",
+]

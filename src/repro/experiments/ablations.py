@@ -1,0 +1,342 @@
+"""Ablation experiments for the design choices the paper calls out.
+
+Each function regenerates one ablation series:
+
+- :func:`run_topology_ablation` — Section 6 claims convergence on *any*
+  connected topology; measure how topology shape affects speed.
+- :func:`run_gossip_variant_ablation` — Section 4.1's push / pull /
+  push-pull communication patterns.
+- :func:`run_k_ablation` — the compression bound ``k`` versus estimate
+  quality on the fence-fire workload.
+- :func:`run_quantum_ablation` — the weight quantum ``q``: the paper
+  assumes ``q << 1/n``; coarse lattices should visibly distort weights.
+- :func:`run_scheme_ablation` — centroids versus Gaussians versus
+  histograms on anisotropic data (Figure 1's claim, at network scale).
+- :func:`run_centralized_gap` — the distributed GM estimate versus
+  centralised EM and k-means on identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.convergence import disagreement
+from repro.core.node import ClassifierNode
+from repro.core.scheme import SummaryScheme
+from repro.core.weights import Quantization
+from repro.data.generators import fence_fire_mixture, fence_fire_values
+from repro.experiments.common import Scale, PAPER, run_until_convergence
+from repro.ml.em import fit_gmm_em
+from repro.ml.gmm import GaussianMixtureModel
+from repro.ml.kmeans import weighted_kmeans
+from repro.ml.linalg import regularize_covariance
+from repro.network import topology
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.gaussian import classification_to_gmm
+from repro.schemes.gm import GaussianMixtureScheme
+from repro.schemes.histogram import HistogramScheme
+
+__all__ = [
+    "AblationRow",
+    "run_topology_ablation",
+    "run_gossip_variant_ablation",
+    "run_k_ablation",
+    "run_quantum_ablation",
+    "run_scheme_ablation",
+    "run_centralized_gap",
+    "weighted_assignment_accuracy",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration's outcome: a label plus named measurements."""
+
+    label: str
+    metrics: dict[str, float]
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+
+def _two_cluster_values(n: int, seed: int, separation: float = 8.0) -> tuple[np.ndarray, np.ndarray]:
+    """Balanced 2-cluster R^2 data with ground-truth labels."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    a = rng.normal([0.0, 0.0], 0.6, size=(half, 2))
+    b = rng.normal([separation, separation], 0.6, size=(n - half, 2))
+    values = np.vstack([a, b])
+    labels = np.concatenate([np.zeros(half, dtype=int), np.ones(n - half, dtype=int)])
+    return values, labels
+
+
+def weighted_assignment_accuracy(
+    nodes: Sequence[ClassifierNode],
+    labels: np.ndarray,
+) -> float:
+    """Fraction of value weight assigned to the "right" collection.
+
+    Thin alias for :func:`repro.analysis.assignment.mean_node_accuracy`:
+    collections are matched one-to-one to ground-truth classes via
+    provenance-weighted Hungarian assignment, and weight landing anywhere
+    else counts as incorrect (penalising over-fragmentation).
+    """
+    from repro.analysis.assignment import mean_node_accuracy
+
+    return mean_node_accuracy(nodes, labels)
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+def run_topology_ablation(scale: Scale = PAPER, seed: int = 11) -> list[AblationRow]:
+    """Rounds-to-convergence of the GM algorithm across topology shapes.
+
+    Sparse topologies mix at random-walk speed (rounds grow roughly with
+    the square of the diameter), so the network is capped at 36 nodes to
+    keep the sweep bounded; the comparison is *between topologies at
+    equal n*.
+    """
+    n = min(scale.n_nodes, 36)
+    grid_side = int(np.sqrt(n))
+    graphs = {
+        "complete": topology.complete(n),
+        "ring": topology.ring(n),
+        "grid": topology.grid(grid_side, (n + grid_side - 1) // grid_side),
+        "geometric": topology.random_geometric(n, seed=seed),
+        "small_world": topology.watts_strogatz(n, k=4, rewire=0.2, seed=seed),
+    }
+    values, _ = _two_cluster_values(n, seed)
+    rows = []
+    for name, graph in graphs.items():
+        graph_n = graph.number_of_nodes()
+        graph_values = values[:graph_n]
+        scheme = GaussianMixtureScheme(seed=seed)
+        run_scale = scale.with_overrides(
+            n_nodes=graph_n, max_rounds=max(scale.max_rounds, 60 * graph_n)
+        )
+        engine, nodes, rounds = run_until_convergence(
+            graph_values, scheme, k=2, scale=run_scale, seed=seed, graph=graph
+        )
+        rows.append(
+            AblationRow(
+                label=name,
+                metrics={
+                    "n": float(graph_n),
+                    "rounds": float(rounds),
+                    "messages": float(engine.metrics.messages_sent),
+                    "disagreement": disagreement(nodes, scheme),
+                },
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Gossip variant
+# ----------------------------------------------------------------------
+def run_gossip_variant_ablation(scale: Scale = PAPER, seed: int = 12) -> list[AblationRow]:
+    """push vs pull vs push-pull on the complete graph."""
+    n = min(scale.n_nodes, 200)
+    values, _ = _two_cluster_values(n, seed)
+    rows = []
+    for variant in ("push", "pull", "pushpull"):
+        scheme = GaussianMixtureScheme(seed=seed)
+        run_scale = scale.with_overrides(n_nodes=n)
+        engine, nodes, rounds = run_until_convergence(
+            values, scheme, k=2, scale=run_scale, seed=seed,
+            graph=topology.complete(n), variant=variant,
+        )
+        rows.append(
+            AblationRow(
+                label=variant,
+                metrics={
+                    "rounds": float(rounds),
+                    "messages": float(engine.metrics.messages_sent),
+                    "disagreement": disagreement(nodes, scheme),
+                },
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# k bound
+# ----------------------------------------------------------------------
+def run_k_ablation(
+    scale: Scale = PAPER, seed: int = 13, ks: Sequence[int] = (3, 5, 7, 10)
+) -> list[AblationRow]:
+    """Compression bound k versus fence-fire estimate quality."""
+    n = min(scale.n_nodes, 300)
+    values, _ = fence_fire_values(n, seed=seed)
+    source = fence_fire_mixture()
+    rows = []
+    for k in ks:
+        scheme = GaussianMixtureScheme(seed=seed)
+        run_scale = scale.with_overrides(n_nodes=n)
+        _, nodes, rounds = run_until_convergence(
+            values, scheme, k=k, scale=run_scale, seed=seed
+        )
+        recovered = classification_to_gmm(nodes[0].classification)
+        rows.append(
+            AblationRow(
+                label=f"k={k}",
+                metrics={
+                    "k": float(k),
+                    "rounds": float(rounds),
+                    "collections": float(recovered.n_components),
+                    "loglik_per_value": recovered.log_likelihood(values) / n,
+                    "loglik_source": source.log_likelihood(values) / n,
+                },
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Quantum q
+# ----------------------------------------------------------------------
+def run_quantum_ablation(
+    scale: Scale = PAPER,
+    seed: int = 14,
+    quanta: Sequence[int] = (4, 16, 256, 1 << 20),
+) -> list[AblationRow]:
+    """Weight-lattice resolution versus weight fidelity.
+
+    With a coarse lattice (quanta_per_unit small, i.e. q large) the split
+    rule rounds aggressively and relative weights wander; the paper's
+    assumption ``q << 1/n`` corresponds to the finest setting.
+    """
+    n = min(scale.n_nodes, 128)
+    values, _ = _two_cluster_values(n, seed)
+    true_balance = 0.5
+    rows = []
+    for quanta_per_unit in quanta:
+        scheme = GaussianMixtureScheme(seed=seed)
+        from repro.protocols.classification import build_classification_network
+
+        engine, nodes = build_classification_network(
+            values,
+            scheme,
+            k=2,
+            graph=topology.complete(n),
+            seed=seed,
+            quantization=Quantization(quanta_per_unit),
+        )
+        engine.run(scale.max_rounds)
+        balance_errors = []
+        for node in nodes:
+            relative = node.classification.relative_weights()
+            heaviest = float(np.max(relative))
+            balance_errors.append(abs(heaviest - true_balance))
+        rows.append(
+            AblationRow(
+                label=f"1/q={quanta_per_unit}",
+                metrics={
+                    "quanta_per_unit": float(quanta_per_unit),
+                    "avg_balance_error": float(np.mean(balance_errors)),
+                    "total_quanta_conserved": float(
+                        sum(node.total_quanta for node in nodes)
+                        == n * quanta_per_unit
+                    ),
+                },
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Scheme comparison
+# ----------------------------------------------------------------------
+def run_scheme_ablation(scale: Scale = PAPER, seed: int = 15) -> list[AblationRow]:
+    """Centroids vs Gaussians vs histograms on anisotropic 1-D data.
+
+    Figure 1's situation at network scale: a tight cluster at 0
+    (sigma 0.3) and a wide one at 4 (sigma 2.0).  The optimal boundary
+    sits near the tight cluster; the centroid rule puts it at the
+    midpoint, swallowing part of the wide cluster's near tail.  Accuracy
+    is measured as correctly-assigned value weight via provenance.
+    """
+    n = min(scale.n_nodes, 200)
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    tight = rng.normal(0.0, 0.3, size=half)
+    wide = rng.normal(4.0, 2.0, size=n - half)
+    values = np.concatenate([tight, wide])[:, None]
+    labels = np.concatenate([np.zeros(half, dtype=int), np.ones(n - half, dtype=int)])
+
+    schemes: list[tuple[str, SummaryScheme]] = [
+        ("centroid", CentroidScheme()),
+        ("gaussian_mixture", GaussianMixtureScheme(seed=seed)),
+        ("histogram", HistogramScheme(low=-4.0, high=12.0, bins=48)),
+    ]
+    rows = []
+    for name, scheme in schemes:
+        run_scale = scale.with_overrides(n_nodes=n)
+        _, nodes, rounds = run_until_convergence(
+            values, scheme, k=2, scale=run_scale, seed=seed, track_aux=True
+        )
+        accuracy = weighted_assignment_accuracy(nodes, labels)
+        rows.append(
+            AblationRow(
+                label=name,
+                metrics={
+                    "rounds": float(rounds),
+                    "weight_accuracy": accuracy,
+                },
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Centralised gap
+# ----------------------------------------------------------------------
+def run_centralized_gap(scale: Scale = PAPER, seed: int = 16) -> list[AblationRow]:
+    """Distributed GM versus centralised EM and k-means on the same data."""
+    n = min(scale.n_nodes, 400)
+    values, _ = fence_fire_values(n, seed=seed)
+    k = 3
+    rng = np.random.default_rng(seed)
+
+    run_scale = scale.with_overrides(n_nodes=n)
+    _, nodes, rounds = run_until_convergence(
+        values, GaussianMixtureScheme(seed=seed), k=7, scale=run_scale, seed=seed
+    )
+    distributed = classification_to_gmm(nodes[0].classification)
+
+    centralized_em = fit_gmm_em(values, k, rng).model
+
+    clustering = weighted_kmeans(values, k, rng)
+    km_weights = np.array(
+        [np.sum(clustering.labels == j) for j in range(k)], dtype=float
+    )
+    km_covs = np.stack(
+        [
+            regularize_covariance(
+                np.cov(values[clustering.labels == j].T)
+                if np.sum(clustering.labels == j) > 1
+                else np.eye(values.shape[1])
+            )
+            for j in range(k)
+        ]
+    )
+    centralized_km = GaussianMixtureModel(km_weights, clustering.centroids, km_covs)
+
+    return [
+        AblationRow(
+            "distributed_gm",
+            {"loglik_per_value": distributed.log_likelihood(values) / n, "rounds": float(rounds)},
+        ),
+        AblationRow(
+            "centralized_em",
+            {"loglik_per_value": centralized_em.log_likelihood(values) / n, "rounds": 0.0},
+        ),
+        AblationRow(
+            "centralized_kmeans",
+            {"loglik_per_value": centralized_km.log_likelihood(values) / n, "rounds": 0.0},
+        ),
+    ]

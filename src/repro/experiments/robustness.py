@@ -1,0 +1,157 @@
+"""Robustness extensions beyond Figure 3/4's single axis.
+
+The paper's companion report [8] ("Distributed clustering for robust
+aggregation in large networks", HotDep 2009) analyses the robust-average
+application along further axes; these experiments rebuild the two most
+informative ones, plus a stress test the paper only implies:
+
+- :func:`run_outlier_fraction_sweep` — Figure 3 fixes 5% outliers and
+  sweeps their distance; here the distance is fixed (well-separated,
+  delta = 10) and the *contamination level* sweeps from 1% to 30%.  The
+  breakdown point of the heaviest-collection read-out is 50%; the robust
+  error should stay near the noise floor until contamination approaches
+  it, while the regular error grows linearly (slope ~ delta).
+- :func:`run_crash_rate_sweep` — Figure 4 fixes 5% crashes per round;
+  here the per-round crash probability sweeps upward, measuring how hard
+  the network can be killed before the surviving estimate degrades.
+- :func:`run_k_mismatch` — the robust application sets k = 2 hoping for
+  one good and one outlier collection; what happens with k = 3, 4, 5?
+  (More collections fragment the good mass; the heaviest-collection mean
+  remains accurate, which is the claim under test.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.accuracy import average_error
+from repro.analysis.outliers import robust_mean
+from repro.data.generators import outlier_scenario
+from repro.experiments.ablations import AblationRow
+from repro.experiments.common import Scale, PAPER
+from repro.network.failures import BernoulliCrashes
+from repro.network.topology import complete
+from repro.protocols.classification import build_classification_network
+from repro.protocols.push_sum import build_push_sum_network
+from repro.schemes.gm import GaussianMixtureScheme
+
+__all__ = [
+    "run_outlier_fraction_sweep",
+    "run_crash_rate_sweep",
+    "run_k_mismatch",
+]
+
+
+def _run_robust(scenario, k, rounds, seed, failure_model=None):
+    """Robust (GM, k collections) error, averaged over live nodes."""
+    engine, nodes = build_classification_network(
+        scenario.values,
+        GaussianMixtureScheme(seed=seed),
+        k=k,
+        graph=complete(scenario.n),
+        seed=seed,
+        failure_model=failure_model,
+    )
+    engine.run(rounds)
+    live = [nodes[node_id] for node_id in engine.live_nodes]
+    error = average_error(
+        (robust_mean(node.classification) for node in live), scenario.true_mean
+    )
+    return error, engine
+
+
+def _run_regular(scenario, rounds, seed, failure_model=None):
+    """Push-sum error under identical conditions."""
+    engine, nodes = build_push_sum_network(
+        scenario.values, complete(scenario.n), seed=seed, failure_model=failure_model
+    )
+    engine.run(rounds)
+    return average_error(
+        (nodes[node_id].estimate for node_id in engine.live_nodes), scenario.true_mean
+    )
+
+
+def run_outlier_fraction_sweep(
+    scale: Scale = PAPER,
+    seed: int = 31,
+    fractions: Sequence[float] = (0.01, 0.05, 0.10, 0.20, 0.30),
+    delta: float = 10.0,
+) -> list[AblationRow]:
+    """Robust vs regular error as the contamination level grows."""
+    rows = []
+    rounds = min(scale.max_rounds, 40)
+    for fraction in fractions:
+        n_outliers = max(1, round(scale.n_nodes * fraction))
+        scenario = outlier_scenario(
+            delta, n_good=scale.n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
+        )
+        robust, _ = _run_robust(scenario, k=2, rounds=rounds, seed=seed)
+        regular = _run_regular(scenario, rounds=rounds, seed=seed)
+        rows.append(
+            AblationRow(
+                label=f"{fraction:.0%}",
+                metrics={
+                    "outlier_fraction": fraction,
+                    "robust_error": robust,
+                    "regular_error": regular,
+                },
+            )
+        )
+    return rows
+
+
+def run_crash_rate_sweep(
+    scale: Scale = PAPER,
+    seed: int = 32,
+    rates: Sequence[float] = (0.0, 0.02, 0.05, 0.10, 0.20),
+    delta: float = 10.0,
+    rounds: int = 40,
+) -> list[AblationRow]:
+    """Surviving-node estimate quality as the crash rate grows."""
+    n_outliers = max(1, round(scale.n_nodes * 0.05))
+    scenario = outlier_scenario(
+        delta, n_good=scale.n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
+    )
+    rows = []
+    for rate in rates:
+        failure_model = BernoulliCrashes(rate, min_survivors=4) if rate > 0 else None
+        robust, engine = _run_robust(
+            scenario, k=2, rounds=rounds, seed=seed, failure_model=failure_model
+        )
+        rows.append(
+            AblationRow(
+                label=f"p={rate:.2f}",
+                metrics={
+                    "crash_rate": rate,
+                    "robust_error": robust,
+                    "survivors": float(len(engine.live_nodes)),
+                },
+            )
+        )
+    return rows
+
+
+def run_k_mismatch(
+    scale: Scale = PAPER,
+    seed: int = 33,
+    ks: Sequence[int] = (2, 3, 4, 5),
+    delta: float = 10.0,
+) -> list[AblationRow]:
+    """Robust averaging with more collections than the two it hopes for."""
+    n_outliers = max(1, round(scale.n_nodes * 0.05))
+    scenario = outlier_scenario(
+        delta, n_good=scale.n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
+    )
+    rounds = min(scale.max_rounds, 40)
+    rows = []
+    for k in ks:
+        robust, _ = _run_robust(scenario, k=k, rounds=rounds, seed=seed)
+        rows.append(
+            AblationRow(
+                label=f"k={k}",
+                metrics={"k": float(k), "robust_error": robust},
+            )
+        )
+    return rows

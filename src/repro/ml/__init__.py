@@ -1,0 +1,38 @@
+"""Machine-learning substrate: Gaussians, mixtures, k-means, EM, reduction.
+
+Everything in this package is centralised, deterministic-given-a-seed
+numerical code with no knowledge of nodes or networks.  The distributed
+layers (:mod:`repro.schemes`, :mod:`repro.protocols`) compose these
+primitives; the benchmarks also use them directly as the centralised
+comparators the paper measures against.
+"""
+
+from repro.ml.em import EMResult, fit_gmm_em
+from repro.ml.gaussian import (
+    density,
+    expected_log_density,
+    kl_divergence,
+    log_density,
+    pool_moments,
+    sample,
+)
+from repro.ml.gmm import GaussianMixtureModel
+from repro.ml.kmeans import KMeansResult, kmeans_plus_plus_init, weighted_kmeans
+from repro.ml.reduction import ReductionResult, reduce_mixture
+
+__all__ = [
+    "EMResult",
+    "GaussianMixtureModel",
+    "KMeansResult",
+    "ReductionResult",
+    "density",
+    "expected_log_density",
+    "fit_gmm_em",
+    "kl_divergence",
+    "kmeans_plus_plus_init",
+    "log_density",
+    "pool_moments",
+    "reduce_mixture",
+    "sample",
+    "weighted_kmeans",
+]

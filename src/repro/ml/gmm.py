@@ -1,0 +1,135 @@
+"""Gaussian Mixture Models: density, responsibilities, sampling.
+
+A Gaussian Mixture (GM) is a weighted set of normal distributions — the
+summary representation at the heart of the paper's Section 5 algorithm.
+This class is shared by the data generators (sampling synthetic sensor
+readings), the centralised EM baseline (the fitted model), and the
+analysis code (scoring how well a distributed run recovered the source
+mixture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.ml import gaussian as mvn
+
+__all__ = ["GaussianMixtureModel"]
+
+
+@dataclass
+class GaussianMixtureModel:
+    """An immutable mixture of ``k`` weighted multivariate normals.
+
+    Attributes
+    ----------
+    weights:
+        Mixing proportions, shape ``(k,)``; normalised at construction.
+    means:
+        Component means, shape ``(k, d)``.
+    covs:
+        Component covariances, shape ``(k, d, d)``.
+    """
+
+    weights: np.ndarray
+    means: np.ndarray
+    covs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=float)
+        self.means = np.atleast_2d(np.asarray(self.means, dtype=float))
+        self.covs = np.asarray(self.covs, dtype=float)
+        if self.covs.ndim == 2:
+            self.covs = self.covs[None, :, :]
+        k = self.weights.shape[0]
+        if self.means.shape[0] != k or self.covs.shape[0] != k:
+            raise ValueError(
+                f"component count mismatch: weights {k}, means {self.means.shape[0]}, "
+                f"covs {self.covs.shape[0]}"
+            )
+        if np.any(self.weights < 0) or self.weights.sum() <= 0:
+            raise ValueError("mixture weights must be non-negative with positive sum")
+        self.weights = self.weights / self.weights.sum()
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_components(self) -> int:
+        return int(self.weights.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        return int(self.means.shape[1])
+
+    # ------------------------------------------------------------------
+    # Densities
+    # ------------------------------------------------------------------
+    def component_log_densities(self, points: np.ndarray) -> np.ndarray:
+        """Matrix of per-component log densities, shape ``(n_points, k)``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        columns = [
+            mvn.log_density(points, self.means[j], self.covs[j])
+            for j in range(self.n_components)
+        ]
+        return np.stack(columns, axis=1)
+
+    def log_density(self, points: np.ndarray) -> np.ndarray:
+        """Mixture log-density at each point."""
+        log_components = self.component_log_densities(points)
+        return logsumexp(log_components + np.log(self.weights), axis=1)
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        return np.exp(self.log_density(points))
+
+    def log_likelihood(self, points: np.ndarray, weights: np.ndarray | None = None) -> float:
+        """Total (optionally weighted) log-likelihood of a data set."""
+        log_density = self.log_density(points)
+        if weights is None:
+            return float(np.sum(log_density))
+        return float(np.sum(np.asarray(weights, dtype=float) * log_density))
+
+    def responsibilities(self, points: np.ndarray) -> np.ndarray:
+        """Posterior component memberships, shape ``(n_points, k)``; rows sum to 1."""
+        log_components = self.component_log_densities(points) + np.log(self.weights)
+        log_norm = logsumexp(log_components, axis=1, keepdims=True)
+        return np.exp(log_components - log_norm)
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        """Hard component assignment (argmax responsibility) per point."""
+        return np.argmax(self.responsibilities(points), axis=1)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``size`` points; returns ``(points, component_labels)``."""
+        labels = rng.choice(self.n_components, size=size, p=self.weights)
+        points = np.empty((size, self.dimension))
+        for j in range(self.n_components):
+            mask = labels == j
+            count = int(mask.sum())
+            if count:
+                points[mask] = mvn.sample(rng, self.means[j], self.covs[j], count)
+        return points, labels
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_components(
+        cls,
+        components: Sequence[tuple[float, np.ndarray, np.ndarray]],
+    ) -> "GaussianMixtureModel":
+        """Build from an iterable of ``(weight, mean, cov)`` triples."""
+        weights, means, covs = zip(*components)
+        return cls(np.array(weights), np.array(means), np.array(covs))
+
+    def sorted_by_weight(self) -> "GaussianMixtureModel":
+        """Components reordered heaviest-first (canonical form for reports)."""
+        order = np.argsort(-self.weights)
+        return GaussianMixtureModel(self.weights[order], self.means[order], self.covs[order])

@@ -1,0 +1,136 @@
+"""Weighted k-means (Lloyd's algorithm) with k-means++ seeding.
+
+Two roles in this repository:
+
+1. the *centralised comparator* for the distributed centroids
+   instantiation (Algorithm 2 is explicitly "like the famous k-means"), and
+2. the initialiser for centralised EM and for the mixture-reduction EM
+   when no better seeds are available.
+
+Fully weighted: every point carries a non-negative weight, because the
+distributed algorithm's collections are weighted and the comparators must
+consume the same inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans_plus_plus_init", "weighted_kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a weighted k-means run."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def kmeans_plus_plus_init(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D^2.
+
+    Weighted variant: both the first draw and the D^2 draws are scaled by
+    point weights, so heavy points are proportionally likelier seeds.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = points.shape[0]
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if k > n:
+        raise ValueError(f"cannot seed {k} centroids from {n} points")
+    if weights is None:
+        weights = np.ones(n)
+    weights = np.asarray(weights, dtype=float)
+    probabilities = weights / weights.sum()
+    centroids = np.empty((k, points.shape[1]))
+    first = rng.choice(n, p=probabilities)
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for j in range(1, k):
+        scores = weights * closest_sq
+        total = scores.sum()
+        if total <= 0:
+            # All remaining points coincide with existing centroids; any
+            # choice is equivalent.
+            index = rng.choice(n, p=probabilities)
+        else:
+            index = rng.choice(n, p=scores / total)
+        centroids[j] = points[index]
+        closest_sq = np.minimum(closest_sq, np.sum((points - centroids[j]) ** 2, axis=1))
+    return centroids
+
+
+def weighted_kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    weights: np.ndarray | None = None,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """Lloyd's algorithm on weighted points.
+
+    Empty clusters are reseeded at the point farthest (weighted) from its
+    centroid, the standard repair that keeps exactly ``k`` clusters alive.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = points.shape[0]
+    if weights is None:
+        weights = np.ones(n)
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape[0] != n:
+        raise ValueError("weights must align with points")
+    if initial_centroids is None:
+        centroids = kmeans_plus_plus_init(points, k, rng, weights)
+    else:
+        centroids = np.array(initial_centroids, dtype=float)
+        if centroids.shape[0] != k:
+            raise ValueError("initial_centroids must have k rows")
+
+    labels = np.zeros(n, dtype=int)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances_sq = np.sum(
+            (points[:, None, :] - centroids[None, :, :]) ** 2, axis=2
+        )
+        labels = np.argmin(distances_sq, axis=1)
+        new_centroids = np.empty_like(centroids)
+        for j in range(k):
+            mask = labels == j
+            mass = weights[mask].sum()
+            if mass > 0:
+                new_centroids[j] = (
+                    weights[mask, None] * points[mask]
+                ).sum(axis=0) / mass
+            else:
+                farthest = int(np.argmax(weights * distances_sq[np.arange(n), labels]))
+                new_centroids[j] = points[farthest]
+        shift = float(np.max(np.linalg.norm(new_centroids - centroids, axis=1)))
+        centroids = new_centroids
+        if shift <= tolerance:
+            converged = True
+            break
+
+    distances_sq = np.sum((points[:, None, :] - centroids[None, :, :]) ** 2, axis=2)
+    labels = np.argmin(distances_sq, axis=1)
+    inertia = float(np.sum(weights * distances_sq[np.arange(n), labels]))
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=inertia,
+        iterations=iteration,
+        converged=converged,
+    )

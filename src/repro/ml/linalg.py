@@ -1,0 +1,81 @@
+"""Numerically careful covariance-matrix utilities.
+
+The GM instantiation constantly manipulates covariance matrices that sit at
+the edge of validity: singleton collections have *exactly zero* covariance
+(Section 5.1's ``valToSummary`` returns a zero matrix), and merged
+collections of nearly collinear values are close to singular.  Every
+routine here therefore works in terms of symmetrised matrices and uses a
+relative ridge when a factorisation is required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+__all__ = [
+    "symmetrize",
+    "regularize_covariance",
+    "cholesky_with_ridge",
+    "log_det_and_solve",
+    "mahalanobis_squared",
+]
+
+#: Relative ridge applied when a covariance must be inverted/factorised.
+DEFAULT_RIDGE = 1e-9
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Average a matrix with its transpose, removing float asymmetry."""
+    matrix = np.asarray(matrix, dtype=float)
+    return (matrix + matrix.T) / 2.0
+
+
+def regularize_covariance(cov: np.ndarray, ridge: float = DEFAULT_RIDGE) -> np.ndarray:
+    """Return a strictly positive-definite version of ``cov``.
+
+    Adds a ridge proportional to the average variance (or an absolute
+    floor for the all-zero matrix), so zero-covariance singletons become
+    tiny spheres rather than degenerate points.
+    """
+    cov = symmetrize(cov)
+    d = cov.shape[0]
+    scale = float(np.trace(cov)) / d
+    floor = max(scale * ridge, ridge)
+    return cov + floor * np.eye(d)
+
+
+def cholesky_with_ridge(cov: np.ndarray, ridge: float = DEFAULT_RIDGE) -> np.ndarray:
+    """Lower Cholesky factor, escalating the ridge until factorisation succeeds."""
+    cov = symmetrize(cov)
+    d = cov.shape[0]
+    scale = max(float(np.trace(cov)) / d, 1.0)
+    attempt = max(ridge * scale, ridge)
+    for _ in range(12):
+        try:
+            return sla.cholesky(cov + attempt * np.eye(d), lower=True)
+        except sla.LinAlgError:
+            attempt *= 10.0
+    raise sla.LinAlgError("covariance could not be regularised to positive definite")
+
+
+def log_det_and_solve(cov: np.ndarray, rhs: np.ndarray, ridge: float = DEFAULT_RIDGE) -> tuple[float, np.ndarray]:
+    """Return ``(log det cov, cov^{-1} rhs)`` through one Cholesky factorisation."""
+    lower = cholesky_with_ridge(cov, ridge)
+    log_det = 2.0 * float(np.sum(np.log(np.diag(lower))))
+    solution = sla.cho_solve((lower, True), rhs)
+    return log_det, solution
+
+
+def mahalanobis_squared(
+    points: np.ndarray,
+    mean: np.ndarray,
+    cov: np.ndarray,
+    ridge: float = DEFAULT_RIDGE,
+) -> np.ndarray:
+    """Squared Mahalanobis distance of each row of ``points`` from ``mean``."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    centered = points - np.asarray(mean, dtype=float)
+    lower = cholesky_with_ridge(cov, ridge)
+    solved = sla.solve_triangular(lower, centered.T, lower=True)
+    return np.sum(solved**2, axis=0)

@@ -1,0 +1,226 @@
+"""Mixture reduction: grouping an l-GM into a k-GM via Expectation Maximization.
+
+Section 5.2 of the paper: when a node accumulates more than ``k``
+collections, it must merge some of them.  The ideal grouping maximises the
+likelihood of the ``l``-component mixture under the best ``k``-component
+mixture, which is NP-hard, so — "following common practice" — the paper
+approximates it with EM.  Here the *data points* of the EM are themselves
+weighted Gaussians (the collections), so the E-step scores a candidate
+group by the **expected** log-density of an inner Gaussian under the
+group's moment-matched outer Gaussian (see
+:func:`repro.ml.gaussian.expected_log_density`), and the M-step is the
+closed-form moment match of :func:`repro.ml.gaussian.pool_moments`.
+
+Assignments are *hard* because the generic algorithm's ``partition`` must
+return a partition — a collection is merged wholly into one group, never
+fractionally shared (sharing happens upstream, through weight splitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.gaussian import pool_moments
+from repro.ml.gmm import GaussianMixtureModel
+from repro.ml.linalg import regularize_covariance
+
+__all__ = ["ReductionResult", "reduce_mixture"]
+
+#: Ridge applied to group covariances when *scoring* only; the reported
+#: moment-matched covariances are exact.
+_SCORING_RIDGE = 1e-6
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """Outcome of an l-GM -> k-GM reduction."""
+
+    groups: tuple[tuple[int, ...], ...]
+    model: GaussianMixtureModel
+    score: float
+    iterations: int
+    converged: bool
+
+
+def _group_moments(
+    groups: list[list[int]],
+    weights: np.ndarray,
+    means: np.ndarray,
+    covs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Moment-match each group; returns (group_weights, group_means, group_covs)."""
+    d = means.shape[1]
+    group_weights = np.empty(len(groups))
+    group_means = np.empty((len(groups), d))
+    group_covs = np.empty((len(groups), d, d))
+    for j, group in enumerate(groups):
+        idx = np.asarray(group, dtype=int)
+        group_weights[j] = weights[idx].sum()
+        group_means[j], group_covs[j] = pool_moments(weights[idx], means[idx], covs[idx])
+    return group_weights, group_means, group_covs
+
+
+def _score_matrix(
+    weights: np.ndarray,
+    means: np.ndarray,
+    covs: np.ndarray,
+    group_weights: np.ndarray,
+    group_means: np.ndarray,
+    group_covs: np.ndarray,
+) -> np.ndarray:
+    """Expected complete-data log-likelihood of component i under group j.
+
+    Vectorised form of :func:`repro.ml.gaussian.expected_log_density`
+    over all components per group: for group covariance ``S`` and
+    component ``(mu_i, C_i)``::
+
+        log pi_j - 1/2 (d log 2pi + log|S| + tr(S^-1 C_i) + (mu_i-m_j)^T S^-1 (mu_i-m_j))
+    """
+    l, d = means.shape
+    k = group_means.shape[0]
+    log_pi = np.log(group_weights / group_weights.sum())
+    scores = np.empty((l, k))
+    log_2pi = np.log(2.0 * np.pi)
+    for j in range(k):
+        cov = regularize_covariance(group_covs[j], _SCORING_RIDGE)
+        sign, log_det = np.linalg.slogdet(cov)
+        if sign <= 0:  # pragma: no cover - regularisation prevents this
+            raise np.linalg.LinAlgError("group covariance not positive definite")
+        inverse = np.linalg.inv(cov)
+        diffs = means - group_means[j]
+        quad = np.einsum("ia,ab,ib->i", diffs, inverse, diffs)
+        traces = np.einsum("ab,iba->i", inverse, covs)
+        scores[:, j] = log_pi[j] - 0.5 * (d * log_2pi + log_det + traces + quad)
+    return scores
+
+
+def _maximin_seeds(weights: np.ndarray, means: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic seed selection: heaviest first, then farthest-point.
+
+    The classic 2-approximation for k-centers: each subsequent seed is
+    the component farthest (in mean distance) from all chosen seeds.
+    Deterministic by construction — ties resolve to the lowest index.
+    """
+    first = int(np.argmax(weights))
+    chosen = [first]
+    closest_sq = np.sum((means - means[first]) ** 2, axis=1)
+    for _ in range(1, k):
+        candidate = int(np.argmax(closest_sq))
+        if closest_sq[candidate] <= 0.0:
+            break  # all remaining components coincide with a seed
+        chosen.append(candidate)
+        closest_sq = np.minimum(
+            closest_sq, np.sum((means - means[candidate]) ** 2, axis=1)
+        )
+    return means[chosen]
+
+
+def reduce_mixture(
+    weights: np.ndarray,
+    means: np.ndarray,
+    covs: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 50,
+) -> ReductionResult:
+    """Group ``l`` weighted Gaussians into at most ``k`` groups by hard EM.
+
+    Parameters
+    ----------
+    weights, means, covs:
+        The input components: shapes ``(l,)``, ``(l, d)``, ``(l, d, d)``.
+    k:
+        Maximum number of output groups.
+    rng:
+        Accepted for API stability; the reduction is fully deterministic
+        (maximin seeding), so the generator is not consulted.
+    max_iterations:
+        Hard cap on EM iterations; hard-assignment EM either cycles or
+        reaches a fixed point, and the fixed point is detected exactly.
+
+    Returns
+    -------
+    ReductionResult
+        ``groups`` partitions ``range(l)``; ``model`` is the
+        moment-matched reduced mixture; ``score`` is the summed
+        weight-scaled expected log-likelihood the assignment achieves.
+    """
+    weights = np.asarray(weights, dtype=float)
+    means = np.atleast_2d(np.asarray(means, dtype=float))
+    covs = np.asarray(covs, dtype=float)
+    if covs.ndim == 2:
+        covs = covs[None, :, :]
+    l = weights.shape[0]
+    if means.shape[0] != l or covs.shape[0] != l:
+        raise ValueError("weights, means and covs must align")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+    if l <= k:
+        groups = [[i] for i in range(l)]
+        group_weights, group_means, group_covs = _group_moments(groups, weights, means, covs)
+        model = GaussianMixtureModel(group_weights, group_means, group_covs)
+        return ReductionResult(
+            groups=tuple(tuple(group) for group in groups),
+            model=model,
+            score=0.0,
+            iterations=0,
+            converged=True,
+        )
+
+    # Seed group centres deterministically: the heaviest component first,
+    # then greedy farthest-point (maximin) selection.  Unlike randomised
+    # k-means++ this *always* covers well-separated clusters, so a node
+    # can never draw an unlucky seeding that merges a distant outlier
+    # cluster into the bulk — an irreversible mistake under the
+    # algorithm's lossy compression (merged collections never separate).
+    seeds = _maximin_seeds(weights, means, k)
+    distances_sq = np.sum((means[:, None, :] - seeds[None, :, :]) ** 2, axis=2)
+    assignment = np.argmin(distances_sq, axis=1)
+
+    converged = False
+    iteration = 0
+    score = 0.0
+    for iteration in range(1, max_iterations + 1):
+        groups = [[int(i) for i in np.where(assignment == j)[0]] for j in range(k)]
+        occupied = [group for group in groups if group]
+        group_weights, group_means, group_covs = _group_moments(
+            occupied, weights, means, covs
+        )
+        scores = _score_matrix(
+            weights, means, covs, group_weights, group_means, group_covs
+        )
+        new_assignment = np.argmax(scores, axis=1)
+        best = scores[np.arange(l), new_assignment]
+        score = float(np.sum(weights * best))
+
+        # Repair empty groups (possible when k seeds collapse): move the
+        # worst-explained component into its own group.
+        used = set(new_assignment.tolist())
+        free = [j for j in range(len(occupied)) if j not in used]
+        if free:
+            order = np.argsort(best)  # worst fit first
+            for j, i in zip(free, order):
+                new_assignment[int(i)] = j
+
+        if np.array_equal(new_assignment, assignment):
+            converged = True
+            break
+        assignment = new_assignment
+
+    groups = [
+        [int(i) for i in np.where(assignment == j)[0]]
+        for j in range(int(assignment.max()) + 1)
+    ]
+    groups = [group for group in groups if group]
+    group_weights, group_means, group_covs = _group_moments(groups, weights, means, covs)
+    model = GaussianMixtureModel(group_weights, group_means, group_covs)
+    return ReductionResult(
+        groups=tuple(tuple(group) for group in groups),
+        model=model,
+        score=score,
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,55 @@
+"""Network substrate: topologies, channels, engines, failures, metrics.
+
+The model is the paper's Section 3.1: ``n`` nodes on a static connected
+topology joined by reliable asynchronous channels.  Two engines drive
+protocols over it — :class:`~repro.network.rounds.RoundEngine` reproduces
+the paper's round-counted simulations, and
+:class:`~repro.network.asynchronous.AsyncEngine` realises the fully
+asynchronous executions of the convergence proof.
+"""
+
+from repro.network.asynchronous import AsyncEngine
+from repro.network.channel import Channel, InFlightMessage
+from repro.network.events import EventQueue
+from repro.network.failures import (
+    BernoulliCrashes,
+    FailureModel,
+    NoFailures,
+    ScheduledCrashes,
+)
+from repro.network.links import AlwaysUp, LinkSchedule, WindowedOutage, cut_edges
+from repro.network.metrics import NetworkMetrics
+from repro.network.rounds import GOSSIP_VARIANTS, RoundEngine
+from repro.network.trace import RoundRecord, RunTracer
+from repro.network.simulator import (
+    NeighborSelector,
+    Network,
+    RandomSelector,
+    RoundRobinSelector,
+)
+from repro.network import topology
+
+__all__ = [
+    "AlwaysUp",
+    "AsyncEngine",
+    "BernoulliCrashes",
+    "Channel",
+    "EventQueue",
+    "FailureModel",
+    "GOSSIP_VARIANTS",
+    "InFlightMessage",
+    "LinkSchedule",
+    "NeighborSelector",
+    "Network",
+    "NetworkMetrics",
+    "NoFailures",
+    "RandomSelector",
+    "RoundEngine",
+    "RoundRecord",
+    "RoundRobinSelector",
+    "RunTracer",
+    "ScheduledCrashes",
+    "WindowedOutage",
+    "cut_edges",
+    "topology",
+]

@@ -1,0 +1,174 @@
+"""Event-driven asynchronous engine: the convergence theorem's setting.
+
+Section 6 proves convergence under *arbitrary asynchrony*: nodes act on
+their own clocks and messages suffer arbitrary finite delays.  This engine
+realises that model as a discrete-event simulation: every node fires at
+exponentially distributed intervals (a Poisson clock); on firing it picks
+a neighbour — round-robin by default, giving the proof's deterministic
+fairness — and sends its split share over a reliable channel with a random
+delay; delivery events invoke the receiver's merge handler one message at
+a time.
+
+The engine exposes the in-flight payloads so tests can reconstruct the
+global pool of Section 6.1 (collections at nodes *plus* in channels) and
+check invariants like total-weight conservation and Lemma 2 monotonicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+import networkx as nx
+
+from repro.network.channel import Channel, InFlightMessage
+from repro.network.events import EventQueue
+from repro.network.simulator import NeighborSelector, Network, RoundRobinSelector
+from repro.protocols.base import GossipProtocol
+
+__all__ = ["AsyncEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Fire:
+    """Event: a node's periodic timer expires (Algorithm 1 lines 3-7)."""
+
+    node: int
+
+
+@dataclass(frozen=True, slots=True)
+class _Delivery:
+    """Event: a message arrives (Algorithm 1 lines 8-11)."""
+
+    channel: Channel
+    message: InFlightMessage
+
+
+class AsyncEngine(Network):
+    """Poisson-clock, random-delay asynchronous execution.
+
+    Parameters
+    ----------
+    graph, protocols, seed:
+        See :class:`~repro.network.simulator.Network`.
+    selector:
+        Defaults to round-robin, the deterministic fairness the proof
+        assumes.
+    mean_interval:
+        Mean of the exponential time between a node's sends.
+    delay_range:
+        Message latency is drawn uniformly from this interval; any finite
+        positive range satisfies the reliable-asynchronous model.
+    fifo:
+        Enforce per-channel FIFO delivery (not required by the algorithm;
+        useful for constructing deterministic orderings in tests).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        protocols: Mapping[int, GossipProtocol],
+        seed: int = 0,
+        selector: NeighborSelector | None = None,
+        mean_interval: float = 1.0,
+        delay_range: tuple[float, float] = (0.05, 2.0),
+        fifo: bool = False,
+    ) -> None:
+        super().__init__(
+            graph,
+            protocols,
+            seed=seed,
+            selector=selector if selector is not None else RoundRobinSelector(),
+        )
+        if mean_interval <= 0:
+            raise ValueError("mean_interval must be positive")
+        low, high = delay_range
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid delay range {delay_range}")
+        self.mean_interval = mean_interval
+        self.delay_range = delay_range
+        self.now = 0.0
+        self._events = EventQueue()
+        self._channels: dict[tuple[int, int], Channel] = {}
+        for u, v in self.graph.edges:
+            self._channels[(u, v)] = Channel(u, v, fifo=fifo)
+            self._channels[(v, u)] = Channel(v, u, fifo=fifo)
+        # Stagger initial timers uniformly so nodes do not fire in lockstep.
+        for node in self.live_nodes:
+            self._events.push(float(self.rng.uniform(0.0, mean_interval)), _Fire(node))
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._events:
+            return False
+        self.now, event = self._events.pop()
+        self.metrics.events += 1
+        if isinstance(event, _Fire):
+            self._handle_fire(event)
+        else:
+            self._handle_delivery(event)
+        return True
+
+    def _handle_fire(self, event: _Fire) -> None:
+        node = event.node
+        if not self.is_live(node):
+            return
+        neighbors = self.neighbors[node]
+        if neighbors:
+            peer = self.selector.choose(node, neighbors, self.rng)
+            payload = self.protocols[node].make_payload()
+            if payload is not None:
+                channel = self._channels[(node, peer)]
+                low, high = self.delay_range
+                deliver_at = self.now + float(self.rng.uniform(low, high))
+                message = channel.send(payload, self.now, deliver_at)
+                self._events.push(message.deliver_time, _Delivery(channel, message))
+                self.metrics.record_send(self.payload_size(payload))
+        next_fire = self.now + float(self.rng.exponential(self.mean_interval))
+        self._events.push(next_fire, _Fire(node))
+
+    def _handle_delivery(self, event: _Delivery) -> None:
+        payload = event.channel.deliver(event.message)
+        destination = event.channel.destination
+        if not self.is_live(destination):
+            self.metrics.record_drop()
+            return
+        self.metrics.record_delivery()
+        self.protocols[destination].receive_batch([payload])
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_until(self, time: float) -> None:
+        """Process all events with timestamps strictly below ``time``."""
+        while self._events and self._events.peek_time() < time:
+            self.step()
+        self.now = max(self.now, time)
+
+    def run_events(
+        self,
+        count: int,
+        stop_condition: Optional[Callable[["AsyncEngine"], bool]] = None,
+    ) -> int:
+        """Process up to ``count`` events; returns the number processed."""
+        executed = 0
+        for _ in range(count):
+            if not self.step():
+                break
+            executed += 1
+            if stop_condition is not None and stop_condition(self):
+                break
+        return executed
+
+    # ------------------------------------------------------------------
+    # Pool inspection (Section 6.1)
+    # ------------------------------------------------------------------
+    def in_flight_payloads(self) -> list[Any]:
+        """Payloads currently inside channels, for global-pool assertions."""
+        payloads = []
+        for channel in self._channels.values():
+            payloads.extend(message.payload for message in channel.in_flight)
+        return payloads

@@ -1,0 +1,82 @@
+"""Crash-failure injection.
+
+Section 5.3.2's robustness experiment crashes each node with probability
+0.05 after every round and shows the protocol's outlier removal is
+indifferent to it.  Crashes here are *fail-stop*: a crashed node stops
+sending and receiving forever, and the weight it held is simply lost from
+the system — the protocol's relative-weight semantics are what make the
+surviving estimate stay meaningful.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["FailureModel", "NoFailures", "BernoulliCrashes", "ScheduledCrashes"]
+
+
+class FailureModel(abc.ABC):
+    """Decides which live nodes crash at the end of each round."""
+
+    @abc.abstractmethod
+    def crashes_after_round(
+        self, round_index: int, live_nodes: Sequence[int], rng: np.random.Generator
+    ) -> list[int]:
+        """Return the node ids (a subset of ``live_nodes``) that crash now."""
+
+
+class NoFailures(FailureModel):
+    """The default: every node survives the whole run."""
+
+    def crashes_after_round(
+        self, round_index: int, live_nodes: Sequence[int], rng: np.random.Generator
+    ) -> list[int]:
+        return []
+
+
+class BernoulliCrashes(FailureModel):
+    """Each live node crashes independently with fixed probability per round.
+
+    This is the paper's Figure 4 model (probability 0.05).  Optionally
+    keeps a minimum number of survivors so a run cannot lose *all* data —
+    the paper's plots always have live nodes to average over.
+    """
+
+    def __init__(self, probability: float, min_survivors: int = 2) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"crash probability must be in [0, 1], got {probability}")
+        if min_survivors < 1:
+            raise ValueError("min_survivors must be at least 1")
+        self.probability = probability
+        self.min_survivors = min_survivors
+
+    def crashes_after_round(
+        self, round_index: int, live_nodes: Sequence[int], rng: np.random.Generator
+    ) -> list[int]:
+        if self.probability == 0.0:
+            return []
+        draws = rng.uniform(size=len(live_nodes))
+        crashed = [node for node, draw in zip(live_nodes, draws) if draw < self.probability]
+        max_crashes = max(0, len(live_nodes) - self.min_survivors)
+        return crashed[:max_crashes]
+
+
+class ScheduledCrashes(FailureModel):
+    """Deterministic crash plan: ``{round_index: [node ids]}``.
+
+    Used by tests that need exact, reproducible failure timing (e.g.
+    "crash the only holder of an outlier collection at round 3").
+    """
+
+    def __init__(self, plan: dict[int, Iterable[int]]) -> None:
+        self.plan = {round_index: list(nodes) for round_index, nodes in plan.items()}
+
+    def crashes_after_round(
+        self, round_index: int, live_nodes: Sequence[int], rng: np.random.Generator
+    ) -> list[int]:
+        scheduled = self.plan.get(round_index, [])
+        live = set(live_nodes)
+        return [node for node in scheduled if node in live]

@@ -1,0 +1,78 @@
+"""Temporary link outages: probing the static-connectivity assumption.
+
+The paper's model (Section 3.1) assumes a *static* connected topology,
+and the proof's fairness condition really only needs every link to carry
+messages infinitely often.  Real sensor networks lose links temporarily —
+interference, duty cycling, a truck parked in the Fresnel zone — so this
+module models link-level outages: while an edge is down, a node simply
+does not transmit on it (dead-peer detection holds the message back, and
+the weight stays put; the reliable-channel abstraction is not violated
+because nothing is sent).
+
+The interesting behaviour is *partition and heal*: while an outage cuts
+the network in two, each side converges to a classification of its own
+values; after healing, the sides reconcile.  The experiment in
+:mod:`repro.experiments.partitions` measures both phases.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import networkx as nx
+
+__all__ = ["LinkSchedule", "AlwaysUp", "WindowedOutage", "cut_edges"]
+
+
+def cut_edges(graph: nx.Graph, side_a: Iterable[int]) -> frozenset[tuple[int, int]]:
+    """The undirected edges crossing a node bipartition.
+
+    Convenience for building partition outages: downing exactly these
+    edges splits ``graph`` into ``side_a`` and its complement.
+    """
+    side = set(side_a)
+    edges = set()
+    for u, v in graph.edges:
+        if (u in side) != (v in side):
+            edges.add((min(u, v), max(u, v)))
+    return frozenset(edges)
+
+
+class LinkSchedule(abc.ABC):
+    """Decides which links are usable at a given round."""
+
+    @abc.abstractmethod
+    def is_up(self, round_index: int, source: int, destination: int) -> bool:
+        """True when the (undirected) link may carry a message this round."""
+
+
+class AlwaysUp(LinkSchedule):
+    """The default: the paper's static reliable links."""
+
+    def is_up(self, round_index: int, source: int, destination: int) -> bool:
+        return True
+
+
+class WindowedOutage(LinkSchedule):
+    """A set of edges is down during ``[start, end)`` rounds.
+
+    Parameters
+    ----------
+    edges:
+        Undirected edges, as (u, v) tuples in any order.
+    start, end:
+        The outage window, in round indices (half-open).
+    """
+
+    def __init__(self, edges: Iterable[tuple[int, int]], start: int, end: int) -> None:
+        if end < start:
+            raise ValueError("outage window must have end >= start")
+        self.edges = frozenset((min(u, v), max(u, v)) for u, v in edges)
+        self.start = start
+        self.end = end
+
+    def is_up(self, round_index: int, source: int, destination: int) -> bool:
+        if not self.start <= round_index < self.end:
+            return True
+        return (min(source, destination), max(source, destination)) not in self.edges

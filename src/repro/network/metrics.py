@@ -1,0 +1,52 @@
+"""Instrumentation counters for network engines.
+
+Purely observational: engines update these as a side effect and
+benchmarks/ tests read them.  Message complexity is one of the paper's
+selling points (message size depends on dataset parameters, never on
+``n``), and the counters make that measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkMetrics"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Counters accumulated over an engine's lifetime."""
+
+    rounds: int = 0
+    events: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    payload_items_sent: int = 0
+    crashes: int = 0
+    per_round_messages: list[int] = field(default_factory=list)
+
+    def record_send(self, payload_items: int = 1) -> None:
+        self.messages_sent += 1
+        self.payload_items_sent += payload_items
+
+    def record_delivery(self) -> None:
+        self.messages_delivered += 1
+
+    def record_drop(self) -> None:
+        self.messages_dropped += 1
+
+    def close_round(self, messages_this_round: int) -> None:
+        self.rounds += 1
+        self.per_round_messages.append(messages_this_round)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "events": self.events,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "payload_items_sent": self.payload_items_sent,
+            "crashes": self.crashes,
+        }

@@ -1,0 +1,124 @@
+"""Shared network plumbing: node registry, liveness, neighbour selection.
+
+Both engines — the round-based one (:mod:`repro.network.rounds`) that
+reproduces the paper's measurement methodology, and the event-driven one
+(:mod:`repro.network.asynchronous`) that exercises the convergence
+theorem's fully asynchronous setting — share this base: a validated
+topology, one protocol object per node, a liveness set, a seeded RNG and
+metrics.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.network.metrics import NetworkMetrics
+from repro.network.topology import neighbors_map, validate_topology
+from repro.protocols.base import GossipProtocol
+
+__all__ = ["NeighborSelector", "RandomSelector", "RoundRobinSelector", "Network"]
+
+
+class NeighborSelector(abc.ABC):
+    """Strategy for Algorithm 1 line 4: "Choose j in neighbors_i".
+
+    The convergence proof requires *fairness*: in an infinite run every
+    neighbour must be chosen infinitely often.  Round-robin guarantees it
+    deterministically; uniform random choice guarantees it with
+    probability 1 and is the classic gossip discipline the paper's
+    simulations use.
+    """
+
+    @abc.abstractmethod
+    def choose(self, node: int, neighbors: Sequence[int], rng: np.random.Generator) -> int:
+        """Pick the destination for this node's next message."""
+
+
+class RandomSelector(NeighborSelector):
+    """Uniform random neighbour — gossip-style, fair with probability 1."""
+
+    def choose(self, node: int, neighbors: Sequence[int], rng: np.random.Generator) -> int:
+        return int(neighbors[rng.integers(len(neighbors))])
+
+
+class RoundRobinSelector(NeighborSelector):
+    """Cycle through each node's neighbour list — deterministically fair."""
+
+    def __init__(self) -> None:
+        self._pointers: dict[int, int] = {}
+
+    def choose(self, node: int, neighbors: Sequence[int], rng: np.random.Generator) -> int:
+        pointer = self._pointers.get(node, 0)
+        self._pointers[node] = (pointer + 1) % len(neighbors)
+        return int(neighbors[pointer % len(neighbors)])
+
+
+class Network:
+    """Topology + protocols + liveness: the state both engines drive.
+
+    Parameters
+    ----------
+    graph:
+        A connected undirected topology over nodes ``0..n-1``; engines
+        treat each edge as a pair of reliable directed channels.
+    protocols:
+        One :class:`~repro.protocols.base.GossipProtocol` per node id.
+    seed:
+        Seeds the engine RNG (neighbour choice, delays, crash draws).
+    selector:
+        Neighbour-selection strategy; defaults to uniform random gossip.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        protocols: Mapping[int, GossipProtocol],
+        seed: int = 0,
+        selector: NeighborSelector | None = None,
+    ) -> None:
+        self.graph = validate_topology(graph)
+        expected = set(range(graph.number_of_nodes()))
+        if set(protocols.keys()) != expected:
+            raise ValueError("protocols must cover exactly the topology's nodes")
+        self.protocols = dict(protocols)
+        self.neighbors = neighbors_map(self.graph)
+        self.rng = np.random.default_rng(seed)
+        self.selector = selector if selector is not None else RandomSelector()
+        self.live: set[int] = set(expected)
+        self.metrics = NetworkMetrics()
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def crash(self, node: int) -> None:
+        """Fail-stop the node: it never sends or receives again."""
+        if node in self.live:
+            self.live.discard(node)
+            self.metrics.crashes += 1
+
+    def is_live(self, node: int) -> bool:
+        return node in self.live
+
+    @property
+    def live_nodes(self) -> list[int]:
+        """Sorted ids of surviving nodes."""
+        return sorted(self.live)
+
+    def live_protocols(self) -> list[GossipProtocol]:
+        """Protocol objects of surviving nodes, in node-id order."""
+        return [self.protocols[node] for node in self.live_nodes]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def payload_size(payload: object) -> int:
+        """Item count of a payload, for metrics (1 when unsized)."""
+        try:
+            return len(payload)  # type: ignore[arg-type]
+        except TypeError:
+            return 1

@@ -1,0 +1,22 @@
+"""Protocols runnable on the network engines.
+
+- :class:`~repro.protocols.classification.ClassificationProtocol` — the
+  paper's generic classification algorithm (Algorithm 1);
+- :class:`~repro.protocols.push_sum.PushSumProtocol` — Kempe et al.'s
+  average aggregation, the "regular aggregation" baseline of Figures 3-4.
+"""
+
+from repro.protocols.base import GossipProtocol
+from repro.protocols.classification import (
+    ClassificationProtocol,
+    build_classification_network,
+)
+from repro.protocols.push_sum import PushSumProtocol, build_push_sum_network
+
+__all__ = [
+    "ClassificationProtocol",
+    "GossipProtocol",
+    "PushSumProtocol",
+    "build_classification_network",
+    "build_push_sum_network",
+]

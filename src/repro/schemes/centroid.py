@@ -1,0 +1,132 @@
+"""The centroids instantiation (Algorithm 2): k-means-style classification.
+
+Summaries are collection centroids (weighted averages of the values), the
+summary domain equals the value domain R^d, ``d_S`` is the L2 distance
+between centroids, and ``partition`` greedily merges the closest groups
+until the ``k`` bound is met.  This is the paper's running example of the
+generic algorithm and the distributed analogue of k-means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.collection import Collection
+from repro.core.scheme import SummaryScheme
+from repro.core.weights import Quantization
+
+__all__ = ["CentroidScheme", "greedy_closest_pair_partition"]
+
+
+def greedy_closest_pair_partition(
+    positions: np.ndarray,
+    weights: np.ndarray,
+    quanta: Sequence[int],
+    k: int,
+    quantization: Quantization,
+) -> list[list[int]]:
+    """Algorithm 2's ``partition``: repeatedly merge the closest groups.
+
+    ``positions`` are the points the distance is measured between (the
+    centroids, or any scheme's summary embedding); groups are merged by
+    weighted average of their positions, exactly as the resulting merged
+    collection's centroid would move.
+
+    Two conformance rules are enforced: minimum-weight (one-quantum)
+    collections are first merged with their nearest group, and merging
+    continues until at most ``k`` groups remain.
+    """
+    positions = np.atleast_2d(np.asarray(positions, dtype=float))
+    weights = np.asarray(weights, dtype=float)
+    n = positions.shape[0]
+    if n == 0:
+        raise ValueError("cannot partition zero collections")
+
+    group_indices: list[list[int]] = [[i] for i in range(n)]
+    group_positions = [positions[i].copy() for i in range(n)]
+    group_weights = [float(weights[i]) for i in range(n)]
+    group_has_heavy = [not quantization.is_minimum(quanta[i]) for i in range(n)]
+
+    def merge(a: int, b: int) -> None:
+        """Fold group ``b`` into group ``a``."""
+        total = group_weights[a] + group_weights[b]
+        group_positions[a] = (
+            group_weights[a] * group_positions[a] + group_weights[b] * group_positions[b]
+        ) / total
+        group_weights[a] = total
+        group_indices[a].extend(group_indices[b])
+        group_has_heavy[a] = True  # merged groups always have >= 2 members
+        del group_indices[b], group_positions[b], group_weights[b], group_has_heavy[b]
+
+    def nearest_pair(candidates_a: range | list[int]) -> tuple[int, int]:
+        """Closest pair (a, b) with a from candidates and b any other group."""
+        best = (np.inf, -1, -1)
+        for a in candidates_a:
+            for b in range(len(group_indices)):
+                if a == b:
+                    continue
+                distance = float(np.linalg.norm(group_positions[a] - group_positions[b]))
+                if distance < best[0]:
+                    best = (distance, a, b)
+        _, a, b = best
+        return a, b
+
+    # Rule 2: merge every minimum-weight singleton with its nearest group.
+    while len(group_indices) > 1:
+        lonely = [
+            g
+            for g in range(len(group_indices))
+            if len(group_indices[g]) == 1 and not group_has_heavy[g]
+        ]
+        if not lonely:
+            break
+        a, b = nearest_pair([lonely[0]])
+        merge(min(a, b), max(a, b))
+
+    # Rule 1: enforce the k bound by merging closest pairs.
+    while len(group_indices) > k:
+        a, b = nearest_pair(range(len(group_indices)))
+        merge(min(a, b), max(a, b))
+
+    return group_indices
+
+
+class CentroidScheme(SummaryScheme):
+    """Summaries are centroids; the distributed analogue of k-means.
+
+    ``val_to_summary`` is the identity on R^d (Algorithm 2), ``merge_set``
+    the weighted average, and ``distance`` the L2 norm.  Satisfies R1-R4
+    exactly (the weighted average of centroids *is* the centroid of the
+    union), which the property tests verify.
+    """
+
+    def val_to_summary(self, value: Any) -> np.ndarray:
+        summary = np.atleast_1d(np.asarray(value, dtype=float))
+        if summary.ndim != 1:
+            raise ValueError(f"centroid values must be vectors, got shape {summary.shape}")
+        return summary
+
+    def merge_set(self, items: Sequence[tuple[np.ndarray, float]]) -> np.ndarray:
+        if not items:
+            raise ValueError("cannot merge an empty set")
+        total = sum(weight for _, weight in items)
+        if total <= 0:
+            raise ValueError("merged weight must be positive")
+        merged = sum(weight * summary for summary, weight in items) / total
+        return np.asarray(merged, dtype=float)
+
+    def partition(
+        self,
+        collections: Sequence[Collection],
+        k: int,
+        quantization: Quantization,
+    ) -> list[list[int]]:
+        positions = np.stack([collection.summary for collection in collections])
+        weights = np.array([float(collection.quanta) for collection in collections])
+        quanta = [collection.quanta for collection in collections]
+        return greedy_closest_pair_partition(positions, weights, quanta, k, quantization)
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))

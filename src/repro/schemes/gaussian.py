@@ -1,0 +1,95 @@
+"""Weighted-Gaussian summaries (Section 5.1).
+
+A collection is summarised by the tuple (mu, sigma): the weighted mean and
+covariance matrix of its values.  Together with the collection weight this
+is a weighted Gaussian, and a classification becomes a Gaussian Mixture.
+``valToSummary`` maps a single value to a Gaussian with that mean and a
+zero covariance matrix; ``mergeSet`` is the closed-form moment match; and
+``d_S`` is — "as in the centroids algorithm" — the L2 distance between
+means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.classification import Classification
+from repro.ml.gaussian import pool_moments
+from repro.ml.gmm import GaussianMixtureModel
+
+__all__ = ["GaussianSummary", "summary_from_value", "merge_gaussian_summaries", "classification_to_gmm"]
+
+
+@dataclass(frozen=True)
+class GaussianSummary:
+    """The (mu, sigma) tuple describing a collection's values.
+
+    Immutable so that summaries can be shared freely between the kept and
+    sent halves of a split collection (Algorithm 1 copies summaries
+    verbatim when splitting).
+    """
+
+    mean: np.ndarray
+    cov: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mean", np.atleast_1d(np.asarray(self.mean, dtype=float)))
+        object.__setattr__(self, "cov", np.atleast_2d(np.asarray(self.cov, dtype=float)))
+        d = self.mean.shape[0]
+        if self.cov.shape != (d, d):
+            raise ValueError(
+                f"covariance shape {self.cov.shape} does not match mean dimension {d}"
+            )
+
+    @property
+    def dimension(self) -> int:
+        return int(self.mean.shape[0])
+
+    def close_to(self, other: "GaussianSummary", tolerance: float = 1e-9) -> bool:
+        """Approximate equality used by tests (floats accumulate rounding)."""
+        return bool(
+            np.allclose(self.mean, other.mean, atol=tolerance)
+            and np.allclose(self.cov, other.cov, atol=tolerance)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GaussianSummary(mean={np.round(self.mean, 4)})"
+
+
+def summary_from_value(value: Any) -> GaussianSummary:
+    """Section 5.1's ``valToSummary``: mean = value, covariance = 0."""
+    mean = np.atleast_1d(np.asarray(value, dtype=float))
+    return GaussianSummary(mean=mean, cov=np.zeros((mean.shape[0], mean.shape[0])))
+
+
+def merge_gaussian_summaries(
+    items: Sequence[tuple[GaussianSummary, float]],
+) -> GaussianSummary:
+    """Section 5.1's ``mergeSet``: moment-match the weighted Gaussians.
+
+    Because a moment match of summaries equals the moments of the pooled
+    underlying values, this satisfies requirement R4 exactly (up to float
+    rounding) — the property tests check it against explicit value pools.
+    """
+    if not items:
+        raise ValueError("cannot merge an empty set")
+    weights = np.array([weight for _, weight in items], dtype=float)
+    means = np.stack([summary.mean for summary, _ in items])
+    covs = np.stack([summary.cov for summary, _ in items])
+    mean, cov = pool_moments(weights, means, covs)
+    return GaussianSummary(mean=mean, cov=cov)
+
+
+def classification_to_gmm(classification: Classification) -> GaussianMixtureModel:
+    """View a node's classification as the Gaussian Mixture it encodes.
+
+    Zero-covariance singleton collections are preserved as-is; the GMM
+    density routines regularise internally when evaluating.
+    """
+    weights = np.array([collection.quanta for collection in classification], dtype=float)
+    means = np.stack([collection.summary.mean for collection in classification])
+    covs = np.stack([collection.summary.cov for collection in classification])
+    return GaussianMixtureModel(weights, means, covs)

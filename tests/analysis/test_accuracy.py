@@ -1,0 +1,63 @@
+"""Accuracy metrics: mean errors and mixture recovery matching."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import average_error, match_mixtures, mean_error
+from repro.ml.gmm import GaussianMixtureModel
+
+
+class TestMeanError:
+    def test_euclidean(self):
+        assert mean_error(np.array([3.0, 4.0]), np.zeros(2)) == 5.0
+
+    def test_zero_for_exact(self):
+        assert mean_error(np.array([1.0]), np.array([1.0])) == 0.0
+
+    def test_average_over_nodes(self):
+        estimates = [np.array([1.0, 0.0]), np.array([3.0, 0.0])]
+        assert average_error(estimates, np.zeros(2)) == 2.0
+
+    def test_average_requires_estimates(self):
+        with pytest.raises(ValueError):
+            average_error([], np.zeros(2))
+
+
+def mixture(means, weights=None):
+    means = np.atleast_2d(np.asarray(means, float))
+    k = means.shape[0]
+    weights = np.asarray(weights, float) if weights is not None else np.ones(k)
+    covs = np.stack([np.eye(means.shape[1])] * k)
+    return GaussianMixtureModel(weights, means, covs)
+
+
+class TestMatchMixtures:
+    def test_identical_mixtures_match_exactly(self):
+        model = mixture([[0.0, 0.0], [5.0, 5.0]], [0.6, 0.4])
+        recovery = match_mixtures(model, model)
+        assert recovery.max_mean_distance == 0.0
+        assert recovery.max_weight_error == 0.0
+        assert recovery.unmatched_estimated == ()
+        assert recovery.unmatched_true == ()
+
+    def test_permutation_resolved(self):
+        estimated = mixture([[5.0, 5.0], [0.0, 0.0]])
+        true = mixture([[0.0, 0.0], [5.0, 5.0]])
+        recovery = match_mixtures(estimated, true)
+        pairs = {(m.estimated_index, m.true_index) for m in recovery.matches}
+        assert pairs == {(0, 1), (1, 0)}
+        assert recovery.max_mean_distance == pytest.approx(0.0)
+
+    def test_surplus_estimated_components_unmatched(self):
+        estimated = mixture([[0.0, 0.0], [5.0, 5.0], [100.0, 100.0]])
+        true = mixture([[0.0, 0.0], [5.0, 5.0]])
+        recovery = match_mixtures(estimated, true)
+        assert recovery.unmatched_estimated == (2,)
+        assert recovery.unmatched_true == ()
+
+    def test_weight_error_reported(self):
+        estimated = mixture([[0.0]], [1.0])
+        true = mixture([[0.2]], [1.0])
+        recovery = match_mixtures(estimated, true)
+        assert recovery.matches[0].mean_distance == pytest.approx(0.2)
+        assert recovery.total_matched_weight_error == pytest.approx(0.0)

@@ -1,0 +1,117 @@
+"""Provenance-based classification accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.assignment import (
+    classification_accuracy,
+    mean_node_accuracy,
+    weight_confusion_matrix,
+)
+from repro.core.classification import Classification
+from repro.core.collection import Collection
+from repro.core.mixture import MixtureVector
+
+
+def classification_with_aux(rows):
+    """rows: list of aux component lists; weights derived from their sums."""
+    collections = []
+    for components in rows:
+        aux = MixtureVector(np.asarray(components, dtype=float))
+        collections.append(
+            Collection(summary=None, quanta=max(1, round(aux.l1)), aux=aux)
+        )
+    return Classification(collections)
+
+
+class TestConfusionMatrix:
+    def test_counts_weight_per_class(self):
+        # Inputs 0,1 are class 0; inputs 2,3 are class 1.
+        classification = classification_with_aux(
+            [[4.0, 4.0, 1.0, 0.0], [0.0, 0.0, 3.0, 4.0]]
+        )
+        labels = np.array([0, 0, 1, 1])
+        matrix = weight_confusion_matrix(classification, labels)
+        assert np.allclose(matrix, [[8.0, 1.0], [0.0, 7.0]])
+
+    def test_requires_aux(self):
+        classification = Classification([Collection(summary=None, quanta=1)])
+        with pytest.raises(ValueError):
+            weight_confusion_matrix(classification, np.array([0]))
+
+    def test_labels_must_cover_inputs(self):
+        classification = classification_with_aux([[1.0, 1.0]])
+        with pytest.raises(ValueError):
+            weight_confusion_matrix(classification, np.array([0]))
+
+    def test_rejects_negative_labels(self):
+        classification = classification_with_aux([[1.0, 1.0]])
+        with pytest.raises(ValueError):
+            weight_confusion_matrix(classification, np.array([0, -1]))
+
+
+class TestAccuracy:
+    def test_perfect_separation_scores_one(self):
+        classification = classification_with_aux(
+            [[5.0, 5.0, 0.0, 0.0], [0.0, 0.0, 5.0, 5.0]]
+        )
+        labels = np.array([0, 0, 1, 1])
+        assert classification_accuracy(classification, labels) == pytest.approx(1.0)
+
+    def test_label_permutation_irrelevant(self):
+        classification = classification_with_aux(
+            [[0.0, 0.0, 5.0, 5.0], [5.0, 5.0, 0.0, 0.0]]
+        )
+        labels = np.array([0, 0, 1, 1])
+        assert classification_accuracy(classification, labels) == pytest.approx(1.0)
+
+    def test_partial_misassignment(self):
+        # 2 units of class-1 weight sit in the class-0 collection.
+        classification = classification_with_aux(
+            [[5.0, 5.0, 2.0, 0.0], [0.0, 0.0, 3.0, 5.0]]
+        )
+        labels = np.array([0, 0, 1, 1])
+        assert classification_accuracy(classification, labels) == pytest.approx(18.0 / 20.0)
+
+    def test_everything_in_one_collection_scores_majority(self):
+        classification = classification_with_aux([[6.0, 6.0, 4.0, 4.0]])
+        labels = np.array([0, 0, 1, 1])
+        assert classification_accuracy(classification, labels) == pytest.approx(12.0 / 20.0)
+
+    def test_three_classes(self):
+        classification = classification_with_aux(
+            [[4.0, 0.0, 0.0], [0.0, 4.0, 0.0], [0.0, 0.0, 4.0]]
+        )
+        labels = np.array([0, 1, 2])
+        assert classification_accuracy(classification, labels) == pytest.approx(1.0)
+
+    def test_surplus_collections_penalised(self):
+        """A class split across two collections loses the smaller share."""
+        classification = classification_with_aux(
+            [[3.0, 0.0], [3.0, 0.0], [0.0, 6.0]]
+        )
+        labels = np.array([0, 1])
+        assert classification_accuracy(classification, labels) == pytest.approx(9.0 / 12.0)
+
+
+class TestMeanNodeAccuracy:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            mean_node_accuracy([], np.array([0, 1]))
+
+    def test_live_run(self):
+        from repro.network.topology import complete
+        from repro.protocols.classification import build_classification_network
+        from repro.schemes.gm import GaussianMixtureScheme
+
+        rng = np.random.default_rng(0)
+        values = np.vstack(
+            [rng.normal([0, 0], 0.4, size=(10, 2)), rng.normal([9, 9], 0.4, size=(10, 2))]
+        )
+        labels = np.array([0] * 10 + [1] * 10)
+        engine, nodes = build_classification_network(
+            values, GaussianMixtureScheme(seed=0), k=2, graph=complete(20),
+            seed=0, track_aux=True,
+        )
+        engine.run(30)
+        assert mean_node_accuracy(nodes, labels) > 0.95

@@ -1,0 +1,87 @@
+"""Robust-average read-out and provenance-based miss measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.outliers import (
+    good_collection_index,
+    missed_outlier_fraction,
+    robust_mean,
+)
+from repro.core.classification import Classification
+from repro.core.collection import Collection
+from repro.core.mixture import MixtureVector
+from repro.schemes.gaussian import GaussianSummary
+
+
+def gaussian_classification(entries):
+    """entries: list of (mean, quanta, aux_components | None)."""
+    collections = []
+    for mean, quanta, aux in entries:
+        collections.append(
+            Collection(
+                summary=GaussianSummary(mean=np.asarray(mean, float), cov=np.eye(len(mean))),
+                quanta=quanta,
+                aux=MixtureVector(np.asarray(aux, float)) if aux is not None else None,
+            )
+        )
+    return Classification(collections)
+
+
+class TestGoodCollection:
+    def test_heaviest_wins(self):
+        classification = gaussian_classification(
+            [([0.0, 0.0], 95, None), ([0.0, 9.0], 5, None)]
+        )
+        assert good_collection_index(classification) == 0
+
+    def test_order_independent(self):
+        classification = gaussian_classification(
+            [([0.0, 9.0], 5, None), ([0.0, 0.0], 95, None)]
+        )
+        assert good_collection_index(classification) == 1
+
+
+class TestRobustMean:
+    def test_gaussian_summary_mean(self):
+        classification = gaussian_classification(
+            [([0.5, -0.5], 95, None), ([0.0, 9.0], 5, None)]
+        )
+        assert np.allclose(robust_mean(classification), [0.5, -0.5])
+
+    def test_centroid_summary_supported(self):
+        classification = Classification(
+            [Collection(summary=np.array([2.0, 3.0]), quanta=10)]
+        )
+        assert np.allclose(robust_mean(classification), [2.0, 3.0])
+
+
+class TestMissedOutliers:
+    def test_no_outliers_is_zero(self):
+        classification = gaussian_classification([([0.0], 10, [5.0, 5.0])])
+        assert missed_outlier_fraction(classification, np.array([], dtype=int)) == 0.0
+
+    def test_perfect_separation_is_zero(self):
+        # Inputs 0,1 are good; input 2 is the outlier, fully in collection 1.
+        classification = gaussian_classification(
+            [([0.0], 20, [10.0, 10.0, 0.0]), ([9.0], 10, [0.0, 0.0, 10.0])]
+        )
+        assert missed_outlier_fraction(classification, np.array([2])) == 0.0
+
+    def test_total_miss_is_one(self):
+        classification = gaussian_classification(
+            [([0.0], 30, [10.0, 10.0, 10.0]), ([9.0], 1, [0.0, 0.0, 0.0])]
+        )
+        assert missed_outlier_fraction(classification, np.array([2])) == 1.0
+
+    def test_partial_miss(self):
+        # Outlier input 2: 2.5 quanta in the good collection, 7.5 outside.
+        classification = gaussian_classification(
+            [([0.0], 22, [10.0, 10.0, 2.5]), ([9.0], 8, [0.0, 0.0, 7.5])]
+        )
+        assert missed_outlier_fraction(classification, np.array([2])) == pytest.approx(0.25)
+
+    def test_requires_aux(self):
+        classification = gaussian_classification([([0.0], 10, None)])
+        with pytest.raises(ValueError):
+            missed_outlier_fraction(classification, np.array([0]))

@@ -1,0 +1,129 @@
+"""Closed-form queries over Gaussian-Mixture classifications."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queries import MixtureQueries
+from repro.core.classification import Classification
+from repro.core.collection import Collection
+from repro.ml.gmm import GaussianMixtureModel
+from repro.schemes.gaussian import GaussianSummary
+
+
+@pytest.fixture
+def bimodal():
+    """Half the mass at N(0,1), half at N(10,4), in dimension 0."""
+    return MixtureQueries(
+        GaussianMixtureModel(
+            weights=np.array([0.5, 0.5]),
+            means=np.array([[0.0, 0.0], [10.0, 5.0]]),
+            covs=np.stack([np.eye(2), np.diag([4.0, 1.0])]),
+        )
+    )
+
+
+class TestCdf:
+    def test_median_between_modes(self, bimodal):
+        assert bimodal.cdf(0, 5.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_far_left_is_zero(self, bimodal):
+        assert bimodal.cdf(0, -100.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_far_right_is_one(self, bimodal):
+        assert bimodal.cdf(0, 100.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_single_gaussian_matches_scipy(self):
+        from scipy.stats import norm
+
+        queries = MixtureQueries(
+            GaussianMixtureModel(np.array([1.0]), np.array([[2.0]]), np.array([[[9.0]]]))
+        )
+        for threshold in (-1.0, 2.0, 5.0):
+            assert queries.cdf(0, threshold) == pytest.approx(
+                norm(2.0, 3.0).cdf(threshold), abs=1e-9
+            )
+
+    def test_dimension_validation(self, bimodal):
+        with pytest.raises(ValueError):
+            bimodal.cdf(2, 0.0)
+
+
+class TestFractions:
+    def test_fraction_above_midpoint(self, bimodal):
+        assert bimodal.fraction_above(0, 5.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_interval_mass_covers_one_mode(self, bimodal):
+        mass = bimodal.interval_mass(0, -4.0, 4.0)
+        assert mass == pytest.approx(0.5, abs=0.01)
+
+    def test_interval_validation(self, bimodal):
+        with pytest.raises(ValueError):
+            bimodal.interval_mass(0, 5.0, 1.0)
+
+    def test_second_dimension_marginal(self, bimodal):
+        # Dimension 1: modes at 0 and 5.
+        assert bimodal.fraction_above(1, 2.5) == pytest.approx(0.5, abs=0.01)
+
+
+class TestMembership:
+    def test_hard_membership(self, bimodal):
+        assert bimodal.component_membership([0.5, 0.0]) == 0
+        assert bimodal.component_membership([9.5, 5.0]) == 1
+
+    def test_probabilities_sum_to_one(self, bimodal):
+        probabilities = bimodal.membership_probabilities([5.0, 2.5])
+        assert probabilities.shape == (2,)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+
+class TestQuantile:
+    def test_inverse_of_cdf(self, bimodal):
+        for probability in (0.1, 0.5, 0.9):
+            value = bimodal.quantile(0, probability)
+            assert bimodal.cdf(0, value) == pytest.approx(probability, abs=1e-6)
+
+    def test_probability_validation(self, bimodal):
+        with pytest.raises(ValueError):
+            bimodal.quantile(0, 1.5)
+
+
+class TestFromClassification:
+    def test_singleton_collections_supported(self):
+        classification = Classification(
+            [
+                Collection(
+                    summary=GaussianSummary(mean=[0.0], cov=[[1.0]]), quanta=9
+                ),
+                # A zero-variance singleton (fresh value): min_std floor
+                # keeps the marginal well-defined.
+                Collection(
+                    summary=GaussianSummary(mean=[50.0], cov=[[0.0]]), quanta=1
+                ),
+            ]
+        )
+        queries = MixtureQueries.from_classification(classification)
+        assert queries.fraction_above(0, 25.0) == pytest.approx(0.1, abs=0.01)
+
+    def test_min_std_validation(self):
+        model = GaussianMixtureModel(np.array([1.0]), np.zeros((1, 1)), np.ones((1, 1, 1)))
+        with pytest.raises(ValueError):
+            MixtureQueries(model, min_std=0.0)
+
+
+class TestEndToEndQuery:
+    def test_fence_fire_operator_question(self):
+        """After gossip, a node answers 'what share reads above 30°?'."""
+        from repro.data.generators import fence_fire_values
+        from repro.network.topology import complete
+        from repro.protocols.classification import build_classification_network
+        from repro.schemes.gm import GaussianMixtureScheme
+
+        values, _ = fence_fire_values(120, seed=6)
+        engine, nodes = build_classification_network(
+            values, GaussianMixtureScheme(seed=6), k=5, graph=complete(120), seed=6
+        )
+        engine.run(30)
+        queries = MixtureQueries.from_classification(nodes[0].classification)
+        estimated = queries.fraction_above(1, 30.0)
+        actual = float(np.mean(values[:, 1] > 30.0))
+        assert estimated == pytest.approx(actual, abs=0.06)

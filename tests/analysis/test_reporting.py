@@ -1,0 +1,55 @@
+"""Plain-text report formatting."""
+
+import pytest
+
+from repro.analysis.reporting import banner, format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_bool_not_treated_as_float(self):
+        assert format_value(True) == "True"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["longer", 2]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "longer" in lines[3]
+
+    def test_header_rule(self):
+        table = format_table(["x"], [[1]])
+        assert table.splitlines()[1] == "-"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_columns_rendered(self):
+        text = format_series("title", "x", [1, 2], {"y": [10.0, 20.0]})
+        assert "title" in text
+        assert "10.0000" in text
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("t", "x", [1, 2], {"y": [1.0]})
+
+
+class TestBanner:
+    def test_contains_title(self):
+        text = banner("Hello")
+        lines = text.splitlines()
+        assert lines[1] == "Hello"
+        assert set(lines[0]) == {"="}

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import Quantization
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.gm import GaussianMixtureScheme
+from repro.schemes.histogram import HistogramScheme
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fine_quantization() -> Quantization:
+    """The default 2^20-quanta lattice (q << 1/n for all test networks)."""
+    return Quantization()
+
+
+@pytest.fixture
+def coarse_quantization() -> Quantization:
+    """A deliberately coarse lattice (8 quanta per unit) for edge cases."""
+    return Quantization(quanta_per_unit=8)
+
+
+@pytest.fixture
+def centroid_scheme() -> CentroidScheme:
+    return CentroidScheme()
+
+
+@pytest.fixture
+def gm_scheme() -> GaussianMixtureScheme:
+    return GaussianMixtureScheme(seed=0)
+
+
+@pytest.fixture
+def histogram_scheme() -> HistogramScheme:
+    return HistogramScheme(low=-10.0, high=10.0, bins=20)
+
+
+def two_cluster_values(n: int, seed: int = 0, separation: float = 8.0) -> np.ndarray:
+    """Balanced, well-separated 2-cluster data used across integration tests."""
+    generator = np.random.default_rng(seed)
+    half = n // 2
+    a = generator.normal([0.0, 0.0], 0.5, size=(half, 2))
+    b = generator.normal([separation, separation], 0.5, size=(n - half, 2))
+    return np.vstack([a, b])

@@ -1,0 +1,103 @@
+"""The scheme auditor: passes sound schemes, catches broken ones."""
+
+import numpy as np
+import pytest
+
+from repro.core.audit import SchemeAuditor, pooled_values_f
+from repro.core.collection import Collection
+from repro.core.scheme import SummaryScheme
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.diagonal import DiagonalGaussianScheme
+from repro.schemes.gm import GaussianMixtureScheme
+from repro.schemes.histogram import HistogramScheme
+
+VALUES_2D = np.array(
+    [[0.0, 0.0], [1.0, 2.0], [-1.5, 0.5], [3.0, -1.0], [2.0, 2.0], [-0.5, -2.0]]
+)
+VALUES_1D = np.array([[-3.0], [-1.0], [0.0], [1.5], [2.5], [4.0]])
+
+
+class TestShippedSchemesPass:
+    def test_centroid(self):
+        report = SchemeAuditor(CentroidScheme(), VALUES_2D, seed=1).run(k=3)
+        assert report.passed, report.summary()
+
+    def test_gaussian_mixture(self):
+        report = SchemeAuditor(
+            GaussianMixtureScheme(seed=1), VALUES_2D, seed=1, tolerance=1e-6
+        ).run(k=3)
+        assert report.passed, report.summary()
+
+    def test_diagonal_gaussian(self):
+        report = SchemeAuditor(
+            DiagonalGaussianScheme(seed=1), VALUES_2D, seed=1, tolerance=1e-6
+        ).run(k=3)
+        assert report.passed, report.summary()
+
+    def test_histogram(self):
+        scheme = HistogramScheme(low=-6.0, high=6.0, bins=12)
+        report = SchemeAuditor(scheme, VALUES_1D, seed=1).run(k=3)
+        assert report.passed, report.summary()
+
+    def test_report_summary_format(self):
+        report = SchemeAuditor(CentroidScheme(), VALUES_2D, seed=1).run()
+        assert "PASSED" in report.summary()
+        assert report.checks_run > 0
+        assert np.isfinite(report.worst_r1_ratio)
+
+
+class BrokenMergeScheme(CentroidScheme):
+    """Violates R4: merge ignores weights (plain unweighted average)."""
+
+    def merge_set(self, items):
+        return sum(summary for summary, _ in items) / len(items)
+
+
+class BrokenScaleScheme(CentroidScheme):
+    """Violates R3: the merge result depends on the absolute weight scale."""
+
+    def merge_set(self, items):
+        base = super().merge_set(items)
+        total = sum(weight for _, weight in items)
+        return base * (1.0 + 0.01 * total)
+
+
+class BrokenPartitionScheme(CentroidScheme):
+    """Violates the k bound: never merges anything."""
+
+    def partition(self, collections, k, quantization):
+        return [[index] for index in range(len(collections))]
+
+
+class TestBrokenSchemesCaught:
+    def test_unweighted_merge_fails_r4(self):
+        report = SchemeAuditor(BrokenMergeScheme(), VALUES_2D, seed=2).run()
+        assert not report.passed
+        assert any(f.requirement in ("R4", "consistency") for f in report.failures)
+
+    def test_scale_dependence_fails_r3(self):
+        report = SchemeAuditor(BrokenScaleScheme(), VALUES_2D, seed=2).run()
+        assert not report.passed
+        assert any(f.requirement == "R3" for f in report.failures)
+
+    def test_unbounded_partition_caught(self):
+        report = SchemeAuditor(BrokenPartitionScheme(), VALUES_2D, seed=2).run(k=2)
+        assert not report.passed
+        assert any(f.requirement == "partition" for f in report.failures)
+
+
+class TestPooledValuesF:
+    def test_singleton_uses_val_to_summary(self):
+        f = pooled_values_f(CentroidScheme())
+        unit = np.zeros(len(VALUES_2D))
+        unit[2] = 0.7
+        assert np.allclose(f(VALUES_2D, unit), VALUES_2D[2])
+
+    def test_empty_collection_rejected(self):
+        f = pooled_values_f(CentroidScheme())
+        with pytest.raises(ValueError):
+            f(VALUES_2D, np.zeros(len(VALUES_2D)))
+
+    def test_requires_two_values(self):
+        with pytest.raises(ValueError):
+            SchemeAuditor(CentroidScheme(), VALUES_2D[:1])

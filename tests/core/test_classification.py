@@ -1,0 +1,49 @@
+"""The Classification container (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import Classification
+from repro.core.collection import Collection
+from repro.core.weights import Quantization
+
+
+def make(quantas):
+    return Classification([Collection(summary=i, quanta=q) for i, q in enumerate(quantas)])
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        classification = make([1, 2, 3])
+        assert len(classification) == 3
+        assert [c.quanta for c in classification] == [1, 2, 3]
+        assert classification[1].quanta == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Classification([])
+
+
+class TestWeights:
+    def test_total_quanta(self):
+        assert make([1, 2, 3]).total_quanta == 6
+
+    def test_total_weight(self):
+        assert make([2, 2]).total_weight(Quantization(4)) == 1.0
+
+    def test_relative_weights_sum_to_one(self):
+        relative = make([1, 2, 5]).relative_weights()
+        assert np.isclose(relative.sum(), 1.0)
+        assert np.allclose(relative, [1 / 8, 2 / 8, 5 / 8])
+
+    def test_summaries(self):
+        assert make([1, 1]).summaries() == [0, 1]
+
+
+class TestOrdering:
+    def test_heaviest(self):
+        assert make([3, 9, 2]).heaviest().quanta == 9
+
+    def test_sorted_by_weight(self):
+        ordered = make([3, 9, 2]).sorted_by_weight()
+        assert [c.quanta for c in ordered] == [9, 3, 2]

@@ -1,0 +1,71 @@
+"""Collections: weighted summaries with optional provenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.collection import Collection
+from repro.core.mixture import MixtureVector
+from repro.core.weights import Quantization
+
+
+class TestConstruction:
+    def test_basic(self):
+        collection = Collection(summary="s", quanta=4)
+        assert collection.summary == "s"
+        assert collection.quanta == 4
+        assert collection.aux is None
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            Collection(summary="s", quanta=0)
+
+    def test_rejects_float_weight(self):
+        with pytest.raises(ValueError):
+            Collection(summary="s", quanta=1.5)
+
+    def test_weight_conversion(self):
+        collection = Collection(summary="s", quanta=3)
+        assert collection.weight(Quantization(4)) == 0.75
+
+
+class TestSplit:
+    def test_shares_carry_same_summary(self):
+        collection = Collection(summary=("mu", "sigma"), quanta=10)
+        kept, sent = collection.split(Quantization(4))
+        assert kept.summary is collection.summary
+        assert sent.summary is collection.summary
+
+    def test_weight_conservation(self):
+        collection = Collection(summary="s", quanta=11)
+        kept, sent = collection.split(Quantization(4))
+        assert kept.quanta + sent.quanta == 11
+
+    def test_single_quantum_returns_no_sent_share(self):
+        collection = Collection(summary="s", quanta=1)
+        kept, sent = collection.split(Quantization(4))
+        assert kept is collection
+        assert sent is None
+
+    def test_aux_split_proportionally(self):
+        aux = MixtureVector(np.array([6.0, 3.0]))
+        collection = Collection(summary="s", quanta=9, aux=aux)
+        kept, sent = collection.split(Quantization(4))
+        assert kept.quanta == 5 and sent.quanta == 4
+        assert np.allclose(kept.aux.components, np.array([6.0, 3.0]) * 5 / 9)
+        assert np.allclose(sent.aux.components, np.array([6.0, 3.0]) * 4 / 9)
+
+    def test_aux_l1_tracks_weight_after_split(self):
+        aux = MixtureVector(np.array([4.0, 4.0]))
+        collection = Collection(summary="s", quanta=8, aux=aux)
+        kept, sent = collection.split(Quantization(4))
+        assert kept.aux.l1 == pytest.approx(kept.quanta)
+        assert sent.aux.l1 == pytest.approx(sent.quanta)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_split_conserves_for_any_weight(self, quanta):
+        collection = Collection(summary=None, quanta=quanta)
+        kept, sent = collection.split(Quantization())
+        total = kept.quanta + (sent.quanta if sent is not None else 0)
+        assert total == quanta

@@ -1,0 +1,157 @@
+"""Convergence measurement machinery (Definition 3 instruments)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import Classification
+from repro.core.collection import Collection
+from repro.core.convergence import (
+    ConvergenceDetector,
+    classification_distance,
+    disagreement,
+    match_collections,
+    max_reference_angles,
+    pool_collections,
+)
+from repro.core.mixture import MixtureVector
+from repro.core.node import ClassifierNode
+from repro.core.weights import Quantization
+from repro.schemes.centroid import CentroidScheme
+
+
+def centroid_classification(entries):
+    """entries: list of (position, quanta)."""
+    return Classification(
+        [Collection(summary=np.array(p, dtype=float), quanta=q) for p, q in entries]
+    )
+
+
+class TestClassificationDistance:
+    def test_identical_is_zero(self):
+        scheme = CentroidScheme()
+        a = centroid_classification([([0.0, 0.0], 4), ([5.0, 0.0], 4)])
+        assert classification_distance(a, a, scheme) == pytest.approx(0.0)
+
+    def test_single_collection_pair(self):
+        scheme = CentroidScheme()
+        a = centroid_classification([([0.0, 0.0], 4)])
+        b = centroid_classification([([3.0, 4.0], 8)])
+        assert classification_distance(a, b, scheme) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        scheme = CentroidScheme()
+        a = centroid_classification([([0.0], 3), ([10.0], 1)])
+        b = centroid_classification([([1.0], 1), ([9.0], 1)])
+        d_ab = classification_distance(a, b, scheme)
+        d_ba = classification_distance(b, a, scheme)
+        assert d_ab == pytest.approx(d_ba, rel=1e-9)
+
+    def test_hand_computed_transport(self):
+        """Equal-weight mass at 0 and 10 vs all mass at 0: move half by 10."""
+        scheme = CentroidScheme()
+        a = centroid_classification([([0.0], 2), ([10.0], 2)])
+        b = centroid_classification([([0.0], 4)])
+        assert classification_distance(a, b, scheme) == pytest.approx(5.0)
+
+    def test_insensitive_to_absolute_scale(self):
+        scheme = CentroidScheme()
+        a = centroid_classification([([0.0], 1), ([4.0], 3)])
+        scaled = centroid_classification([([0.0], 100), ([4.0], 300)])
+        b = centroid_classification([([1.0], 1)])
+        assert classification_distance(a, b, scheme) == pytest.approx(
+            classification_distance(scaled, b, scheme)
+        )
+
+
+class TestMatching:
+    def test_identity_matching(self):
+        scheme = CentroidScheme()
+        a = centroid_classification([([0.0], 1), ([10.0], 1)])
+        b = centroid_classification([([0.2], 1), ([9.5], 1)])
+        assert set(match_collections(a, b, scheme)) == {(0, 0), (1, 1)}
+
+    def test_permuted_matching(self):
+        scheme = CentroidScheme()
+        a = centroid_classification([([10.0], 1), ([0.0], 1)])
+        b = centroid_classification([([0.2], 1), ([9.5], 1)])
+        assert set(match_collections(a, b, scheme)) == {(0, 1), (1, 0)}
+
+    def test_surplus_left_unmatched(self):
+        scheme = CentroidScheme()
+        a = centroid_classification([([0.0], 1), ([0.1], 1), ([10.0], 1)])
+        b = centroid_classification([([0.0], 1), ([10.0], 1)])
+        matches = match_collections(a, b, scheme)
+        assert len(matches) == 2
+
+
+class TestDisagreement:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            disagreement([], CentroidScheme())
+
+    def test_identical_nodes_agree(self):
+        scheme = CentroidScheme()
+        nodes = [
+            ClassifierNode(i, np.array([1.0]), scheme, k=2, quantization=Quantization(16))
+            for i in range(3)
+        ]
+        assert disagreement(nodes, scheme) == pytest.approx(0.0)
+
+
+class TestPool:
+    def test_pool_includes_in_flight(self):
+        scheme = CentroidScheme()
+        node = ClassifierNode(0, np.array([1.0]), scheme, k=2, quantization=Quantization(16))
+        in_flight = [Collection(summary=np.array([2.0]), quanta=4)]
+        pool = pool_collections([node], in_flight)
+        assert len(pool) == 2
+
+    def test_max_reference_angles_requires_aux(self):
+        collection = Collection(summary=np.array([0.0]), quanta=4)
+        with pytest.raises(ValueError):
+            max_reference_angles([collection])
+
+    def test_max_reference_angles_shape(self):
+        collections = [
+            Collection(
+                summary=None, quanta=4, aux=MixtureVector.unit(i, 3, 4)
+            )
+            for i in range(3)
+        ]
+        angles = max_reference_angles(collections)
+        assert angles.shape == (3,)
+        # Each axis has some orthogonal vector in the pool: max angle pi/2.
+        assert np.allclose(angles, np.pi / 2)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            max_reference_angles([])
+
+
+class TestConvergenceDetector:
+    def test_requires_positive_patience(self):
+        with pytest.raises(ValueError):
+            ConvergenceDetector(CentroidScheme(), patience=0)
+
+    def test_static_nodes_converge_after_patience(self):
+        scheme = CentroidScheme()
+        nodes = [
+            ClassifierNode(i, np.array([float(i)]), scheme, k=2, quantization=Quantization(16))
+            for i in range(2)
+        ]
+        detector = ConvergenceDetector(scheme, tolerance=1e-9, patience=2)
+        assert not detector.update(nodes)  # first sight: no previous state
+        assert not detector.update(nodes)  # one quiet round
+        assert detector.update(nodes)  # second quiet round: converged
+        assert detector.converged
+
+    def test_movement_resets_patience(self):
+        scheme = CentroidScheme()
+        node = ClassifierNode(0, np.array([0.0]), scheme, k=2, quantization=Quantization(1 << 10))
+        detector = ConvergenceDetector(scheme, tolerance=1e-9, patience=1)
+        detector.update([node])
+        assert detector.update([node])  # static: converged
+        # Now the node changes (merges in a distant collection).
+        node.receive([Collection(summary=np.array([50.0]), quanta=16)])
+        assert not detector.update([node])
+        assert detector.last_movement > 0

@@ -1,0 +1,125 @@
+"""Auxiliary mixture-space vectors (Section 4.2's proof machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mixture import MixtureVector
+
+
+class TestConstruction:
+    def test_unit_vector(self):
+        vector = MixtureVector.unit(index=2, n_inputs=5, quanta=8)
+        assert vector.components.tolist() == [0, 0, 8, 0, 0]
+        assert vector.l1 == 8
+
+    def test_unit_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            MixtureVector.unit(index=5, n_inputs=5, quanta=8)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            MixtureVector(np.zeros((2, 2)))
+
+    def test_sum_of(self):
+        a = MixtureVector.unit(0, 3, 4)
+        b = MixtureVector.unit(1, 3, 2)
+        total = MixtureVector.sum_of([a, b])
+        assert total.components.tolist() == [4, 2, 0]
+
+    def test_sum_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureVector.sum_of([])
+
+
+class TestScaling:
+    def test_scaled_halves(self):
+        vector = MixtureVector(np.array([4.0, 2.0]))
+        half = vector.scaled(1, 2)
+        assert half.components.tolist() == [2.0, 1.0]
+
+    def test_scaled_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            MixtureVector(np.array([1.0])).scaled(1, 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_split_shares_sum_to_original(self, components, kept, sent):
+        """The two scaled shares of a split reassemble the original vector."""
+        if sum(components) == 0:
+            components[0] = 1
+        total = kept + sent
+        vector = MixtureVector(np.array(components, dtype=float))
+        kept_share = vector.scaled(kept, total)
+        sent_share = vector.scaled(sent, total)
+        reassembled = kept_share.components + sent_share.components
+        assert np.allclose(reassembled, vector.components, rtol=1e-12)
+
+
+class TestNorms:
+    def test_l1_equals_component_sum(self):
+        assert MixtureVector(np.array([1.0, 2.0, 3.0])).l1 == 6.0
+
+    def test_l2(self):
+        assert MixtureVector(np.array([3.0, 4.0])).l2 == 5.0
+
+    def test_n_inputs(self):
+        assert MixtureVector(np.zeros(7)).n_inputs == 7
+
+    def test_normalized_unit_norm(self):
+        normalized = MixtureVector(np.array([3.0, 4.0])).normalized()
+        assert math.isclose(float(np.linalg.norm(normalized)), 1.0)
+
+    def test_normalized_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureVector(np.zeros(3)).normalized()
+
+
+class TestReferenceAngles:
+    def test_own_axis_angle_is_zero(self):
+        vector = MixtureVector.unit(1, 4, 10)
+        assert vector.reference_angle(1) == pytest.approx(0.0)
+
+    def test_other_axis_angle_is_right_angle(self):
+        vector = MixtureVector.unit(1, 4, 10)
+        assert vector.reference_angle(0) == pytest.approx(math.pi / 2)
+
+    def test_diagonal_angle(self):
+        vector = MixtureVector(np.array([1.0, 1.0]))
+        assert vector.reference_angle(0) == pytest.approx(math.pi / 4)
+
+    def test_vectorised_matches_scalar(self):
+        vector = MixtureVector(np.array([1.0, 2.0, 0.5, 0.0]))
+        angles = vector.reference_angles()
+        for axis in range(4):
+            assert angles[axis] == pytest.approx(vector.reference_angle(axis))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureVector(np.zeros(2)).reference_angles()
+
+    def test_merging_narrows_angles(self):
+        """A merged vector's angle to each axis lies between the originals'."""
+        a = MixtureVector.unit(0, 2, 10)
+        b = MixtureVector.unit(1, 2, 10)
+        merged = MixtureVector.sum_of([a, b])
+        for axis in range(2):
+            low = min(a.reference_angle(axis), b.reference_angle(axis))
+            high = max(a.reference_angle(axis), b.reference_angle(axis))
+            assert low <= merged.reference_angle(axis) <= high
+
+
+class TestProvenance:
+    def test_share_of(self):
+        vector = MixtureVector(np.array([1.0, 3.0, 4.0]))
+        assert vector.share_of([1, 2]) == pytest.approx(7.0 / 8.0)
+
+    def test_share_of_empty_weight(self):
+        vector = MixtureVector(np.array([0.0, 0.0]))
+        assert vector.share_of([0]) == 0.0

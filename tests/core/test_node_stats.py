@@ -1,0 +1,76 @@
+"""NodeStats bookkeeping and remaining node edge behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.node import ClassifierNode, NodeStats
+from repro.core.weights import Quantization
+from repro.schemes.centroid import CentroidScheme
+
+
+class TestNodeStats:
+    def test_as_dict_keys(self):
+        snapshot = NodeStats().as_dict()
+        assert set(snapshot) == {
+            "splits",
+            "merges",
+            "messages_made",
+            "batches_received",
+            "collections_received",
+            "partition_calls",
+        }
+        assert all(value == 0 for value in snapshot.values())
+
+    def test_merge_counter_counts_real_merges_only(self):
+        node = ClassifierNode(
+            0, np.array([0.0]), CentroidScheme(), k=4, quantization=Quantization(16)
+        )
+        # A far-away collection stays its own singleton group: no merge.
+        node.receive([Collection(summary=np.array([100.0]), quanta=16)])
+        assert node.stats.merges == 0
+        # A third collection forces k... still below k=4; push two close ones.
+        node.receive(
+            [
+                Collection(summary=np.array([100.1]), quanta=16),
+                Collection(summary=np.array([0.1]), quanta=16),
+            ]
+        )
+        # Still no merge required below the k bound.
+        assert len(node.classification) <= 4
+
+    def test_merge_counter_increments_on_forced_merge(self):
+        node = ClassifierNode(
+            0, np.array([0.0]), CentroidScheme(), k=1, quantization=Quantization(16)
+        )
+        node.receive([Collection(summary=np.array([1.0]), quanta=16)])
+        assert node.stats.merges == 1
+
+    def test_batch_counters(self):
+        node = ClassifierNode(
+            0, np.array([0.0]), CentroidScheme(), k=2, quantization=Quantization(16)
+        )
+        node.receive([])
+        node.receive([Collection(summary=np.array([1.0]), quanta=16)])
+        assert node.stats.batches_received == 2
+        assert node.stats.collections_received == 1
+        # The empty batch must not call partition.
+        assert node.stats.partition_calls == 1
+
+
+class TestSplitBookkeeping:
+    def test_empty_message_not_counted_as_made(self):
+        node = ClassifierNode(
+            0, np.array([0.0]), CentroidScheme(), k=2, quantization=Quantization(1)
+        )
+        payload = node.make_message()
+        assert payload == []
+        assert node.stats.messages_made == 0
+        assert node.stats.splits == 1
+
+    def test_repr_smoke(self):
+        node = ClassifierNode(
+            3, np.array([1.0]), CentroidScheme(), k=2, quantization=Quantization(16)
+        )
+        text = repr(node)
+        assert "id=3" in text

@@ -1,0 +1,189 @@
+"""Machine checks of the instantiation requirements R1-R4 (Section 4.2.1).
+
+Each scheme is checked against an *explicit* implementation of the mapping
+``f`` from mixture-space vectors to summaries (computed directly from the
+underlying value set), which is exactly how the paper defines the
+requirements:
+
+R2  ``val_to_summary(val_i) == f(e_i)``
+R3  ``f`` (and hence ``merge_set``) is invariant to weight scaling
+R4  merging summaries commutes with merging collections
+R1  summaries are Lipschitz in the mixture-space angle
+
+These are the preconditions of Lemma 1 and Theorem 1, so they are the
+most load-bearing tests in the repository.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.gaussian import pool_moments
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.gaussian import GaussianSummary
+from repro.schemes.gm import GaussianMixtureScheme
+from repro.schemes.histogram import HistogramScheme
+
+N_VALUES = 6
+
+# A fixed, irregular value set shared by all property tests.
+VALUES_2D = np.array(
+    [[0.0, 0.0], [1.0, 3.0], [-2.0, 1.5], [4.0, -1.0], [2.5, 2.5], [-1.0, -3.0]]
+)
+VALUES_1D = np.array([[-4.0], [-1.5], [0.0], [1.0], [2.5], [6.0]])
+
+
+def centroid_f(vector: np.ndarray) -> np.ndarray:
+    """Explicit f for the centroid scheme: the weighted average."""
+    return (vector[:, None] * VALUES_2D).sum(axis=0) / vector.sum()
+
+
+def gaussian_f(vector: np.ndarray) -> GaussianSummary:
+    """Explicit f for the Gaussian scheme: pooled moments of the values."""
+    covs = np.zeros((N_VALUES, 2, 2))
+    mean, cov = pool_moments(vector, VALUES_2D, covs)
+    return GaussianSummary(mean=mean, cov=cov)
+
+
+def histogram_f(scheme: HistogramScheme, vector: np.ndarray) -> np.ndarray:
+    """Explicit f for the histogram scheme: weighted bin proportions."""
+    histogram = np.zeros(scheme.bins)
+    for value, weight in zip(VALUES_1D[:, 0], vector):
+        histogram[scheme._bin_of(float(value))] += weight
+    return histogram / vector.sum()
+
+
+def angle_between(v1: np.ndarray, v2: np.ndarray) -> float:
+    """The mixture-space pseudo-metric d_M: the angle between vectors."""
+    cosine = float(v1 @ v2 / (np.linalg.norm(v1) * np.linalg.norm(v2)))
+    return math.acos(min(1.0, max(-1.0, cosine)))
+
+
+positive_vectors = st.lists(
+    st.floats(min_value=0.05, max_value=1.0), min_size=N_VALUES, max_size=N_VALUES
+).map(lambda components: np.array(components))
+
+vector_lists = st.lists(positive_vectors, min_size=2, max_size=4)
+
+
+# ----------------------------------------------------------------------
+# R2: values map to their summaries
+# ----------------------------------------------------------------------
+class TestR2:
+    def test_centroid(self):
+        scheme = CentroidScheme()
+        for i in range(N_VALUES):
+            unit = np.eye(N_VALUES)[i]
+            assert np.allclose(scheme.val_to_summary(VALUES_2D[i]), centroid_f(unit))
+
+    def test_gaussian(self):
+        scheme = GaussianMixtureScheme()
+        for i in range(N_VALUES):
+            unit = np.eye(N_VALUES)[i]
+            summary = scheme.val_to_summary(VALUES_2D[i])
+            assert summary.close_to(gaussian_f(unit), tolerance=1e-12)
+
+    def test_histogram(self):
+        scheme = HistogramScheme(low=-8.0, high=8.0, bins=16)
+        for i in range(N_VALUES):
+            unit = np.eye(N_VALUES)[i]
+            assert np.allclose(scheme.val_to_summary(VALUES_1D[i]), histogram_f(scheme, unit))
+
+
+# ----------------------------------------------------------------------
+# R3: weight-scale invariance
+# ----------------------------------------------------------------------
+class TestR3:
+    @given(positive_vectors, st.floats(min_value=0.01, max_value=100.0))
+    def test_centroid_f_scale_invariant(self, vector, alpha):
+        assert np.allclose(centroid_f(vector), centroid_f(alpha * vector))
+
+    @given(positive_vectors, st.floats(min_value=0.01, max_value=100.0))
+    def test_gaussian_f_scale_invariant(self, vector, alpha):
+        assert gaussian_f(vector).close_to(gaussian_f(alpha * vector), tolerance=1e-8)
+
+    @given(vector_lists, st.floats(min_value=0.01, max_value=100.0))
+    def test_merge_set_scale_invariant(self, vectors, alpha):
+        """Scaling all weights in merge_set leaves the result unchanged."""
+        scheme = CentroidScheme()
+        items = [(centroid_f(v), float(v.sum())) for v in vectors]
+        scaled = [(summary, alpha * weight) for summary, weight in items]
+        assert np.allclose(scheme.merge_set(items), scheme.merge_set(scaled))
+
+
+# ----------------------------------------------------------------------
+# R4: merging summaries == summarising the merged collection
+# ----------------------------------------------------------------------
+class TestR4:
+    @given(vector_lists)
+    @settings(max_examples=50)
+    def test_centroid(self, vectors):
+        scheme = CentroidScheme()
+        items = [(centroid_f(v), float(v.sum())) for v in vectors]
+        merged = scheme.merge_set(items)
+        expected = centroid_f(np.sum(vectors, axis=0))
+        assert np.allclose(merged, expected, atol=1e-10)
+
+    @given(vector_lists)
+    @settings(max_examples=50)
+    def test_gaussian(self, vectors):
+        scheme = GaussianMixtureScheme()
+        items = [(gaussian_f(v), float(v.sum())) for v in vectors]
+        merged = scheme.merge_set(items)
+        expected = gaussian_f(np.sum(vectors, axis=0))
+        assert merged.close_to(expected, tolerance=1e-8)
+
+    @given(vector_lists)
+    @settings(max_examples=50)
+    def test_histogram(self, vectors):
+        scheme = HistogramScheme(low=-8.0, high=8.0, bins=16)
+        items = [(histogram_f(scheme, v), float(v.sum())) for v in vectors]
+        merged = scheme.merge_set(items)
+        expected = histogram_f(scheme, np.sum(vectors, axis=0))
+        assert np.allclose(merged, expected, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# R1: summaries are Lipschitz in the mixture-space angle
+# ----------------------------------------------------------------------
+class TestR1:
+    def test_parallel_vectors_have_identical_summaries(self):
+        """d_M = 0 (same direction) must imply d_S = 0."""
+        scheme = CentroidScheme()
+        vector = np.array([0.3, 0.1, 0.25, 0.2, 0.4, 0.15])
+        assert scheme.distance(centroid_f(vector), centroid_f(3.0 * vector)) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sampled_lipschitz_bound_centroid(self, seed):
+        """Empirical ratio d_S/d_M stays bounded over random vector pairs.
+
+        With components bounded away from zero, the Lipschitz constant of
+        the weighted average in the vector angle is bounded by a modest
+        multiple of the value-set diameter; 50x diameter is a generous
+        envelope that would still catch a broken (non-continuous) scheme.
+        """
+        scheme = CentroidScheme()
+        generator = np.random.default_rng(seed)
+        diameter = max(
+            np.linalg.norm(a - b) for a in VALUES_2D for b in VALUES_2D
+        )
+        bound = 50.0 * diameter
+        for _ in range(200):
+            v1 = generator.uniform(0.05, 1.0, N_VALUES)
+            v2 = generator.uniform(0.05, 1.0, N_VALUES)
+            d_m = angle_between(v1, v2)
+            if d_m < 1e-4:
+                continue
+            d_s = scheme.distance(centroid_f(v1), centroid_f(v2))
+            assert d_s <= bound * d_m
+
+    def test_small_perturbation_small_summary_change(self):
+        """Continuity: an epsilon change in the vector moves f by O(epsilon)."""
+        vector = np.array([0.5, 0.3, 0.7, 0.2, 0.4, 0.6])
+        for epsilon in (1e-2, 1e-4, 1e-6):
+            perturbed = vector + epsilon
+            shift = float(np.linalg.norm(centroid_f(vector) - centroid_f(perturbed)))
+            assert shift <= 100.0 * epsilon

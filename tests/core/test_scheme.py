@@ -1,0 +1,57 @@
+"""The partition validator: Algorithm 1's structural conformance rules."""
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.scheme import PartitionError, validate_partition
+from repro.core.weights import Quantization
+
+LATTICE = Quantization(4)
+
+
+def collections(quantas):
+    return [Collection(summary=i, quanta=q) for i, q in enumerate(quantas)]
+
+
+class TestValidPartitions:
+    def test_single_group(self):
+        validate_partition([[0, 1, 2]], collections([2, 3, 4]), k=2, quantization=LATTICE)
+
+    def test_exact_k_groups(self):
+        validate_partition([[0], [1]], collections([2, 3]), k=2, quantization=LATTICE)
+
+    def test_minimum_weight_merged_is_fine(self):
+        validate_partition([[0, 1]], collections([1, 3]), k=2, quantization=LATTICE)
+
+    def test_lone_collection_may_be_minimum_weight(self):
+        """A solitary weight-q collection has no merge partner; allowed."""
+        validate_partition([[0]], collections([1]), k=2, quantization=LATTICE)
+
+
+class TestRuleViolations:
+    def test_too_many_groups(self):
+        with pytest.raises(PartitionError, match="bound is k"):
+            validate_partition(
+                [[0], [1], [2]], collections([2, 2, 2]), k=2, quantization=LATTICE
+            )
+
+    def test_empty_group(self):
+        with pytest.raises(PartitionError, match="empty group"):
+            validate_partition([[0, 1], []], collections([2, 2]), k=3, quantization=LATTICE)
+
+    def test_duplicated_index(self):
+        with pytest.raises(PartitionError, match="two groups"):
+            validate_partition([[0], [0, 1]], collections([2, 2]), k=3, quantization=LATTICE)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(PartitionError, match="out of range"):
+            validate_partition([[0, 5]], collections([2, 2]), k=3, quantization=LATTICE)
+
+    def test_dropped_index(self):
+        with pytest.raises(PartitionError, match="drops"):
+            validate_partition([[0]], collections([2, 2]), k=3, quantization=LATTICE)
+
+    def test_unmerged_minimum_weight_collection(self):
+        """Section 4.1 rule 2: a weight-q collection must not stay alone."""
+        with pytest.raises(PartitionError, match="minimum-weight"):
+            validate_partition([[0], [1]], collections([1, 4]), k=3, quantization=LATTICE)

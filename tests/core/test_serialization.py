@@ -1,0 +1,179 @@
+"""Wire serialisation: roundtrips, fixed sizes, error paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collection import Collection
+from repro.core.serialization import (
+    CentroidCodec,
+    DiagonalGaussianCodec,
+    GaussianCodec,
+    HistogramCodec,
+    codec_for_scheme,
+    decode_payload,
+    encode_payload,
+    payload_size_bytes,
+)
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.diagonal import DiagonalGaussianScheme
+from repro.schemes.gaussian import GaussianSummary
+from repro.schemes.gm import GaussianMixtureScheme
+from repro.schemes.histogram import HistogramScheme
+
+
+class TestCentroidCodec:
+    def test_roundtrip(self):
+        codec = CentroidCodec(3)
+        summary = np.array([1.5, -2.0, 1e-12])
+        decoded = codec.decode_summary(codec.encode_summary(summary))
+        assert np.array_equal(decoded, summary)
+
+    def test_fixed_size(self):
+        codec = CentroidCodec(4)
+        assert len(codec.encode_summary(np.zeros(4))) == codec.summary_size() == 32
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            CentroidCodec(2).encode_summary(np.zeros(3))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            CentroidCodec(0)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e12, max_value=1e12),
+                    min_size=2, max_size=2))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, components):
+        codec = CentroidCodec(2)
+        summary = np.array(components)
+        assert np.array_equal(codec.decode_summary(codec.encode_summary(summary)), summary)
+
+
+class TestGaussianCodec:
+    def test_roundtrip_preserves_symmetry(self):
+        codec = GaussianCodec(2)
+        summary = GaussianSummary(mean=[1.0, 2.0], cov=[[2.0, 0.7], [0.7, 1.0]])
+        decoded = codec.decode_summary(codec.encode_summary(summary))
+        assert decoded.close_to(summary, tolerance=0.0)
+        assert np.array_equal(decoded.cov, decoded.cov.T)
+
+    def test_size_is_triangle(self):
+        # d=3: 3 mean + 6 upper-triangle = 9 floats = 72 bytes.
+        assert GaussianCodec(3).summary_size() == 72
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            GaussianCodec(2).encode_summary(np.zeros(2))
+
+    def test_rejects_dimension_mismatch(self):
+        summary = GaussianSummary(mean=[0.0], cov=[[1.0]])
+        with pytest.raises(ValueError):
+            GaussianCodec(2).encode_summary(summary)
+
+
+class TestDiagonalCodec:
+    def test_roundtrip_diagonal(self):
+        codec = DiagonalGaussianCodec(2)
+        summary = GaussianSummary(mean=[1.0, -1.0], cov=np.diag([0.5, 2.0]))
+        decoded = codec.decode_summary(codec.encode_summary(summary))
+        assert decoded.close_to(summary, tolerance=0.0)
+
+    def test_smaller_than_full_gaussian(self):
+        for d in (2, 3, 8):
+            assert DiagonalGaussianCodec(d).summary_size() < GaussianCodec(d).summary_size() or d <= 1
+
+    def test_off_diagonals_dropped(self):
+        codec = DiagonalGaussianCodec(2)
+        summary = GaussianSummary(mean=[0.0, 0.0], cov=[[1.0, 0.9], [0.9, 1.0]])
+        decoded = codec.decode_summary(codec.encode_summary(summary))
+        assert decoded.cov[0, 1] == 0.0
+
+
+class TestHistogramCodec:
+    def test_roundtrip(self):
+        codec = HistogramCodec(5)
+        summary = np.array([0.2, 0.0, 0.5, 0.3, 0.0])
+        assert np.array_equal(codec.decode_summary(codec.encode_summary(summary)), summary)
+
+    def test_rejects_wrong_bins(self):
+        with pytest.raises(ValueError):
+            HistogramCodec(4).encode_summary(np.zeros(5))
+
+
+class TestPayloads:
+    def payload(self):
+        return [
+            Collection(summary=np.array([0.0, 0.0]), quanta=123456789),
+            Collection(summary=np.array([5.0, -5.0]), quanta=1),
+        ]
+
+    def test_roundtrip(self):
+        codec = CentroidCodec(2)
+        blob = encode_payload(self.payload(), codec)
+        decoded = decode_payload(blob, codec)
+        assert len(decoded) == 2
+        assert decoded[0].quanta == 123456789
+        assert np.array_equal(decoded[1].summary, [5.0, -5.0])
+
+    def test_size_formula_exact(self):
+        codec = CentroidCodec(2)
+        blob = encode_payload(self.payload(), codec)
+        assert len(blob) == payload_size_bytes(2, codec)
+
+    def test_codec_mismatch_rejected(self):
+        blob = encode_payload(self.payload(), CentroidCodec(2))
+        with pytest.raises(ValueError, match="codec"):
+            decode_payload(blob, GaussianCodec(2))
+
+    def test_trailing_bytes_rejected(self):
+        codec = CentroidCodec(2)
+        blob = encode_payload(self.payload(), codec) + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            decode_payload(blob, codec)
+
+    def test_empty_payload(self):
+        codec = CentroidCodec(2)
+        assert decode_payload(encode_payload([], codec), codec) == []
+
+    def test_large_quanta_supported(self):
+        """Default lattice weights (2^40 quanta/unit, many units) fit."""
+        codec = CentroidCodec(1)
+        payload = [Collection(summary=np.array([1.0]), quanta=1000 * (1 << 40))]
+        decoded = decode_payload(encode_payload(payload, codec), codec)
+        assert decoded[0].quanta == 1000 * (1 << 40)
+
+
+class TestCodecSelection:
+    def test_scheme_dispatch(self):
+        assert isinstance(codec_for_scheme(CentroidScheme(), 2), CentroidCodec)
+        assert isinstance(codec_for_scheme(GaussianMixtureScheme(), 2), GaussianCodec)
+        assert isinstance(
+            codec_for_scheme(DiagonalGaussianScheme(), 2), DiagonalGaussianCodec
+        )
+        histogram_codec = codec_for_scheme(HistogramScheme(low=0, high=1, bins=7), 1)
+        assert isinstance(histogram_codec, HistogramCodec)
+        assert histogram_codec.bins == 7
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(TypeError):
+            codec_for_scheme(object(), 2)
+
+
+class TestEndToEndWire:
+    def test_real_gossip_payload_roundtrips(self):
+        """A payload produced by a live node survives the wire intact."""
+        from repro.core.node import ClassifierNode
+        from repro.core.weights import Quantization
+
+        scheme = GaussianMixtureScheme(seed=0)
+        node = ClassifierNode(0, np.array([1.0, 2.0]), scheme, k=3, quantization=Quantization())
+        payload = node.make_message()
+        codec = codec_for_scheme(scheme, dimension=2)
+        decoded = decode_payload(encode_payload(payload, codec), codec)
+        assert len(decoded) == len(payload)
+        for original, restored in zip(payload, decoded):
+            assert restored.quanta == original.quanta
+            assert restored.summary.close_to(original.summary, tolerance=0.0)

@@ -1,0 +1,75 @@
+"""Property-based wire-format tests: arbitrary payloads survive the round trip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collection import Collection
+from repro.core.serialization import (
+    DiagonalGaussianCodec,
+    GaussianCodec,
+    decode_payload,
+    encode_payload,
+    payload_size_bytes,
+)
+from repro.schemes.gaussian import GaussianSummary
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+
+
+@st.composite
+def gaussian_collections(draw):
+    """A payload of 1-6 random 2-D Gaussian collections."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    collections = []
+    for _ in range(count):
+        mean = np.array(draw(st.tuples(finite_floats, finite_floats)))
+        # Build a PSD covariance from a random factor.
+        a = np.array(
+            [
+                draw(st.tuples(finite_floats, finite_floats)),
+                draw(st.tuples(finite_floats, finite_floats)),
+            ]
+        ) / 1e5
+        cov = a @ a.T
+        quanta = draw(st.integers(min_value=1, max_value=1 << 50))
+        collections.append(
+            Collection(summary=GaussianSummary(mean=mean, cov=cov), quanta=quanta)
+        )
+    return collections
+
+
+class TestGaussianWireProperties:
+    @given(gaussian_collections())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_is_lossless(self, payload):
+        codec = GaussianCodec(2)
+        decoded = decode_payload(encode_payload(payload, codec), codec)
+        assert len(decoded) == len(payload)
+        for original, restored in zip(payload, decoded):
+            assert restored.quanta == original.quanta
+            assert np.array_equal(restored.summary.mean, original.summary.mean)
+            assert np.allclose(
+                restored.summary.cov, original.summary.cov, rtol=0, atol=0
+            )
+
+    @given(gaussian_collections())
+    @settings(max_examples=30, deadline=None)
+    def test_size_matches_formula(self, payload):
+        codec = GaussianCodec(2)
+        blob = encode_payload(payload, codec)
+        assert len(blob) == payload_size_bytes(len(payload), codec)
+
+    @given(gaussian_collections())
+    @settings(max_examples=30, deadline=None)
+    def test_diagonal_codec_preserves_diagonal_exactly(self, payload):
+        codec = DiagonalGaussianCodec(2)
+        decoded = decode_payload(encode_payload(payload, codec), codec)
+        for original, restored in zip(payload, decoded):
+            assert np.array_equal(
+                np.diag(restored.summary.cov), np.diag(original.summary.cov)
+            )
+            # Off-diagonals are intentionally dropped by this codec.
+            assert restored.summary.cov[0, 1] == 0.0

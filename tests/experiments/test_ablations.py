@@ -1,0 +1,84 @@
+"""Ablation experiments at tiny scale: structure and directional claims."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_centralized_gap,
+    run_gossip_variant_ablation,
+    run_k_ablation,
+    run_quantum_ablation,
+    run_scheme_ablation,
+    run_topology_ablation,
+)
+from repro.experiments.common import Scale
+
+TINY = Scale(name="tiny", n_nodes=24, max_rounds=20)
+
+
+class TestTopologyAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_topology_ablation(TINY, seed=11)
+
+    def test_all_topologies_present(self, rows):
+        labels = {row.label for row in rows}
+        assert labels == {"complete", "ring", "grid", "geometric", "small_world"}
+
+    def test_complete_is_fastest(self, rows):
+        by_label = {row.label: row for row in rows}
+        assert by_label["complete"]["rounds"] <= by_label["ring"]["rounds"]
+
+
+class TestGossipVariantAblation:
+    def test_variants_and_message_counts(self):
+        rows = run_gossip_variant_ablation(TINY, seed=12)
+        by_label = {row.label: row for row in rows}
+        assert set(by_label) == {"push", "pull", "pushpull"}
+        # Push-pull moves twice the messages per round of push.
+        assert by_label["pushpull"]["messages"] > 1.5 * by_label["push"]["messages"]
+
+
+class TestKAblation:
+    def test_likelihood_improves_with_k(self):
+        rows = run_k_ablation(TINY, seed=13, ks=(3, 7))
+        by_k = {int(row["k"]): row for row in rows}
+        assert by_k[7]["loglik_per_value"] >= by_k[3]["loglik_per_value"] - 1e-9
+        assert by_k[3]["collections"] <= 3
+        assert by_k[7]["collections"] <= 7
+
+
+class TestQuantumAblation:
+    def test_fine_lattice_more_accurate(self):
+        rows = run_quantum_ablation(TINY, seed=14, quanta=(4, 1 << 20))
+        coarse, fine = rows[0], rows[1]
+        assert coarse["avg_balance_error"] > fine["avg_balance_error"]
+
+    def test_weight_always_conserved(self):
+        rows = run_quantum_ablation(TINY, seed=14, quanta=(4, 256))
+        assert all(row["total_quanta_conserved"] == 1.0 for row in rows)
+
+
+class TestSchemeAblation:
+    def test_gm_beats_histogram_on_anisotropic_data(self):
+        rows = run_scheme_ablation(TINY, seed=15)
+        by_label = {row.label: row for row in rows}
+        assert (
+            by_label["gaussian_mixture"]["weight_accuracy"]
+            > by_label["histogram"]["weight_accuracy"]
+        )
+
+    def test_accuracies_are_fractions(self):
+        rows = run_scheme_ablation(TINY, seed=15)
+        assert all(0.0 <= row["weight_accuracy"] <= 1.0 for row in rows)
+
+
+class TestCentralizedGap:
+    def test_distributed_close_to_centralized(self):
+        rows = run_centralized_gap(TINY, seed=16)
+        by_label = {row.label: row for row in rows}
+        gap = by_label["centralized_em"]["loglik_per_value"] - by_label[
+            "distributed_gm"
+        ]["loglik_per_value"]
+        # The distributed estimate (k=7 collections) should not trail the
+        # centralised fit by more than a modest margin.
+        assert gap < 0.5

@@ -1,0 +1,25 @@
+"""The experiment CLI (python -m repro.experiments.run)."""
+
+import pytest
+
+from repro.experiments.run import COMMANDS, main
+
+
+class TestCli:
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1", "--scale", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "demonstrates the paper's claim: True" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--scale", "huge"])
+
+    def test_command_registry_covers_figures_and_ablations(self):
+        assert {"fig1", "fig2", "fig3", "fig4"} <= set(COMMANDS)
+        assert any(name.startswith("ablation-") for name in COMMANDS)

@@ -1,0 +1,95 @@
+"""The figure experiments at fast scale: every bench code path under pytest.
+
+These are the same functions the benchmark suite runs at larger scale; the
+assertions here encode the *shape* claims of the paper's evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3_row
+from repro.experiments.fig4 import run_fig4
+
+TINY = Scale(name="tiny", n_nodes=80, max_rounds=25, deltas=(0.0, 10.0))
+
+
+class TestFig1:
+    def test_demonstrates_the_paper_claim(self):
+        result = run_fig1()
+        assert result.centroid_choice == "A"
+        assert result.gaussian_choice == "B"
+        assert result.demonstrates_claim
+
+    def test_distances_and_densities_consistent(self):
+        result = run_fig1()
+        assert result.distance_to_a < result.distance_to_b
+        assert result.log_density_b > result.log_density_a
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(TINY, k=7, seed=2)
+
+    def test_three_source_components_recovered(self, result):
+        assert len(result.recovery.matches) == 3
+        assert result.recovery.max_mean_distance < 2.0
+
+    def test_recovered_weights_roughly_correct(self, result):
+        assert result.recovery.max_weight_error < 0.15
+
+    def test_distributed_likelihood_near_centralized(self, result):
+        """The distributed estimate must be a usable density model: within
+        a modest margin of centralised EM on the same data."""
+        assert result.log_likelihood_distributed >= result.log_likelihood_centralized - 0.5
+
+    def test_collection_budget_respected(self, result):
+        assert result.n_collections <= 7
+
+
+class TestFig3:
+    def test_far_outliers_removed(self):
+        row = run_fig3_row(12.0, scale=TINY, seed=3)
+        # Robust beats regular clearly once the outliers are separable.
+        assert row.robust_error < row.regular_error
+        assert row.missed_outliers_pct < 50.0
+
+    def test_no_outliers_baseline(self):
+        row = run_fig3_row(0.0, scale=TINY, seed=3)
+        # With delta=0 there is nothing to remove: both estimators land
+        # close to the truth and close to each other.
+        assert row.robust_error < 0.4
+        assert abs(row.robust_error - row.regular_error) < 0.2
+
+    def test_regular_error_grows_with_delta(self):
+        near = run_fig3_row(0.0, scale=TINY, seed=3)
+        far = run_fig3_row(16.0, scale=TINY, seed=3)
+        assert far.regular_error > near.regular_error + 0.3
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(TINY, delta=10.0, rounds=22, seed=4)
+
+    def test_robust_beats_regular_at_the_end(self, result):
+        finals = result.final_errors()
+        assert finals["robust_no_crashes"] < finals["regular_no_crashes"]
+        assert finals["robust_with_crashes"] < finals["regular_with_crashes"]
+
+    def test_crashes_do_not_break_convergence(self, result):
+        finals = result.final_errors()
+        # Crash indifference: same order of magnitude as the clean run.
+        assert finals["robust_with_crashes"] < 3.0 * max(finals["robust_no_crashes"], 0.1)
+
+    def test_error_decreases_from_first_round(self, result):
+        assert result.robust_no_crashes[-1] < result.robust_no_crashes[0]
+        assert result.regular_no_crashes[-1] < result.regular_no_crashes[0]
+
+    def test_survivors_monotone_nonincreasing(self, result):
+        survivors = result.survivors_with_crashes
+        assert all(b <= a for a, b in zip(survivors, survivors[1:]))
+        assert result.rounds == tuple(range(1, 23))

@@ -1,0 +1,33 @@
+"""Partition-and-heal experiment (tiny scale)."""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.partitions import run_partition_heal
+
+TINY = Scale(name="tiny", n_nodes=40, max_rounds=40)
+
+
+class TestPartitionHeal:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_partition_heal(
+            TINY, seed=41, partition_start=10, partition_length=10, total_rounds=40
+        )
+
+    def test_trace_shape(self, result):
+        assert len(result.rounds) == 40
+        assert result.partition_start == 10
+        assert result.partition_end == 20
+
+    def test_sides_disagree_while_partitioned(self, result):
+        during = result.phase_mean(result.partition_start + 3, result.partition_end)
+        after = result.phase_mean(33, 41)
+        assert during > 5.0 * after
+
+    def test_reconciliation_after_healing(self, result):
+        assert result.phase_mean(33, 41) < 0.1
+
+    def test_phase_mean_validates_window(self, result):
+        with pytest.raises(ValueError):
+            result.phase_mean(500, 510)

@@ -1,0 +1,56 @@
+"""The CLI's figure printers: output structure at tiny scale."""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.run import (
+    _print_fig1,
+    _print_fig2,
+    _print_fig3,
+    _print_fig4,
+    _print_partition_heal,
+)
+
+TINY = Scale(name="tiny", n_nodes=40, max_rounds=15, deltas=(0.0, 10.0))
+
+
+class TestFigurePrinters:
+    def test_fig1_printer(self, capsys):
+        _print_fig1(TINY)
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "centroid rule associates the new value with: A" in out
+        assert "Gaussian rule associates the new value with: B" in out
+
+    def test_fig2_printer(self, capsys):
+        _print_fig2(TINY)
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "source[0]" in out
+        assert "distributed GM" in out
+        assert "centralized EM" in out
+
+    def test_fig3_printer(self, capsys):
+        _print_fig3(TINY)
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "missed_outliers_%" in out
+        assert "robust_error" in out
+        # One data row per delta in the preset.
+        data_lines = [
+            line for line in out.splitlines() if line and line[0].isdigit()
+        ]
+        assert len(data_lines) == len(TINY.deltas)
+
+    def test_fig4_printer(self, capsys):
+        _print_fig4(TINY.with_overrides(max_rounds=8))
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "robust_no_crash" in out
+        assert "survivors" in out
+
+    def test_partition_heal_printer(self, capsys):
+        _print_partition_heal(TINY.with_overrides(n_nodes=24))
+        out = capsys.readouterr().out
+        assert "Partition and heal" in out
+        assert "cross_partition_disagreement" in out

@@ -1,0 +1,47 @@
+"""Robustness extension experiments (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.robustness import (
+    run_crash_rate_sweep,
+    run_k_mismatch,
+    run_outlier_fraction_sweep,
+)
+
+TINY = Scale(name="tiny", n_nodes=80, max_rounds=25)
+
+
+class TestOutlierFractionSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_outlier_fraction_sweep(TINY, seed=31, fractions=(0.05, 0.20))
+
+    def test_regular_error_grows_with_contamination(self, rows):
+        assert rows[1]["regular_error"] > rows[0]["regular_error"]
+
+    def test_robust_stays_below_regular_at_high_contamination(self, rows):
+        high = rows[-1]
+        assert high["robust_error"] < high["regular_error"]
+
+    def test_row_labels(self, rows):
+        assert [row.label for row in rows] == ["5%", "20%"]
+
+
+class TestCrashRateSweep:
+    def test_survivors_shrink_with_rate(self):
+        rows = run_crash_rate_sweep(TINY, seed=32, rates=(0.0, 0.10), rounds=20)
+        assert rows[0]["survivors"] == 80
+        assert rows[1]["survivors"] < 40
+        # The surviving estimate stays useful even at 10%/round.
+        assert rows[1]["robust_error"] < 1.0
+
+
+class TestKMismatch:
+    def test_extra_collections_harmless(self):
+        rows = run_k_mismatch(TINY, seed=33, ks=(2, 4))
+        by_k = {int(row["k"]): row for row in rows}
+        # The heaviest-collection read-out tolerates fragmentation: going
+        # from the intended k=2 to k=4 must not blow the error up.
+        assert by_k[4]["robust_error"] < 3.0 * by_k[2]["robust_error"] + 0.1

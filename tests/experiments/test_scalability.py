@@ -1,0 +1,85 @@
+"""Message-size, scalability and asynchronous experiments (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.scalability import (
+    measured_payload_bytes,
+    run_async_ablation,
+    run_message_size_ablation,
+    run_scalability,
+)
+
+TINY = Scale(name="tiny", n_nodes=48, max_rounds=20)
+
+
+class TestMessageSize:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_message_size_ablation(TINY, seed=21)
+
+    def test_all_schemes_measured(self, rows):
+        labels = {row.label for row in rows}
+        assert labels == {"centroid", "diagonal_gaussian", "gaussian_mixture"}
+
+    def test_size_independent_of_n(self, rows):
+        """The paper's Section 2 claim, in bytes."""
+        assert all(row["size_independent_of_n"] == 1.0 for row in rows)
+
+    def test_scheme_size_ordering(self, rows):
+        by_label = {row.label: row for row in rows}
+        byte_columns = [key for key in rows[0].metrics if key.startswith("bytes_at")]
+        column = byte_columns[0]
+        assert (
+            by_label["centroid"][column]
+            < by_label["diagonal_gaussian"][column]
+            < by_label["gaussian_mixture"][column]
+        )
+
+
+class TestMeasuredPayloadBytes:
+    def test_measurement_conserves_weight(self):
+        from repro.network.topology import complete
+        from repro.protocols.classification import build_classification_network
+        from repro.schemes.gm import GaussianMixtureScheme
+
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(12, 2))
+        scheme = GaussianMixtureScheme(seed=0)
+        engine, nodes = build_classification_network(
+            values, scheme, k=2, graph=complete(12), seed=0
+        )
+        engine.run(10)
+        before = sum(node.total_quanta for node in nodes)
+        size = measured_payload_bytes(nodes, scheme, dimension=2)
+        assert size > 0
+        assert sum(node.total_quanta for node in nodes) == before
+
+
+class TestScalability:
+    def test_sweep_structure(self):
+        rows = run_scalability(TINY, seed=22, sizes=(24, 48))
+        assert [row.label for row in rows] == ["n=24", "n=48"]
+        for row in rows:
+            assert row["final_disagreement"] < 0.5
+            assert row["bytes_per_message"] > 0
+
+    def test_bytes_per_message_constant_in_n(self):
+        rows = run_scalability(TINY, seed=22, sizes=(24, 48))
+        sizes = {row["bytes_per_message"] for row in rows}
+        assert len(sizes) == 1
+
+
+class TestAsyncAblation:
+    def test_both_topologies_reach_target(self):
+        rows = run_async_ablation(TINY, seed=23, target_disagreement=0.2)
+        by_label = {row.label: row for row in rows}
+        assert set(by_label) == {"complete", "ring"}
+        for row in rows:
+            assert np.isfinite(row["sim_time_to_target"])
+        # Dense converges no later than sparse.
+        assert (
+            by_label["complete"]["sim_time_to_target"]
+            <= by_label["ring"]["sim_time_to_target"]
+        )

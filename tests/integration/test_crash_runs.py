@@ -1,0 +1,87 @@
+"""Runs under crash failures stay well-defined and useful (Figure 4's claim)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import average_error
+from repro.analysis.outliers import robust_mean
+from repro.core.convergence import disagreement
+from repro.data.generators import outlier_scenario
+from repro.network.failures import BernoulliCrashes, ScheduledCrashes
+from repro.network.topology import complete
+from repro.protocols.classification import build_classification_network
+from repro.protocols.push_sum import build_push_sum_network
+from repro.schemes.gm import GaussianMixtureScheme
+
+from tests.conftest import two_cluster_values
+
+N = 40
+
+
+class TestCrashSurvival:
+    def test_survivors_still_converge(self):
+        values = two_cluster_values(N, seed=1)
+        scheme = GaussianMixtureScheme(seed=1)
+        engine, nodes = build_classification_network(
+            values,
+            scheme,
+            k=2,
+            graph=complete(N),
+            seed=1,
+            failure_model=BernoulliCrashes(0.05, min_survivors=8),
+        )
+        engine.run(40)
+        live = [nodes[node_id] for node_id in engine.live_nodes]
+        assert len(live) >= 8
+        assert disagreement(live, scheme) < 0.2
+
+    def test_crash_of_collection_holder_loses_only_its_share(self):
+        """Crashing nodes removes weight but never corrupts survivors."""
+        values = two_cluster_values(N, seed=2)
+        scheme = GaussianMixtureScheme(seed=2)
+        engine, nodes = build_classification_network(
+            values, scheme, k=2, graph=complete(N), seed=2,
+            failure_model=ScheduledCrashes({3: [0, 1, 2, 3, 4]}),
+        )
+        engine.run(30)
+        live = [nodes[node_id] for node_id in engine.live_nodes]
+        total_live = sum(node.total_quanta for node in live)
+        assert 0 < total_live <= N * nodes[0].quantization.unit
+        # Survivors still recover the two cluster means.
+        means = sorted(
+            np.asarray(c.summary.mean).tolist() for c in live[0].classification
+        )
+        assert np.allclose(means[0], [0, 0], atol=0.6)
+        assert np.allclose(means[1], [8, 8], atol=0.6)
+
+
+class TestRobustAverageUnderCrashes:
+    def test_outlier_removal_survives_crashes(self):
+        scenario = outlier_scenario(10.0, n_good=76, n_outliers=4, seed=3)
+        scheme = GaussianMixtureScheme(seed=3)
+        engine, nodes = build_classification_network(
+            scenario.values,
+            scheme,
+            k=2,
+            graph=complete(scenario.n),
+            seed=3,
+            failure_model=BernoulliCrashes(0.05, min_survivors=10),
+        )
+        engine.run(30)
+        live = [nodes[node_id] for node_id in engine.live_nodes]
+        robust = average_error(
+            (robust_mean(node.classification) for node in live), scenario.true_mean
+        )
+
+        push_engine, push_nodes = build_push_sum_network(
+            scenario.values,
+            complete(scenario.n),
+            seed=3,
+            failure_model=BernoulliCrashes(0.05, min_survivors=10),
+        )
+        push_engine.run(30)
+        regular = average_error(
+            (push_nodes[node_id].estimate for node_id in push_engine.live_nodes),
+            scenario.true_mean,
+        )
+        assert robust < regular

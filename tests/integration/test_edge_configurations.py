@@ -1,0 +1,107 @@
+"""Edge configurations: extreme but legal parameter corners.
+
+The paper's model allows any connected topology (including two nodes),
+any k >= 1, and any value dimension; these tests pin the corners the
+mainline experiments never visit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClassifierNode, Quantization, disagreement
+from repro.network.topology import complete, line
+from repro.protocols.classification import build_classification_network
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.gm import GaussianMixtureScheme
+
+
+class TestTinyNetworks:
+    def test_two_nodes_on_a_line(self):
+        values = np.array([[0.0], [10.0]])
+        scheme = CentroidScheme()
+        engine, nodes = build_classification_network(
+            values, scheme, k=2, graph=line(2), seed=0
+        )
+        engine.run(30)
+        # Both nodes converge to the same two-collection classification.
+        assert disagreement(nodes, scheme) < 1e-6
+        summaries = sorted(float(c.summary[0]) for c in nodes[0].classification)
+        assert summaries == pytest.approx([0.0, 10.0])
+
+    def test_single_node_is_trivially_converged(self):
+        node = ClassifierNode(0, np.array([5.0]), CentroidScheme(), k=3)
+        # A node with no peers just holds its own value forever.
+        assert len(node.classification) == 1
+        assert np.allclose(node.classification[0].summary, [5.0])
+
+
+class TestKOne:
+    def test_k1_gm_collapses_to_global_moments(self):
+        """k = 1 forces everything into one Gaussian: the global moments."""
+        rng = np.random.default_rng(3)
+        values = rng.normal(2.0, 1.5, size=(20, 1))
+        scheme = GaussianMixtureScheme(seed=3)
+        engine, nodes = build_classification_network(
+            values, scheme, k=1, graph=complete(20), seed=3
+        )
+        engine.run(40)
+        summary = nodes[0].classification[0].summary
+        # Convergence is asymptotic: after 40 rounds the residual weight
+        # imbalance is ~1e-5 relative, so compare at that resolution.
+        assert summary.mean[0] == pytest.approx(float(values.mean()), abs=1e-4)
+        centered = values - values.mean()
+        assert summary.cov[0, 0] == pytest.approx(
+            float((centered**2).mean()), abs=1e-4
+        )
+
+
+class TestHigherDimensions:
+    def test_three_dimensional_values(self):
+        rng = np.random.default_rng(4)
+        values = np.vstack(
+            [rng.normal([0, 0, 0], 0.4, size=(8, 3)), rng.normal([5, 5, 5], 0.4, size=(8, 3))]
+        )
+        scheme = GaussianMixtureScheme(seed=4)
+        engine, nodes = build_classification_network(
+            values, scheme, k=2, graph=complete(16), seed=4
+        )
+        engine.run(30)
+        classification = nodes[0].classification
+        assert len(classification) == 2
+        assert classification[0].summary.dimension == 3
+
+    def test_one_dimensional_values(self):
+        values = np.linspace(0, 1, 10)[:, None]
+        scheme = CentroidScheme()
+        engine, nodes = build_classification_network(
+            values, scheme, k=1, graph=complete(10), seed=5
+        )
+        engine.run(25)
+        assert nodes[0].classification[0].summary[0] == pytest.approx(0.5, abs=1e-6)
+
+
+class TestCoarseLattices:
+    def test_single_quantum_per_node_still_runs(self):
+        """q = 1 (one quantum per whole value): nothing is ever sendable,
+        so every node keeps exactly its own value — degenerate but legal."""
+        values = np.array([[0.0], [1.0], [2.0]])
+        scheme = CentroidScheme()
+        engine, nodes = build_classification_network(
+            values, scheme, k=2, graph=complete(3), seed=6,
+            quantization=Quantization(1),
+        )
+        engine.run(10)
+        assert engine.metrics.messages_sent == 0
+        for i, node in enumerate(nodes):
+            assert np.allclose(node.classification[0].summary, values[i])
+
+    def test_two_quanta_lattice_converges_roughly(self):
+        values = np.array([[0.0], [0.5], [8.0], [8.5]])
+        scheme = CentroidScheme()
+        engine, nodes = build_classification_network(
+            values, scheme, k=2, graph=complete(4), seed=7,
+            quantization=Quantization(4),
+        )
+        engine.run(20)
+        total = sum(node.total_quanta for node in nodes)
+        assert total == 16  # conservation even on a 4-quanta lattice

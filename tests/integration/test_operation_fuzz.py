@@ -1,0 +1,137 @@
+"""Fuzzing the protocol: random operation sequences preserve all invariants.
+
+Hypothesis drives arbitrary interleavings of the two protocol operations
+(split-and-send, receive-and-merge) across a small set of nodes, with
+messages delayed arbitrarily (held in a pending pool and delivered in any
+order).  This simulates the adversarial scheduler of the asynchronous
+model more aggressively than the engines do.  After every single
+operation the suite checks:
+
+- system-wide weight conservation (nodes + pending messages), exactly;
+- the k bound on every node's classification;
+- positive weights everywhere;
+- Lemma 1 for the centroid scheme: every collection's summary equals the
+  weighted average of the inputs its auxiliary vector says it contains.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.node import ClassifierNode
+from repro.core.weights import Quantization
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.gm import GaussianMixtureScheme
+
+N_NODES = 5
+K = 2
+VALUES = np.array([[0.0, 0.0], [1.0, 2.0], [8.0, 8.0], [9.0, 7.0], [0.5, 1.0]])
+
+# An operation is (kind, node, target): kind 0 = node sends (message goes
+# to the pending pool, addressed to target), kind 1 = deliver the oldest
+# pending message addressed to target (no-op if none).
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=N_NODES - 1),
+        st.integers(min_value=0, max_value=N_NODES - 1),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def build_nodes(scheme):
+    quantization = Quantization(1 << 16)
+    return [
+        ClassifierNode(
+            i,
+            VALUES[i],
+            scheme,
+            k=K,
+            quantization=quantization,
+            track_aux=True,
+            n_inputs=N_NODES,
+            validate=True,
+        )
+        for i in range(N_NODES)
+    ], quantization
+
+
+def run_schedule(nodes, schedule):
+    """Apply the operation sequence; returns the pending-message pool."""
+    pending = []  # list of (destination, payload)
+    for kind, node, target in schedule:
+        if kind == 0:
+            payload = nodes[node].make_message()
+            if payload:
+                pending.append((target, payload))
+        else:
+            for index, (destination, payload) in enumerate(pending):
+                if destination == target:
+                    nodes[target].receive(payload)
+                    del pending[index]
+                    break
+    return pending
+
+
+def total_quanta(nodes, pending):
+    total = sum(node.total_quanta for node in nodes)
+    for _, payload in pending:
+        total += sum(collection.quanta for collection in payload)
+    return total
+
+
+class TestFuzzCentroid:
+    @given(operations)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_under_any_schedule(self, schedule):
+        scheme = CentroidScheme()
+        nodes, quantization = build_nodes(scheme)
+        pending = run_schedule(nodes, schedule)
+
+        # Exact conservation over the global pool.
+        assert total_quanta(nodes, pending) == N_NODES * quantization.unit
+
+        for node in nodes:
+            classification = node.classification
+            assert len(classification) <= K
+            for collection in classification:
+                assert collection.quanta > 0
+                # Lemma 1: summary == f(aux).
+                weights = collection.aux.components
+                expected = (weights[:, None] * VALUES).sum(axis=0) / weights.sum()
+                assert np.allclose(collection.summary, expected, atol=1e-6)
+
+    @given(operations)
+    @settings(max_examples=20, deadline=None)
+    def test_aux_provenance_complete(self, schedule):
+        """Every input's weight is fully accounted for across the pool."""
+        scheme = CentroidScheme()
+        nodes, quantization = build_nodes(scheme)
+        pending = run_schedule(nodes, schedule)
+        per_input = np.zeros(N_NODES)
+        for node in nodes:
+            for collection in node.classification:
+                per_input += collection.aux.components
+        for _, payload in pending:
+            for collection in payload:
+                per_input += collection.aux.components
+        assert np.allclose(per_input, quantization.unit, rtol=1e-9)
+
+
+class TestFuzzGaussian:
+    @given(operations)
+    @settings(max_examples=15, deadline=None)
+    def test_gm_scheme_survives_any_schedule(self, schedule):
+        scheme = GaussianMixtureScheme(seed=0)
+        nodes, quantization = build_nodes(scheme)
+        pending = run_schedule(nodes, schedule)
+        assert total_quanta(nodes, pending) == N_NODES * quantization.unit
+        for node in nodes:
+            assert len(node.classification) <= K
+            for collection in node.classification:
+                cov = collection.summary.cov
+                # Covariances stay symmetric positive semidefinite.
+                assert np.allclose(cov, cov.T, atol=1e-9)
+                assert np.linalg.eigvalsh(cov).min() > -1e-8

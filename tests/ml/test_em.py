@@ -1,0 +1,101 @@
+"""Centralised weighted EM for Gaussian mixtures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.em import fit_gmm_em
+from repro.ml.gmm import GaussianMixtureModel
+
+
+def two_blob_data(rng, n=300):
+    return np.vstack(
+        [rng.normal([0, 0], 0.7, size=(n // 2, 2)), rng.normal([8, 8], 1.2, size=(n // 2, 2))]
+    )
+
+
+class TestFitting:
+    def test_recovers_separated_mixture(self, rng):
+        points = two_blob_data(rng)
+        result = fit_gmm_em(points, 2, rng)
+        means = sorted(result.model.means.tolist())
+        assert np.allclose(means[0], [0, 0], atol=0.3)
+        assert np.allclose(means[1], [8, 8], atol=0.4)
+        assert np.allclose(sorted(result.model.weights), [0.5, 0.5], atol=0.05)
+
+    def test_monotone_log_likelihood(self, rng):
+        points = two_blob_data(rng)
+        result = fit_gmm_em(points, 3, rng)
+        trace = np.array(result.log_likelihood_trace)
+        assert np.all(np.diff(trace) >= -1e-6)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_monotone_log_likelihood_random_data(self, seed):
+        """EM's defining property on arbitrary data: likelihood never drops."""
+        generator = np.random.default_rng(seed)
+        points = generator.normal(size=(60, 2)) * generator.uniform(0.5, 3.0)
+        result = fit_gmm_em(points, 3, generator, max_iterations=30)
+        trace = np.array(result.log_likelihood_trace)
+        assert np.all(np.diff(trace) >= -1e-6)
+
+    def test_converged_flag_on_easy_data(self, rng):
+        points = two_blob_data(rng)
+        result = fit_gmm_em(points, 2, rng, max_iterations=200)
+        assert result.converged
+
+    def test_single_component_matches_sample_moments(self, rng):
+        points = rng.normal([3.0, -1.0], 1.5, size=(500, 2))
+        result = fit_gmm_em(points, 1, rng)
+        assert np.allclose(result.model.means[0], points.mean(axis=0), atol=1e-6)
+        centered = points - points.mean(axis=0)
+        sample_cov = centered.T @ centered / len(points)
+        assert np.allclose(result.model.covs[0], sample_cov, atol=1e-4)
+
+
+class TestWeighting:
+    def test_weighted_fit_equals_replicated_points(self, rng):
+        """A weight-w point is equivalent to w copies of the point."""
+        base = np.array([[0.0, 0.0], [1.0, 0.5], [8.0, 8.0], [8.5, 7.5]])
+        weights = np.array([3.0, 1.0, 2.0, 1.0])
+        replicated = np.repeat(base, weights.astype(int), axis=0)
+
+        initial = GaussianMixtureModel(
+            np.array([0.5, 0.5]),
+            np.array([[0.5, 0.2], [8.2, 7.8]]),
+            np.stack([np.eye(2), np.eye(2)]),
+        )
+        weighted = fit_gmm_em(
+            base, 2, rng, weights=weights, initial_model=initial, max_iterations=5
+        )
+        plain = fit_gmm_em(replicated, 2, rng, initial_model=initial, max_iterations=5)
+        assert np.allclose(
+            np.sort(weighted.model.means, axis=0), np.sort(plain.model.means, axis=0), atol=1e-8
+        )
+
+    def test_rejects_misaligned_weights(self, rng):
+        with pytest.raises(ValueError):
+            fit_gmm_em(np.zeros((5, 2)), 2, rng, weights=np.ones(4))
+
+    def test_rejects_zero_total_weight(self, rng):
+        with pytest.raises(ValueError):
+            fit_gmm_em(np.zeros((5, 2)), 2, rng, weights=np.zeros(5))
+
+
+class TestValidation:
+    def test_rejects_more_components_than_points(self, rng):
+        with pytest.raises(ValueError):
+            fit_gmm_em(np.zeros((2, 2)), 3, rng)
+
+    def test_initial_model_respected(self, rng):
+        points = two_blob_data(rng)
+        initial = GaussianMixtureModel(
+            np.array([0.5, 0.5]),
+            np.array([[0.0, 0.0], [8.0, 8.0]]),
+            np.stack([np.eye(2), np.eye(2)]),
+        )
+        result = fit_gmm_em(points, 2, rng, initial_model=initial, max_iterations=1)
+        # One iteration from a good start stays near the truth.
+        means = sorted(result.model.means.tolist())
+        assert np.allclose(means[0], [0, 0], atol=0.5)

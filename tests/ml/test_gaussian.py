@@ -1,0 +1,134 @@
+"""Multivariate normal primitives, checked against scipy and Monte Carlo."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.ml.gaussian import (
+    density,
+    expected_log_density,
+    kl_divergence,
+    log_density,
+    pool_moments,
+    sample,
+)
+
+MEAN = np.array([1.0, -2.0])
+COV = np.array([[2.0, 0.6], [0.6, 1.0]])
+
+
+class TestLogDensity:
+    def test_matches_scipy(self, rng):
+        points = rng.normal(size=(20, 2))
+        ours = log_density(points, MEAN, COV)
+        reference = stats.multivariate_normal(MEAN, COV).logpdf(points)
+        assert np.allclose(ours, reference, atol=1e-8)
+
+    def test_single_point(self):
+        value = log_density(np.array([1.0, -2.0]), MEAN, COV)
+        assert value.shape == (1,)
+        reference = stats.multivariate_normal(MEAN, COV).logpdf([1.0, -2.0])
+        assert value[0] == pytest.approx(float(reference), abs=1e-8)
+
+    def test_density_is_exp_of_log_density(self, rng):
+        points = rng.normal(size=(5, 2))
+        assert np.allclose(density(points, MEAN, COV), np.exp(log_density(points, MEAN, COV)))
+
+    def test_zero_covariance_regularised_not_crashing(self):
+        values = log_density(np.array([[0.0, 0.0]]), np.zeros(2), np.zeros((2, 2)))
+        assert np.isfinite(values).all()
+
+
+class TestSampling:
+    def test_sample_moments(self, rng):
+        draws = sample(rng, MEAN, COV, size=20000)
+        assert np.allclose(draws.mean(axis=0), MEAN, atol=0.05)
+        assert np.allclose(np.cov(draws.T), COV, atol=0.08)
+
+    def test_sample_shape(self, rng):
+        assert sample(rng, MEAN, COV, size=7).shape == (7, 2)
+
+
+class TestKL:
+    def test_identical_distributions_zero(self):
+        assert kl_divergence(MEAN, COV, MEAN, COV) == pytest.approx(0.0, abs=1e-8)
+
+    def test_nonnegative(self, rng):
+        for _ in range(10):
+            a = rng.normal(size=(2, 2))
+            cov_a = a @ a.T + np.eye(2)
+            b = rng.normal(size=(2, 2))
+            cov_b = b @ b.T + np.eye(2)
+            value = kl_divergence(rng.normal(size=2), cov_a, rng.normal(size=2), cov_b)
+            assert value >= -1e-9
+
+    def test_univariate_closed_form(self):
+        # KL(N(0,1) || N(1,2)) = 0.5 (1/2 + 1/2 - 1 + ln 2)
+        value = kl_divergence(
+            np.array([0.0]), np.array([[1.0]]), np.array([1.0]), np.array([[2.0]])
+        )
+        expected = 0.5 * (0.5 + 0.5 - 1.0 + np.log(2.0))
+        # The implementation adds a ~1e-9 stabilising ridge to covariances,
+        # so agreement is to ~1e-6, not machine precision.
+        assert value == pytest.approx(expected, rel=1e-6)
+
+
+class TestExpectedLogDensity:
+    def test_matches_monte_carlo(self, rng):
+        inner_mean = np.array([0.5, 0.0])
+        inner_cov = np.array([[0.8, 0.2], [0.2, 0.5]])
+        closed_form = expected_log_density(inner_mean, inner_cov, MEAN, COV)
+        draws = sample(rng, inner_mean, inner_cov, size=200000)
+        monte_carlo = float(np.mean(log_density(draws, MEAN, COV)))
+        assert closed_form == pytest.approx(monte_carlo, abs=0.02)
+
+    def test_zero_inner_cov_equals_log_density(self):
+        point = np.array([0.3, 0.7])
+        expected = expected_log_density(point, np.zeros((2, 2)), MEAN, COV)
+        direct = float(log_density(point, MEAN, COV)[0])
+        assert expected == pytest.approx(direct, abs=1e-9)
+
+
+class TestPoolMoments:
+    def test_matches_pooled_samples(self, rng):
+        """Moment-matching Gaussians == moments of the pooled raw values."""
+        set_a = rng.normal([0, 0], 1.0, size=(400, 2))
+        set_b = rng.normal([5, 1], 2.0, size=(600, 2))
+        pooled = np.vstack([set_a, set_b])
+
+        def moments(points):
+            mean = points.mean(axis=0)
+            centered = points - mean
+            return mean, centered.T @ centered / len(points)
+
+        mean_a, cov_a = moments(set_a)
+        mean_b, cov_b = moments(set_b)
+        mean, cov = pool_moments(
+            [len(set_a), len(set_b)], np.stack([mean_a, mean_b]), np.stack([cov_a, cov_b])
+        )
+        expected_mean, expected_cov = moments(pooled)
+        assert np.allclose(mean, expected_mean, atol=1e-10)
+        assert np.allclose(cov, expected_cov, atol=1e-10)
+
+    def test_single_component_identity(self):
+        mean, cov = pool_moments([3.0], MEAN[None, :], COV[None, :, :])
+        assert np.allclose(mean, MEAN)
+        assert np.allclose(cov, COV)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            pool_moments([-1.0, 2.0], np.zeros((2, 2)), np.zeros((2, 2, 2)))
+
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            pool_moments([1.0], np.zeros((2, 2)), np.zeros((2, 2, 2)))
+
+    def test_weight_scale_invariance(self):
+        mean1, cov1 = pool_moments(
+            [1.0, 3.0], np.array([[0.0], [4.0]]), np.zeros((2, 1, 1))
+        )
+        mean2, cov2 = pool_moments(
+            [10.0, 30.0], np.array([[0.0], [4.0]]), np.zeros((2, 1, 1))
+        )
+        assert np.allclose(mean1, mean2)
+        assert np.allclose(cov1, cov2)

@@ -1,0 +1,105 @@
+"""GaussianMixtureModel behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gmm import GaussianMixtureModel
+
+
+@pytest.fixture
+def mixture():
+    return GaussianMixtureModel(
+        weights=np.array([0.7, 0.3]),
+        means=np.array([[0.0, 0.0], [10.0, 10.0]]),
+        covs=np.stack([np.eye(2), 2.0 * np.eye(2)]),
+    )
+
+
+class TestConstruction:
+    def test_weights_normalised(self):
+        model = GaussianMixtureModel(
+            np.array([2.0, 2.0]), np.zeros((2, 1)), np.ones((2, 1, 1))
+        )
+        assert np.allclose(model.weights, [0.5, 0.5])
+
+    def test_rejects_component_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureModel(np.array([1.0]), np.zeros((2, 1)), np.ones((2, 1, 1)))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureModel(np.array([-1.0, 2.0]), np.zeros((2, 1)), np.ones((2, 1, 1)))
+
+    def test_single_cov_broadcast(self):
+        model = GaussianMixtureModel(np.array([1.0]), np.zeros((1, 2)), np.eye(2))
+        assert model.covs.shape == (1, 2, 2)
+
+    def test_shape_accessors(self, mixture):
+        assert mixture.n_components == 2
+        assert mixture.dimension == 2
+
+
+class TestDensities:
+    def test_log_density_single_component_matches_normal(self):
+        from repro.ml.gaussian import log_density
+
+        model = GaussianMixtureModel(np.array([1.0]), np.array([[1.0, 2.0]]), np.eye(2))
+        points = np.array([[0.0, 0.0], [1.0, 2.0]])
+        assert np.allclose(
+            model.log_density(points), log_density(points, np.array([1.0, 2.0]), np.eye(2))
+        )
+
+    def test_density_positive(self, mixture, rng):
+        points = rng.normal(size=(10, 2))
+        assert np.all(mixture.density(points) > 0)
+
+    def test_mixture_density_is_weighted_sum(self, mixture):
+        from repro.ml.gaussian import density
+
+        point = np.array([[1.0, 1.0]])
+        expected = 0.7 * density(point, mixture.means[0], mixture.covs[0]) + 0.3 * density(
+            point, mixture.means[1], mixture.covs[1]
+        )
+        assert mixture.density(point)[0] == pytest.approx(float(expected[0]), rel=1e-9)
+
+    def test_responsibilities_rows_sum_to_one(self, mixture, rng):
+        points = rng.normal(size=(15, 2))
+        responsibilities = mixture.responsibilities(points)
+        assert np.allclose(responsibilities.sum(axis=1), 1.0)
+
+    def test_classify_separated_points(self, mixture):
+        labels = mixture.classify(np.array([[0.1, -0.1], [9.8, 10.2]]))
+        assert labels.tolist() == [0, 1]
+
+    def test_weighted_log_likelihood(self, mixture):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        weights = np.array([2.0, 0.0])
+        expected = 2.0 * mixture.log_density(points[:1])[0]
+        assert mixture.log_likelihood(points, weights) == pytest.approx(expected)
+
+
+class TestSampling:
+    def test_label_proportions(self, mixture, rng):
+        _, labels = mixture.sample(rng, 20000)
+        assert np.mean(labels == 0) == pytest.approx(0.7, abs=0.02)
+
+    def test_component_sample_moments(self, mixture, rng):
+        points, labels = mixture.sample(rng, 20000)
+        cluster = points[labels == 1]
+        assert np.allclose(cluster.mean(axis=0), [10, 10], atol=0.1)
+
+
+class TestHelpers:
+    def test_from_components(self):
+        model = GaussianMixtureModel.from_components(
+            [(1.0, np.zeros(2), np.eye(2)), (3.0, np.ones(2), np.eye(2))]
+        )
+        assert np.allclose(model.weights, [0.25, 0.75])
+
+    def test_sorted_by_weight(self, mixture):
+        flipped = GaussianMixtureModel(
+            np.array([0.3, 0.7]), mixture.means[::-1].copy(), mixture.covs[::-1].copy()
+        )
+        ordered = flipped.sorted_by_weight()
+        assert ordered.weights[0] == pytest.approx(0.7)
+        assert np.allclose(ordered.means[0], [0.0, 0.0])

@@ -1,0 +1,92 @@
+"""Weighted k-means and k-means++ seeding."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kmeans import kmeans_plus_plus_init, weighted_kmeans
+
+
+def clusters(rng, centers, per_cluster=50, spread=0.3):
+    return np.vstack([rng.normal(c, spread, size=(per_cluster, len(c))) for c in centers])
+
+
+class TestSeeding:
+    def test_returns_k_rows(self, rng):
+        points = clusters(rng, [[0, 0], [10, 10]])
+        seeds = kmeans_plus_plus_init(points, 2, rng)
+        assert seeds.shape == (2, 2)
+
+    def test_seeds_spread_across_separated_clusters(self, rng):
+        points = clusters(rng, [[0, 0], [50, 50]])
+        seeds = kmeans_plus_plus_init(points, 2, rng)
+        gap = np.linalg.norm(seeds[0] - seeds[1])
+        assert gap > 25.0
+
+    def test_rejects_k_above_n(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.zeros((3, 2)), 4, rng)
+
+    def test_rejects_k_below_one(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.zeros((3, 2)), 0, rng)
+
+    def test_identical_points_handled(self, rng):
+        seeds = kmeans_plus_plus_init(np.ones((5, 2)), 3, rng)
+        assert np.allclose(seeds, 1.0)
+
+
+class TestLloyd:
+    def test_recovers_separated_clusters(self, rng):
+        points = clusters(rng, [[0, 0], [10, 10], [0, 10]])
+        result = weighted_kmeans(points, 3, rng)
+        for want in ([0, 0], [10, 10], [0, 10]):
+            gaps = np.linalg.norm(result.centroids - np.array(want), axis=1)
+            assert gaps.min() < 0.3
+
+    def test_converged_flag(self, rng):
+        points = clusters(rng, [[0, 0], [10, 10]])
+        result = weighted_kmeans(points, 2, rng)
+        assert result.converged
+
+    def test_labels_match_nearest_centroid(self, rng):
+        points = clusters(rng, [[0, 0], [10, 10]])
+        result = weighted_kmeans(points, 2, rng)
+        distances = np.linalg.norm(points[:, None, :] - result.centroids[None], axis=2)
+        assert np.array_equal(result.labels, np.argmin(distances, axis=1))
+
+    def test_weights_shift_centroid(self, rng):
+        points = np.array([[0.0], [1.0]])
+        result = weighted_kmeans(
+            points, 1, rng, weights=np.array([3.0, 1.0]), initial_centroids=np.array([[0.5]])
+        )
+        assert result.centroids[0, 0] == pytest.approx(0.25)
+
+    def test_inertia_zero_for_exact_fit(self, rng):
+        points = np.array([[0.0, 0.0], [5.0, 5.0]])
+        result = weighted_kmeans(points, 2, rng)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_misaligned_weights(self, rng):
+        with pytest.raises(ValueError):
+            weighted_kmeans(np.zeros((4, 2)), 2, rng, weights=np.ones(3))
+
+    def test_rejects_wrong_initial_centroids(self, rng):
+        with pytest.raises(ValueError):
+            weighted_kmeans(np.zeros((4, 2)), 2, rng, initial_centroids=np.zeros((3, 2)))
+
+    def test_deterministic_given_seed(self):
+        points = clusters(np.random.default_rng(5), [[0, 0], [8, 8]])
+        a = weighted_kmeans(points, 2, np.random.default_rng(9))
+        b = weighted_kmeans(points, 2, np.random.default_rng(9))
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_duplicate_heavy_point_dominates(self, rng):
+        """A point with weight n behaves like n copies of that point."""
+        points = np.array([[0.0], [10.0]])
+        heavy = weighted_kmeans(
+            points, 1, rng, weights=np.array([9.0, 1.0]), initial_centroids=np.array([[5.0]])
+        )
+        replicated = weighted_kmeans(
+            np.array([[0.0]] * 9 + [[10.0]]), 1, rng, initial_centroids=np.array([[5.0]])
+        )
+        assert heavy.centroids[0, 0] == pytest.approx(replicated.centroids[0, 0])

@@ -1,0 +1,102 @@
+"""EM-based l-GM -> k-GM mixture reduction (the GM scheme's partition)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gaussian import pool_moments
+from repro.ml.reduction import reduce_mixture
+
+
+def component_block(rng, center, count, spread=0.4):
+    means = rng.normal(center, spread, size=(count, 2))
+    covs = np.stack([0.05 * np.eye(2)] * count)
+    weights = rng.uniform(0.5, 2.0, size=count)
+    return weights, means, covs
+
+
+class TestTrivialPath:
+    def test_l_leq_k_keeps_singletons(self, rng):
+        weights, means, covs = component_block(rng, [0, 0], 3)
+        result = reduce_mixture(weights, means, covs, k=5, rng=rng)
+        assert result.groups == ((0,), (1,), (2,))
+        assert result.converged
+
+    def test_k_one_merges_everything(self, rng):
+        weights, means, covs = component_block(rng, [0, 0], 4)
+        result = reduce_mixture(weights, means, covs, k=1, rng=rng)
+        assert result.groups == ((0, 1, 2, 3),)
+        mean, cov = pool_moments(weights, means, covs)
+        assert np.allclose(result.model.means[0], mean)
+        assert np.allclose(result.model.covs[0], cov, atol=1e-10)
+
+
+class TestGrouping:
+    def test_groups_partition_indices(self, rng):
+        weights = rng.uniform(0.5, 2.0, size=10)
+        means = rng.normal(size=(10, 2)) * 5
+        covs = np.stack([0.1 * np.eye(2)] * 10)
+        result = reduce_mixture(weights, means, covs, k=3, rng=rng)
+        flattened = sorted(index for group in result.groups for index in group)
+        assert flattened == list(range(10))
+        assert len(result.groups) <= 3
+
+    def test_separated_blocks_grouped_together(self, rng):
+        w1, m1, c1 = component_block(rng, [0, 0], 5)
+        w2, m2, c2 = component_block(rng, [20, 20], 5)
+        result = reduce_mixture(
+            np.concatenate([w1, w2]), np.vstack([m1, m2]), np.vstack([c1, c2]), k=2, rng=rng
+        )
+        groups = sorted(sorted(group) for group in result.groups)
+        assert groups == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+
+    def test_model_weights_are_group_sums(self, rng):
+        w1, m1, c1 = component_block(rng, [0, 0], 4)
+        w2, m2, c2 = component_block(rng, [15, 15], 4)
+        weights = np.concatenate([w1, w2])
+        result = reduce_mixture(
+            weights, np.vstack([m1, m2]), np.vstack([c1, c2]), k=2, rng=rng
+        )
+        for group, model_weight in zip(result.groups, result.model.weights):
+            expected = weights[list(group)].sum() / weights.sum()
+            assert model_weight == pytest.approx(expected, rel=1e-9)
+
+    def test_moment_matched_group_model(self, rng):
+        w1, m1, c1 = component_block(rng, [0, 0], 4)
+        w2, m2, c2 = component_block(rng, [15, 15], 4)
+        weights = np.concatenate([w1, w2])
+        means = np.vstack([m1, m2])
+        covs = np.vstack([c1, c2])
+        result = reduce_mixture(weights, means, covs, k=2, rng=rng)
+        for j, group in enumerate(result.groups):
+            idx = list(group)
+            mean, cov = pool_moments(weights[idx], means[idx], covs[idx])
+            assert np.allclose(result.model.means[j], mean, atol=1e-10)
+            assert np.allclose(result.model.covs[j], cov, atol=1e-10)
+
+    def test_zero_covariance_singletons_supported(self, rng):
+        """Fresh input values arrive with exactly-zero covariance matrices."""
+        means = np.vstack([rng.normal([0, 0], 0.3, (4, 2)), rng.normal([9, 9], 0.3, (4, 2))])
+        covs = np.zeros((8, 2, 2))
+        weights = np.ones(8)
+        result = reduce_mixture(weights, means, covs, k=2, rng=rng)
+        groups = sorted(sorted(group) for group in result.groups)
+        assert groups == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+
+class TestValidation:
+    def test_rejects_misaligned_shapes(self, rng):
+        with pytest.raises(ValueError):
+            reduce_mixture(np.ones(3), np.zeros((2, 2)), np.zeros((2, 2, 2)), k=2, rng=rng)
+
+    def test_rejects_k_below_one(self, rng):
+        with pytest.raises(ValueError):
+            reduce_mixture(np.ones(2), np.zeros((2, 2)), np.zeros((2, 2, 2)), k=0, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        generator = np.random.default_rng(3)
+        weights = generator.uniform(0.5, 2.0, size=12)
+        means = generator.normal(size=(12, 2)) * 8
+        covs = np.stack([0.2 * np.eye(2)] * 12)
+        a = reduce_mixture(weights, means, covs, k=3, rng=np.random.default_rng(1))
+        b = reduce_mixture(weights, means, covs, k=3, rng=np.random.default_rng(1))
+        assert a.groups == b.groups

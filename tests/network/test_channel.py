@@ -1,0 +1,51 @@
+"""Reliable asynchronous channels."""
+
+import pytest
+
+from repro.network.channel import Channel
+
+
+class TestReliability:
+    def test_send_then_deliver_returns_payload(self):
+        channel = Channel(0, 1)
+        message = channel.send("hello", send_time=0.0, deliver_time=1.0)
+        assert channel.deliver(message) == "hello"
+
+    def test_counts(self):
+        channel = Channel(0, 1)
+        m1 = channel.send("a", 0.0, 1.0)
+        channel.send("b", 0.0, 2.0)
+        channel.deliver(m1)
+        assert channel.sent_count == 2
+        assert channel.delivered_count == 1
+        assert len(channel) == 1
+
+    def test_in_flight_snapshot(self):
+        channel = Channel(0, 1)
+        channel.send("a", 0.0, 1.0)
+        channel.send("b", 0.5, 2.0)
+        payloads = [message.payload for message in channel.in_flight]
+        assert payloads == ["a", "b"]
+
+    def test_rejects_delivery_before_send(self):
+        with pytest.raises(ValueError):
+            Channel(0, 1).send("x", send_time=5.0, deliver_time=1.0)
+
+
+class TestFifo:
+    def test_fifo_clamps_overtaking_delivery(self):
+        channel = Channel(0, 1, fifo=True)
+        channel.send("slow", send_time=0.0, deliver_time=10.0)
+        fast = channel.send("fast", send_time=1.0, deliver_time=2.0)
+        assert fast.deliver_time == 10.0  # clamped behind the slow message
+
+    def test_non_fifo_allows_overtaking(self):
+        channel = Channel(0, 1, fifo=False)
+        channel.send("slow", send_time=0.0, deliver_time=10.0)
+        fast = channel.send("fast", send_time=1.0, deliver_time=2.0)
+        assert fast.deliver_time == 2.0
+
+    def test_iteration(self):
+        channel = Channel(0, 1)
+        channel.send("a", 0.0, 1.0)
+        assert [message.payload for message in channel] == ["a"]

@@ -1,0 +1,69 @@
+"""The deterministic discrete-event queue."""
+
+import pytest
+
+from repro.network.events import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, "c")
+        queue.push(1.0, "a")
+        queue.push(2.0, "b")
+        assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_in_insertion_order(self):
+        queue = EventQueue()
+        for item in ["first", "second", "third"]:
+            queue.push(5.0, item)
+        assert [queue.pop()[1] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_pop_returns_time(self):
+        queue = EventQueue()
+        queue.push(2.5, "x")
+        time, item = queue.pop()
+        assert time == 2.5 and item == "x"
+
+    def test_unorderable_items_never_compared(self):
+        queue = EventQueue()
+        queue.push(1.0, object())
+        queue.push(1.0, object())
+        queue.pop()
+        queue.pop()
+
+
+class TestAccessors:
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(1.0, "a")
+        assert queue and len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(4.0, "later")
+        queue.push(2.0, "sooner")
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 2  # peek does not remove
+
+    def test_drain(self):
+        queue = EventQueue()
+        queue.push(2.0, "b")
+        queue.push(1.0, "a")
+        assert [item for _, item in queue.drain()] == ["a", "b"]
+        assert not queue
+
+
+class TestErrors:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_empty_rejected(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()

@@ -1,0 +1,55 @@
+"""Crash-failure models."""
+
+import numpy as np
+import pytest
+
+from repro.network.failures import BernoulliCrashes, NoFailures, ScheduledCrashes
+
+
+class TestNoFailures:
+    def test_never_crashes(self, rng):
+        model = NoFailures()
+        assert model.crashes_after_round(0, list(range(100)), rng) == []
+
+
+class TestBernoulli:
+    def test_probability_zero(self, rng):
+        model = BernoulliCrashes(0.0)
+        assert model.crashes_after_round(0, list(range(50)), rng) == []
+
+    def test_probability_one_crashes_all_but_survivors(self, rng):
+        model = BernoulliCrashes(1.0, min_survivors=3)
+        crashed = model.crashes_after_round(0, list(range(10)), rng)
+        assert len(crashed) == 7
+
+    def test_rate_statistically_plausible(self, rng):
+        model = BernoulliCrashes(0.05, min_survivors=1)
+        total = 0
+        for round_index in range(200):
+            total += len(model.crashes_after_round(round_index, list(range(100)), rng))
+        # 200 rounds x 100 nodes x 5% = 1000 expected crashes.
+        assert 800 < total < 1200
+
+    def test_min_survivors_enforced(self, rng):
+        model = BernoulliCrashes(1.0, min_survivors=2)
+        live = [4, 7]
+        assert model.crashes_after_round(0, live, rng) == []
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliCrashes(1.5)
+
+    def test_rejects_zero_min_survivors(self):
+        with pytest.raises(ValueError):
+            BernoulliCrashes(0.5, min_survivors=0)
+
+
+class TestScheduled:
+    def test_crashes_at_planned_round(self, rng):
+        model = ScheduledCrashes({2: [5, 6]})
+        assert model.crashes_after_round(0, list(range(10)), rng) == []
+        assert model.crashes_after_round(2, list(range(10)), rng) == [5, 6]
+
+    def test_ignores_already_dead_nodes(self, rng):
+        model = ScheduledCrashes({1: [5]})
+        assert model.crashes_after_round(1, [0, 1, 2], rng) == []

@@ -1,0 +1,31 @@
+"""Instrumentation counters."""
+
+from repro.network.metrics import NetworkMetrics
+
+
+class TestCounters:
+    def test_record_send_accumulates_payload_items(self):
+        metrics = NetworkMetrics()
+        metrics.record_send(payload_items=3)
+        metrics.record_send(payload_items=2)
+        assert metrics.messages_sent == 2
+        assert metrics.payload_items_sent == 5
+
+    def test_delivery_and_drop(self):
+        metrics = NetworkMetrics()
+        metrics.record_delivery()
+        metrics.record_drop()
+        metrics.record_drop()
+        assert metrics.messages_delivered == 1
+        assert metrics.messages_dropped == 2
+
+    def test_close_round_traces_messages(self):
+        metrics = NetworkMetrics()
+        metrics.close_round(4)
+        metrics.close_round(6)
+        assert metrics.rounds == 2
+        assert metrics.per_round_messages == [4, 6]
+
+    def test_as_dict_keys(self):
+        snapshot = NetworkMetrics().as_dict()
+        assert {"rounds", "messages_sent", "messages_dropped", "crashes"} <= set(snapshot)

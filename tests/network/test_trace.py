@@ -1,0 +1,79 @@
+"""RunTracer: per-round structured observation."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import complete
+from repro.network.trace import RunTracer
+from repro.protocols.push_sum import build_push_sum_network
+
+
+def build_traced(n=10, seed=0):
+    values = np.arange(n, dtype=float)[:, None]
+    engine, protocols = build_push_sum_network(values, complete(n), seed=seed)
+    truth = float(values.mean())
+    tracer = RunTracer(
+        {
+            "max_error": lambda e: max(
+                abs(protocols[i].estimate[0] - truth) for i in e.live_nodes
+            ),
+        }
+    )
+    return engine, tracer
+
+
+class TestTracing:
+    def test_one_record_per_round(self):
+        engine, tracer = build_traced()
+        engine.run(7, per_round=tracer)
+        assert len(tracer.records) == 7
+        assert tracer.rounds() == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_series_values_decrease(self):
+        engine, tracer = build_traced()
+        engine.run(25, per_round=tracer)
+        series = tracer.series("max_error")
+        assert series[-1] < series[0]
+        assert tracer.final("max_error") == series[-1]
+
+    def test_rounds_until_threshold(self):
+        engine, tracer = build_traced()
+        engine.run(40, per_round=tracer)
+        hit = tracer.rounds_until("max_error", 0.01)
+        assert hit is not None
+        assert tracer.series("max_error")[hit - 1] <= 0.01
+
+    def test_rounds_until_unreachable(self):
+        engine, tracer = build_traced()
+        engine.run(3, per_round=tracer)
+        assert tracer.rounds_until("max_error", -1.0) is None
+
+    def test_live_nodes_recorded(self):
+        engine, tracer = build_traced()
+        engine.run(2, per_round=tracer)
+        engine.crash(0)
+        engine.run(2, per_round=tracer)
+        assert tracer.live_node_series() == [10, 10, 9, 9]
+
+    def test_as_columns(self):
+        engine, tracer = build_traced()
+        engine.run(3, per_round=tracer)
+        columns = tracer.as_columns()
+        assert set(columns) == {"max_error"}
+        assert len(columns["max_error"]) == 3
+
+
+class TestValidation:
+    def test_requires_probes(self):
+        with pytest.raises(ValueError):
+            RunTracer({})
+
+    def test_unknown_series_rejected(self):
+        tracer = RunTracer({"x": lambda e: 0.0})
+        with pytest.raises(KeyError):
+            tracer.series("y")
+
+    def test_final_before_any_round_rejected(self):
+        tracer = RunTracer({"x": lambda e: 0.0})
+        with pytest.raises(ValueError):
+            tracer.final("x")

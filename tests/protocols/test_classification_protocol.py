@@ -1,0 +1,81 @@
+"""Wiring Algorithm 1 onto the network engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import Quantization
+from repro.network.topology import complete
+from repro.protocols.classification import (
+    ClassificationProtocol,
+    build_classification_network,
+)
+from repro.schemes.centroid import CentroidScheme
+
+
+class TestBuilder:
+    def test_requires_matching_sizes(self):
+        with pytest.raises(ValueError, match="topology has"):
+            build_classification_network(
+                np.zeros((3, 1)), CentroidScheme(), k=2, graph=complete(4)
+            )
+
+    def test_node_ids_match_value_indices(self):
+        values = np.array([[1.0], [2.0], [3.0]])
+        _, nodes = build_classification_network(
+            values, CentroidScheme(), k=2, graph=complete(3)
+        )
+        for i, node in enumerate(nodes):
+            assert node.node_id == i
+            assert np.allclose(node.classification[0].summary, values[i])
+
+    def test_aux_tracking_enabled_when_requested(self):
+        values = np.array([[1.0], [2.0]])
+        _, nodes = build_classification_network(
+            values, CentroidScheme(), k=2, graph=complete(2), track_aux=True
+        )
+        assert nodes[0].classification[0].aux is not None
+
+
+class TestProtocol:
+    def test_payload_is_split_share(self):
+        values = np.array([[1.0], [2.0]])
+        _, nodes = build_classification_network(
+            values, CentroidScheme(), k=2, graph=complete(2)
+        )
+        protocol = ClassificationProtocol(nodes[0])
+        payload = protocol.make_payload()
+        assert payload is not None
+        assert payload[0].quanta == Quantization().unit // 2
+
+    def test_payload_none_when_unsendable(self):
+        values = np.array([[1.0], [2.0]])
+        _, nodes = build_classification_network(
+            values,
+            CentroidScheme(),
+            k=2,
+            graph=complete(2),
+            quantization=Quantization(1),
+        )
+        protocol = ClassificationProtocol(nodes[0])
+        assert protocol.make_payload() is None
+
+    def test_receive_batch_flattens_payloads(self):
+        values = np.array([[0.0], [10.0], [20.0]])
+        _, nodes = build_classification_network(
+            values, CentroidScheme(), k=3, graph=complete(3)
+        )
+        receiver = ClassificationProtocol(nodes[0])
+        payload_1 = ClassificationProtocol(nodes[1]).make_payload()
+        payload_2 = ClassificationProtocol(nodes[2]).make_payload()
+        receiver.receive_batch([payload_1, payload_2])
+        assert nodes[0].stats.partition_calls == 1
+        assert len(nodes[0].classification) == 3
+
+    def test_convenience_accessors(self):
+        values = np.array([[1.0], [2.0]])
+        _, nodes = build_classification_network(
+            values, CentroidScheme(), k=2, graph=complete(2)
+        )
+        protocol = ClassificationProtocol(nodes[1])
+        assert protocol.node_id == 1
+        assert len(protocol.classification) == 1

@@ -1,0 +1,121 @@
+"""The centroids instantiation (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.scheme import validate_partition
+from repro.core.weights import Quantization
+from repro.schemes.centroid import CentroidScheme, greedy_closest_pair_partition
+
+LATTICE = Quantization(16)
+
+
+def collections_at(positions, quantas):
+    return [
+        Collection(summary=np.asarray(p, dtype=float), quanta=q)
+        for p, q in zip(positions, quantas)
+    ]
+
+
+class TestValToSummary:
+    def test_identity_on_vectors(self):
+        scheme = CentroidScheme()
+        assert np.allclose(scheme.val_to_summary([1.0, 2.0]), [1.0, 2.0])
+
+    def test_scalar_promoted_to_vector(self):
+        scheme = CentroidScheme()
+        summary = scheme.val_to_summary(3.0)
+        assert summary.shape == (1,)
+
+    def test_rejects_matrix_values(self):
+        with pytest.raises(ValueError):
+            CentroidScheme().val_to_summary(np.zeros((2, 2)))
+
+
+class TestMergeSet:
+    def test_weighted_average(self):
+        scheme = CentroidScheme()
+        merged = scheme.merge_set([(np.array([0.0]), 1.0), (np.array([6.0]), 2.0)])
+        assert merged[0] == pytest.approx(4.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CentroidScheme().merge_set([])
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ValueError):
+            CentroidScheme().merge_set([(np.array([0.0]), 0.0)])
+
+
+class TestDistance:
+    def test_l2(self):
+        scheme = CentroidScheme()
+        assert scheme.distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_zero_for_identical(self):
+        scheme = CentroidScheme()
+        assert scheme.distance(np.array([1.0]), np.array([1.0])) == 0.0
+
+
+class TestPartition:
+    def test_respects_k_bound(self):
+        scheme = CentroidScheme()
+        collections = collections_at([[0], [1], [10], [11], [20]], [16] * 5)
+        groups = scheme.partition(collections, k=2, quantization=LATTICE)
+        validate_partition(groups, collections, 2, LATTICE)
+        assert len(groups) <= 2
+
+    def test_merges_closest_pairs_first(self):
+        scheme = CentroidScheme()
+        collections = collections_at([[0.0], [0.5], [100.0]], [16] * 3)
+        groups = scheme.partition(collections, k=2, quantization=LATTICE)
+        groups = sorted(sorted(g) for g in groups)
+        assert groups == [[0, 1], [2]]
+
+    def test_no_merge_needed_below_k(self):
+        scheme = CentroidScheme()
+        collections = collections_at([[0.0], [50.0]], [16, 16])
+        groups = scheme.partition(collections, k=4, quantization=LATTICE)
+        assert sorted(sorted(g) for g in groups) == [[0], [1]]
+
+    def test_minimum_weight_collection_always_merged(self):
+        scheme = CentroidScheme()
+        # The weight-q collection sits far from everything, but rule 2
+        # still forces it into some group.
+        collections = collections_at([[0.0], [1.0], [1000.0]], [16, 16, 1])
+        groups = scheme.partition(collections, k=3, quantization=LATTICE)
+        validate_partition(groups, collections, 3, LATTICE)
+        for group in groups:
+            if 2 in group:
+                assert len(group) >= 2
+
+    def test_single_collection_passthrough(self):
+        scheme = CentroidScheme()
+        collections = collections_at([[0.0]], [1])
+        groups = scheme.partition(collections, k=2, quantization=LATTICE)
+        assert groups == [[0]]
+
+
+class TestGreedyPartitionFunction:
+    def test_merged_groups_tracked_by_weighted_centroid(self):
+        # Three points: 0 and 2 merge into centroid 1; then 1 vs 10 stays.
+        positions = np.array([[0.0], [2.0], [10.0]])
+        weights = np.array([1.0, 1.0, 1.0])
+        groups = greedy_closest_pair_partition(
+            positions, weights, [16, 16, 16], k=2, quantization=LATTICE
+        )
+        assert sorted(sorted(g) for g in groups) == [[0, 1], [2]]
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            greedy_closest_pair_partition(
+                np.zeros((0, 1)), np.zeros(0), [], k=2, quantization=LATTICE
+            )
+
+    def test_k_one_merges_all(self):
+        positions = np.array([[0.0], [5.0], [100.0]])
+        groups = greedy_closest_pair_partition(
+            positions, np.ones(3), [16] * 3, k=1, quantization=LATTICE
+        )
+        assert sorted(groups[0]) == [0, 1, 2]

@@ -1,0 +1,94 @@
+"""The diagonal-covariance Gaussian scheme (lightweight-sensor variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.scheme import validate_partition
+from repro.core.weights import Quantization
+from repro.network.topology import complete
+from repro.protocols.classification import build_classification_network
+from repro.schemes.diagonal import DiagonalGaussianScheme, diagonalize
+from repro.schemes.gaussian import GaussianSummary, summary_from_value
+from repro.schemes.gm import GaussianMixtureScheme
+
+LATTICE = Quantization(16)
+
+
+class TestDiagonalize:
+    def test_zeros_off_diagonal(self):
+        summary = GaussianSummary(mean=[0.0, 0.0], cov=[[1.0, 0.8], [0.8, 2.0]])
+        projected = diagonalize(summary)
+        assert projected.cov[0, 1] == 0.0
+        assert projected.cov[0, 0] == 1.0
+        assert projected.cov[1, 1] == 2.0
+
+
+class TestSummaryFunctions:
+    def test_val_to_summary_zero_cov(self):
+        scheme = DiagonalGaussianScheme()
+        summary = scheme.val_to_summary([3.0, 4.0])
+        assert np.allclose(summary.cov, 0.0)
+
+    def test_merge_keeps_diagonal_family(self):
+        scheme = DiagonalGaussianScheme()
+        a = GaussianSummary(mean=[0.0, 0.0], cov=np.diag([1.0, 2.0]))
+        b = GaussianSummary(mean=[4.0, 0.0], cov=np.diag([0.5, 1.0]))
+        merged = scheme.merge_set([(a, 1.0), (b, 1.0)])
+        assert merged.cov[0, 1] == 0.0
+
+    def test_merge_per_dimension_moments_exact(self):
+        """Diagonal moment matching equals 1-D moment matching per axis.
+
+        This is why R4 holds exactly within the diagonal family.
+        """
+        scheme = DiagonalGaussianScheme()
+        merged = scheme.merge_set(
+            [(summary_from_value([0.0, 10.0]), 1.0), (summary_from_value([4.0, 20.0]), 3.0)]
+        )
+        # x: mean 3, var 0.25*9 + 0.75*1 = 3.  y: mean 17.5, var 18.75.
+        assert merged.mean[0] == pytest.approx(3.0)
+        assert merged.cov[0, 0] == pytest.approx(3.0)
+        assert merged.mean[1] == pytest.approx(17.5)
+        assert merged.cov[1, 1] == pytest.approx(0.25 * 56.25 + 0.75 * 6.25)
+
+    def test_distance_matches_full_scheme(self):
+        diagonal = DiagonalGaussianScheme()
+        full = GaussianMixtureScheme()
+        a = GaussianSummary(mean=[0.0, 0.0], cov=np.eye(2))
+        b = GaussianSummary(mean=[3.0, 4.0], cov=np.eye(2))
+        assert diagonal.distance(a, b) == full.distance(a, b) == pytest.approx(5.0)
+
+
+class TestPartition:
+    def test_respects_rules(self):
+        scheme = DiagonalGaussianScheme(seed=0)
+        collections = [
+            Collection(summary=summary_from_value([0.0, 0.0]), quanta=16),
+            Collection(summary=summary_from_value([0.2, 0.1]), quanta=16),
+            Collection(summary=summary_from_value([9.0, 9.0]), quanta=16),
+            Collection(summary=summary_from_value([9.3, 8.7]), quanta=1),
+        ]
+        groups = scheme.partition(collections, k=2, quantization=LATTICE)
+        validate_partition(groups, collections, 2, LATTICE)
+        groups = sorted(sorted(g) for g in groups)
+        assert groups == [[0, 1], [2, 3]]
+
+
+class TestEndToEnd:
+    def test_converges_like_full_scheme(self):
+        rng = np.random.default_rng(5)
+        values = np.vstack(
+            [rng.normal([0, 0], 0.5, size=(12, 2)), rng.normal([7, 7], 0.5, size=(12, 2))]
+        )
+        engine, nodes = build_classification_network(
+            values, DiagonalGaussianScheme(seed=5), k=2, graph=complete(24), seed=5
+        )
+        engine.run(35)
+        classification = nodes[0].classification
+        assert len(classification) == 2
+        means = sorted(np.asarray(c.summary.mean).tolist() for c in classification)
+        assert np.allclose(means[0], [0, 0], atol=0.5)
+        assert np.allclose(means[1], [7, 7], atol=0.5)
+        for collection in classification:
+            assert collection.summary.cov[0, 1] == 0.0  # stays diagonal

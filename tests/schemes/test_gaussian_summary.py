@@ -1,0 +1,91 @@
+"""Weighted-Gaussian summaries (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import Classification
+from repro.core.collection import Collection
+from repro.schemes.gaussian import (
+    GaussianSummary,
+    classification_to_gmm,
+    merge_gaussian_summaries,
+    summary_from_value,
+)
+
+
+class TestGaussianSummary:
+    def test_construction_normalises_shapes(self):
+        summary = GaussianSummary(mean=[1.0, 2.0], cov=np.eye(2))
+        assert summary.mean.shape == (2,)
+        assert summary.cov.shape == (2, 2)
+        assert summary.dimension == 2
+
+    def test_rejects_mismatched_cov(self):
+        with pytest.raises(ValueError):
+            GaussianSummary(mean=[1.0, 2.0], cov=np.eye(3))
+
+    def test_close_to(self):
+        a = GaussianSummary(mean=[0.0], cov=[[1.0]])
+        b = GaussianSummary(mean=[1e-12], cov=[[1.0]])
+        c = GaussianSummary(mean=[0.5], cov=[[1.0]])
+        assert a.close_to(b)
+        assert not a.close_to(c)
+
+    def test_immutable(self):
+        summary = GaussianSummary(mean=[0.0], cov=[[1.0]])
+        with pytest.raises(AttributeError):
+            summary.mean = np.array([1.0])
+
+
+class TestValToSummary:
+    def test_zero_covariance(self):
+        summary = summary_from_value([2.0, 3.0])
+        assert np.allclose(summary.mean, [2.0, 3.0])
+        assert np.allclose(summary.cov, 0.0)
+
+    def test_scalar_value(self):
+        summary = summary_from_value(5.0)
+        assert summary.dimension == 1
+
+
+class TestMerge:
+    def test_matches_raw_value_moments(self, rng):
+        """mergeSet == moments of the pooled underlying values (R4)."""
+        set_a = rng.normal([0, 0], 1.0, size=(100, 2))
+        set_b = rng.normal([4, 2], 0.5, size=(300, 2))
+
+        def summarise(points):
+            mean = points.mean(axis=0)
+            centered = points - mean
+            return GaussianSummary(mean=mean, cov=centered.T @ centered / len(points))
+
+        merged = merge_gaussian_summaries(
+            [(summarise(set_a), 100.0), (summarise(set_b), 300.0)]
+        )
+        expected = summarise(np.vstack([set_a, set_b]))
+        assert merged.close_to(expected, tolerance=1e-9)
+
+    def test_merge_of_two_points(self):
+        merged = merge_gaussian_summaries(
+            [(summary_from_value([0.0]), 1.0), (summary_from_value([2.0]), 1.0)]
+        )
+        assert merged.mean[0] == pytest.approx(1.0)
+        assert merged.cov[0, 0] == pytest.approx(1.0)  # variance of {0, 2}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_gaussian_summaries([])
+
+
+class TestClassificationToGmm:
+    def test_conversion(self):
+        classification = Classification(
+            [
+                Collection(summary=summary_from_value([0.0, 0.0]), quanta=3),
+                Collection(summary=summary_from_value([5.0, 5.0]), quanta=1),
+            ]
+        )
+        model = classification_to_gmm(classification)
+        assert model.n_components == 2
+        assert np.allclose(model.weights, [0.75, 0.25])
+        assert np.allclose(model.means[1], [5.0, 5.0])

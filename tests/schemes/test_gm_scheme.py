@@ -1,0 +1,110 @@
+"""The Gaussian-Mixture instantiation: EM-driven partition decisions."""
+
+import numpy as np
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.scheme import validate_partition
+from repro.core.weights import Quantization
+from repro.schemes.gaussian import GaussianSummary, summary_from_value
+from repro.schemes.gm import GaussianMixtureScheme
+
+LATTICE = Quantization(16)
+
+
+def gaussian_collections(entries):
+    """entries: list of (mean, cov_scale, quanta)."""
+    return [
+        Collection(
+            summary=GaussianSummary(
+                mean=np.asarray(mean, dtype=float),
+                cov=scale * np.eye(len(mean)),
+            ),
+            quanta=quanta,
+        )
+        for mean, scale, quanta in entries
+    ]
+
+
+class TestPartition:
+    def test_respects_k(self):
+        scheme = GaussianMixtureScheme(seed=0)
+        collections = gaussian_collections(
+            [([0, 0], 0.1, 16), ([0.5, 0], 0.1, 16), ([9, 9], 0.1, 16), ([9.5, 9], 0.1, 16)]
+        )
+        groups = scheme.partition(collections, k=2, quantization=LATTICE)
+        validate_partition(groups, collections, 2, LATTICE)
+
+    def test_separated_clusters_split_correctly(self):
+        scheme = GaussianMixtureScheme(seed=0)
+        collections = gaussian_collections(
+            [([0, 0], 0.1, 16), ([0.4, 0.1], 0.1, 16), ([12, 12], 0.1, 16), ([12.3, 11.8], 0.1, 16)]
+        )
+        groups = sorted(sorted(g) for g in scheme.partition(collections, k=2, quantization=LATTICE))
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_below_k_left_unmerged(self):
+        scheme = GaussianMixtureScheme(seed=0)
+        collections = gaussian_collections([([0, 0], 0.1, 16), ([30, 30], 0.1, 16)])
+        groups = scheme.partition(collections, k=5, quantization=LATTICE)
+        assert sorted(sorted(g) for g in groups) == [[0], [1]]
+
+    def test_variance_overrides_centroid_proximity(self):
+        """Figure 1's decision, made by the partition itself: a value
+        between a tight and a wide collection groups with the wide one."""
+        collections = [
+            Collection(  # tight collection at the origin
+                summary=GaussianSummary(mean=[0.0, 0.0], cov=0.02 * np.eye(2)), quanta=64
+            ),
+            Collection(  # wide collection at (6, 0)
+                summary=GaussianSummary(mean=[6.0, 0.0], cov=16.0 * np.eye(2)), quanta=64
+            ),
+            # A single new value: closer to the tight centroid (2.9 < 3.1)
+            # yet ~20 standard deviations from it and well inside the wide
+            # collection's spread.
+            Collection(summary=summary_from_value([2.9, 0.0]), quanta=4),
+        ]
+        for seed in range(4):  # the decision must not hinge on EM seeding
+            scheme = GaussianMixtureScheme(seed=seed)
+            groups = scheme.partition(collections, k=2, quantization=LATTICE)
+            by_member = {index: sorted(group) for group in groups for index in group}
+            assert by_member[2] == [1, 2]  # grouped with the wide collection
+
+    def test_minimum_weight_singleton_repaired(self):
+        scheme = GaussianMixtureScheme(seed=0)
+        collections = gaussian_collections(
+            [([0, 0], 0.1, 16), ([1, 0], 0.1, 16), ([40, 40], 0.1, 1)]
+        )
+        groups = scheme.partition(collections, k=3, quantization=LATTICE)
+        validate_partition(groups, collections, 3, LATTICE)
+
+    def test_deterministic_given_seed(self):
+        collections = gaussian_collections(
+            [([0, 0], 0.2, 16), ([1, 1], 0.2, 16), ([8, 8], 0.2, 16), ([9, 9], 0.2, 16)]
+        )
+        a = GaussianMixtureScheme(seed=7).partition(collections, k=2, quantization=LATTICE)
+        b = GaussianMixtureScheme(seed=7).partition(collections, k=2, quantization=LATTICE)
+        assert a == b
+
+
+class TestSummaryFunctions:
+    def test_val_to_summary(self):
+        scheme = GaussianMixtureScheme()
+        summary = scheme.val_to_summary([1.0, 2.0])
+        assert np.allclose(summary.mean, [1.0, 2.0])
+        assert np.allclose(summary.cov, 0.0)
+
+    def test_distance_is_mean_distance(self):
+        scheme = GaussianMixtureScheme()
+        a = GaussianSummary(mean=[0.0, 0.0], cov=np.eye(2))
+        b = GaussianSummary(mean=[3.0, 4.0], cov=5.0 * np.eye(2))
+        assert scheme.distance(a, b) == pytest.approx(5.0)
+
+    def test_merge_set_moment_match(self):
+        scheme = GaussianMixtureScheme()
+        merged = scheme.merge_set(
+            [(summary_from_value([0.0]), 1.0), (summary_from_value([4.0]), 3.0)]
+        )
+        assert merged.mean[0] == pytest.approx(3.0)
+        # variance: 0.25 * 9 + 0.75 * 1 = 3
+        assert merged.cov[0, 0] == pytest.approx(3.0)

@@ -1,0 +1,104 @@
+"""Fixed-bin histogram summaries (the related-work comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.scheme import validate_partition
+from repro.core.weights import Quantization
+from repro.schemes.histogram import HistogramScheme
+
+LATTICE = Quantization(16)
+
+
+class TestConstruction:
+    def test_edges(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        assert np.allclose(scheme.edges, [0, 2, 4, 6, 8, 10])
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            HistogramScheme(low=5.0, high=1.0)
+
+    def test_rejects_single_bin(self):
+        with pytest.raises(ValueError):
+            HistogramScheme(low=0.0, high=1.0, bins=1)
+
+
+class TestValToSummary:
+    def test_one_hot(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        summary = scheme.val_to_summary(3.0)
+        assert summary.tolist() == [0, 1, 0, 0, 0]
+        assert summary.sum() == 1.0
+
+    def test_below_range_clamped_to_first_bin(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        assert scheme.val_to_summary(-100.0)[0] == 1.0
+
+    def test_above_range_clamped_to_last_bin(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        assert scheme.val_to_summary(100.0)[-1] == 1.0
+
+    def test_boundary_value_in_upper_bin(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        assert scheme.val_to_summary(10.0)[-1] == 1.0
+
+    def test_vector_input_uses_first_component(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        assert np.allclose(scheme.val_to_summary(np.array([3.0])), scheme.val_to_summary(3.0))
+
+
+class TestMerge:
+    def test_weighted_proportions(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        a = scheme.val_to_summary(1.0)  # bin 0
+        b = scheme.val_to_summary(9.0)  # bin 4
+        merged = scheme.merge_set([(a, 3.0), (b, 1.0)])
+        assert merged[0] == pytest.approx(0.75)
+        assert merged[4] == pytest.approx(0.25)
+        assert merged.sum() == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HistogramScheme(low=0.0, high=1.0).merge_set([])
+
+
+class TestDistance:
+    def test_total_variation_bounds(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        a = scheme.val_to_summary(1.0)
+        b = scheme.val_to_summary(9.0)
+        assert scheme.distance(a, a) == 0.0
+        assert scheme.distance(a, b) == 1.0  # disjoint support
+
+    def test_partial_overlap(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        a = scheme.val_to_summary(1.0)
+        mixed = scheme.merge_set([(a, 1.0), (scheme.val_to_summary(9.0), 1.0)])
+        assert scheme.distance(a, mixed) == pytest.approx(0.5)
+
+
+class TestPartition:
+    def test_respects_rules(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        collections = [
+            Collection(summary=scheme.val_to_summary(v), quanta=q)
+            for v, q in [(1.0, 16), (1.5, 16), (9.0, 16), (8.5, 1)]
+        ]
+        groups = scheme.partition(collections, k=2, quantization=LATTICE)
+        validate_partition(groups, collections, 2, LATTICE)
+
+
+class TestMeanEstimate:
+    def test_midpoint_mean(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        summary = scheme.val_to_summary(3.0)  # bin 1: midpoint 3.0
+        assert scheme.mean_estimate(summary) == pytest.approx(3.0)
+
+    def test_mixed_mean(self):
+        scheme = HistogramScheme(low=0.0, high=10.0, bins=5)
+        merged = scheme.merge_set(
+            [(scheme.val_to_summary(1.0), 1.0), (scheme.val_to_summary(9.0), 1.0)]
+        )
+        assert scheme.mean_estimate(merged) == pytest.approx(5.0)
