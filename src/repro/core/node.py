@@ -29,6 +29,8 @@ from repro.core.collection import Collection
 from repro.core.mixture import MixtureVector
 from repro.core.scheme import SummaryScheme, validate_partition
 from repro.core.weights import Quantization
+from repro.obs.context import current_sink
+from repro.obs.events import Event, EventSink
 
 __all__ = ["ClassifierNode", "NodeStats"]
 
@@ -84,6 +86,11 @@ class ClassifierNode:
         When true, every partition returned by the scheme is checked
         against Algorithm 1's structural rules.  On by default in tests,
         off in large benchmarks.
+    event_sink:
+        Destination for this node's ``split``/``merge``
+        :class:`~repro.obs.events.Event` records; defaults to the
+        ambient tracing sink (``None`` unless a
+        :func:`repro.obs.context.tracing` block is active).
     """
 
     def __init__(
@@ -96,6 +103,7 @@ class ClassifierNode:
         track_aux: bool = False,
         n_inputs: Optional[int] = None,
         validate: bool = False,
+        event_sink: Optional[EventSink] = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
@@ -105,6 +113,7 @@ class ClassifierNode:
         self.quantization = quantization or Quantization()
         self.validate = validate
         self.stats = NodeStats()
+        self.event_sink = event_sink if event_sink is not None else current_sink()
 
         aux = None
         if track_aux:
@@ -152,6 +161,8 @@ class ClassifierNode:
         self.stats.splits += 1
         if sent:
             self.stats.messages_made += 1
+        if self.event_sink is not None:
+            self.event_sink.emit(Event(kind="split", node=self.node_id, items=len(sent)))
         return sent
 
     # ------------------------------------------------------------------
@@ -192,6 +203,10 @@ class ClassifierNode:
         if members[0].aux is not None:
             aux = MixtureVector.sum_of(member.aux for member in members)
         self.stats.merges += 1
+        if self.event_sink is not None:
+            self.event_sink.emit(
+                Event(kind="merge", node=self.node_id, items=len(members))
+            )
         return Collection(summary=summary, quanta=quanta, aux=aux)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

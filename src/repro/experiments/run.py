@@ -6,8 +6,13 @@ Usage::
     python -m repro.experiments.run fig3 --scale paper
     python -m repro.experiments.run ablation-topology
     python -m repro.experiments.run all --scale fast
+    python -m repro.experiments.run fig4 --scale fast --trace trace.jsonl
 
-Prints the same fixed-width series the benchmark suite emits.
+Prints the same fixed-width series the benchmark suite emits.  With
+``--trace PATH``, every engine the experiment constructs writes its
+structured event log (sends, deliveries, drops, crashes, round closes,
+EM steps, profiled spans) to ``PATH`` as JSONL; summarise it afterwards
+with ``python -m repro.obs.report PATH``.
 """
 
 from __future__ import annotations
@@ -176,12 +181,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment", choices=[*COMMANDS.keys(), "all"])
     parser.add_argument("--scale", default="paper", choices=["paper", "bench", "fast"])
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event trace of the run (see repro.obs.report)",
+    )
     args = parser.parse_args(argv)
     scale = preset(args.scale)
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        COMMANDS[name](scale)
-        print()
+
+    def execute() -> None:
+        for name in names:
+            COMMANDS[name](scale)
+            print()
+
+    if args.trace:
+        from repro.obs import JsonlSink, tracing
+
+        try:
+            sink = JsonlSink(args.trace)
+        except OSError as exc:
+            parser.error(f"cannot open trace file: {exc}")
+        with tracing(sink):
+            execute()
+    else:
+        execute()
     return 0
 
 

@@ -18,6 +18,9 @@ from repro.ml import gaussian as mvn
 from repro.ml.gmm import GaussianMixtureModel
 from repro.ml.kmeans import weighted_kmeans
 from repro.ml.linalg import regularize_covariance, symmetrize
+from repro.obs.context import current_sink
+from repro.obs.events import Event
+from repro.obs.profiling import span
 
 __all__ = ["EMResult", "fit_gmm_em"]
 
@@ -95,32 +98,42 @@ def fit_gmm_em(
     trace: list[float] = []
     converged = False
     iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        # E-step: weighted responsibilities.
-        log_components = model.component_log_densities(points) + np.log(model.weights)
-        log_norm = logsumexp(log_components, axis=1)
-        responsibilities = np.exp(log_components - log_norm[:, None])
-        log_likelihood = float(np.sum(weights * log_norm))
-        trace.append(log_likelihood)
+    sink = current_sink()
+    with span("em.fit"):
+        for iteration in range(1, max_iterations + 1):
+            # E-step: weighted responsibilities.
+            log_components = model.component_log_densities(points) + np.log(model.weights)
+            log_norm = logsumexp(log_components, axis=1)
+            responsibilities = np.exp(log_components - log_norm[:, None])
+            log_likelihood = float(np.sum(weights * log_norm))
+            trace.append(log_likelihood)
+            if sink is not None:
+                sink.emit(
+                    Event(
+                        kind="em_step",
+                        items=iteration,
+                        extra={"log_likelihood": log_likelihood},
+                    )
+                )
 
-        # M-step: weighted moment updates.
-        effective = responsibilities * weights[:, None]
-        masses = effective.sum(axis=0)
-        masses = np.maximum(masses, 1e-300)
-        new_weights = masses / total_weight
-        new_means = (effective.T @ points) / masses[:, None]
-        new_covs = np.empty((k, d, d))
-        for j in range(k):
-            centered = points - new_means[j]
-            cov = (effective[:, j, None] * centered).T @ centered / masses[j]
-            new_covs[j] = regularize_covariance(symmetrize(cov), _COV_RIDGE)
-        model = GaussianMixtureModel(new_weights, new_means, new_covs)
+            # M-step: weighted moment updates.
+            effective = responsibilities * weights[:, None]
+            masses = effective.sum(axis=0)
+            masses = np.maximum(masses, 1e-300)
+            new_weights = masses / total_weight
+            new_means = (effective.T @ points) / masses[:, None]
+            new_covs = np.empty((k, d, d))
+            for j in range(k):
+                centered = points - new_means[j]
+                cov = (effective[:, j, None] * centered).T @ centered / masses[j]
+                new_covs[j] = regularize_covariance(symmetrize(cov), _COV_RIDGE)
+            model = GaussianMixtureModel(new_weights, new_means, new_covs)
 
-        if len(trace) >= 2 and (trace[-1] - trace[-2]) / total_weight < tolerance:
-            converged = True
-            break
+            if len(trace) >= 2 and (trace[-1] - trace[-2]) / total_weight < tolerance:
+                converged = True
+                break
 
-    final_log_likelihood = model.log_likelihood(points, weights)
+        final_log_likelihood = model.log_likelihood(points, weights)
     trace.append(final_log_likelihood)
     return EMResult(
         model=model,

@@ -25,6 +25,7 @@ import numpy as np
 from repro.ml.gaussian import pool_moments
 from repro.ml.gmm import GaussianMixtureModel
 from repro.ml.linalg import regularize_covariance
+from repro.obs.profiling import span
 
 __all__ = ["ReductionResult", "reduce_mixture"]
 
@@ -183,32 +184,33 @@ def reduce_mixture(
     converged = False
     iteration = 0
     score = 0.0
-    for iteration in range(1, max_iterations + 1):
-        groups = [[int(i) for i in np.where(assignment == j)[0]] for j in range(k)]
-        occupied = [group for group in groups if group]
-        group_weights, group_means, group_covs = _group_moments(
-            occupied, weights, means, covs
-        )
-        scores = _score_matrix(
-            weights, means, covs, group_weights, group_means, group_covs
-        )
-        new_assignment = np.argmax(scores, axis=1)
-        best = scores[np.arange(l), new_assignment]
-        score = float(np.sum(weights * best))
+    with span("ml.reduce_mixture"):
+        for iteration in range(1, max_iterations + 1):
+            groups = [[int(i) for i in np.where(assignment == j)[0]] for j in range(k)]
+            occupied = [group for group in groups if group]
+            group_weights, group_means, group_covs = _group_moments(
+                occupied, weights, means, covs
+            )
+            scores = _score_matrix(
+                weights, means, covs, group_weights, group_means, group_covs
+            )
+            new_assignment = np.argmax(scores, axis=1)
+            best = scores[np.arange(l), new_assignment]
+            score = float(np.sum(weights * best))
 
-        # Repair empty groups (possible when k seeds collapse): move the
-        # worst-explained component into its own group.
-        used = set(new_assignment.tolist())
-        free = [j for j in range(len(occupied)) if j not in used]
-        if free:
-            order = np.argsort(best)  # worst fit first
-            for j, i in zip(free, order):
-                new_assignment[int(i)] = j
+            # Repair empty groups (possible when k seeds collapse): move the
+            # worst-explained component into its own group.
+            used = set(new_assignment.tolist())
+            free = [j for j in range(len(occupied)) if j not in used]
+            if free:
+                order = np.argsort(best)  # worst fit first
+                for j, i in zip(free, order):
+                    new_assignment[int(i)] = j
 
-        if np.array_equal(new_assignment, assignment):
-            converged = True
-            break
-        assignment = new_assignment
+            if np.array_equal(new_assignment, assignment):
+                converged = True
+                break
+            assignment = new_assignment
 
     groups = [
         [int(i) for i in np.where(assignment == j)[0]]

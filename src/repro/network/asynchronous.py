@@ -24,6 +24,7 @@ import networkx as nx
 from repro.network.channel import Channel, InFlightMessage
 from repro.network.events import EventQueue
 from repro.network.simulator import NeighborSelector, Network, RoundRobinSelector
+from repro.obs.events import Event, EventSink
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["AsyncEngine"]
@@ -73,12 +74,14 @@ class AsyncEngine(Network):
         mean_interval: float = 1.0,
         delay_range: tuple[float, float] = (0.05, 2.0),
         fifo: bool = False,
+        event_sink: EventSink | None = None,
     ) -> None:
         super().__init__(
             graph,
             protocols,
             seed=seed,
             selector=selector if selector is not None else RoundRobinSelector(),
+            event_sink=event_sink,
         )
         if mean_interval <= 0:
             raise ValueError("mean_interval must be positive")
@@ -96,6 +99,9 @@ class AsyncEngine(Network):
         # Stagger initial timers uniformly so nodes do not fire in lockstep.
         for node in self.live_nodes:
             self._events.push(float(self.rng.uniform(0.0, mean_interval)), _Fire(node))
+
+    def _stamp(self) -> dict[str, int | float]:
+        return {"t": self.now}
 
     # ------------------------------------------------------------------
     # Event handling
@@ -126,17 +132,31 @@ class AsyncEngine(Network):
                 deliver_at = self.now + float(self.rng.uniform(low, high))
                 message = channel.send(payload, self.now, deliver_at)
                 self._events.push(message.deliver_time, _Delivery(channel, message))
-                self.metrics.record_send(self.payload_size(payload))
+                items = self.payload_size(payload)
+                self.metrics.record_send(items)
+                if self.event_sink is not None:
+                    self.event_sink.emit(
+                        Event(kind="send", node=node, peer=peer, t=self.now, items=items)
+                    )
         next_fire = self.now + float(self.rng.exponential(self.mean_interval))
         self._events.push(next_fire, _Fire(node))
 
     def _handle_delivery(self, event: _Delivery) -> None:
         payload = event.channel.deliver(event.message)
+        source = event.channel.source
         destination = event.channel.destination
         if not self.is_live(destination):
             self.metrics.record_drop()
+            if self.event_sink is not None:
+                self.event_sink.emit(
+                    Event(kind="drop", node=source, peer=destination, t=self.now)
+                )
             return
         self.metrics.record_delivery()
+        if self.event_sink is not None:
+            self.event_sink.emit(
+                Event(kind="deliver", node=source, peer=destination, t=self.now)
+            )
         self.protocols[destination].receive_batch([payload])
 
     # ------------------------------------------------------------------
@@ -152,13 +172,22 @@ class AsyncEngine(Network):
         self,
         count: int,
         stop_condition: Optional[Callable[["AsyncEngine"], bool]] = None,
+        per_event: Optional[Callable[["AsyncEngine"], None]] = None,
     ) -> int:
-        """Process up to ``count`` events; returns the number processed."""
+        """Process up to ``count`` events; returns the number processed.
+
+        ``per_event`` (if given) observes the engine after each processed
+        event — the asynchronous counterpart of the round engine's
+        ``per_round`` hook, and how a
+        :class:`~repro.network.trace.RunTracer` attaches to this engine.
+        """
         executed = 0
         for _ in range(count):
             if not self.step():
                 break
             executed += 1
+            if per_event is not None:
+                per_event(self)
             if stop_condition is not None and stop_condition(self):
                 break
         return executed

@@ -40,7 +40,15 @@ class NetworkMetrics:
         self.rounds += 1
         self.per_round_messages.append(messages_this_round)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, object]:
+        """Full snapshot, including the per-round message series.
+
+        Besides the raw counters this carries ``per_round_messages`` and
+        the derived per-round statistics (mean/max messages per round),
+        so benchmark result files capture the paper's message-complexity
+        claim without custom bookkeeping.
+        """
+        per_round = list(self.per_round_messages)
         return {
             "rounds": self.rounds,
             "events": self.events,
@@ -49,4 +57,9 @@ class NetworkMetrics:
             "messages_dropped": self.messages_dropped,
             "payload_items_sent": self.payload_items_sent,
             "crashes": self.crashes,
+            "per_round_messages": per_round,
+            "mean_messages_per_round": (
+                sum(per_round) / len(per_round) if per_round else 0.0
+            ),
+            "max_messages_per_round": max(per_round, default=0),
         }

@@ -22,6 +22,8 @@ import networkx as nx
 from repro.network.failures import FailureModel, NoFailures
 from repro.network.links import AlwaysUp, LinkSchedule
 from repro.network.simulator import NeighborSelector, Network
+from repro.obs.events import Event, EventSink
+from repro.obs.profiling import span
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["RoundEngine", "GOSSIP_VARIANTS"]
@@ -62,8 +64,9 @@ class RoundEngine(Network):
         variant: str = "push",
         failure_model: FailureModel | None = None,
         link_schedule: LinkSchedule | None = None,
+        event_sink: EventSink | None = None,
     ) -> None:
-        super().__init__(graph, protocols, seed=seed, selector=selector)
+        super().__init__(graph, protocols, seed=seed, selector=selector, event_sink=event_sink)
         if variant not in GOSSIP_VARIANTS:
             raise ValueError(f"variant must be one of {GOSSIP_VARIANTS}, got {variant!r}")
         self.variant = variant
@@ -71,11 +74,18 @@ class RoundEngine(Network):
         self.link_schedule = link_schedule if link_schedule is not None else AlwaysUp()
         self.round_index = 0
 
+    def _stamp(self) -> dict[str, int | float]:
+        return {"round": self.round_index}
+
     # ------------------------------------------------------------------
     # One round
     # ------------------------------------------------------------------
     def run_round(self) -> None:
         """Execute one synchronous gossip round and then inject crashes."""
+        with span("engine.round"):
+            self._run_round()
+
+    def _run_round(self) -> None:
         inboxes: dict[int, list] = defaultdict(list)
         messages_this_round = 0
 
@@ -103,6 +113,14 @@ class RoundEngine(Network):
         for node in crashed:
             self.crash(node)
 
+        if self.event_sink is not None:
+            self.event_sink.emit(
+                Event(
+                    kind="round_close",
+                    round=self.round_index,
+                    extra={"messages": messages_this_round, "live": len(self.live)},
+                )
+            )
         self.round_index += 1
         self.metrics.close_round(messages_this_round)
 
@@ -111,14 +129,28 @@ class RoundEngine(Network):
         payload = self.protocols[source].make_payload()
         if payload is None:
             return 0
-        self.metrics.record_send(self.payload_size(payload))
+        items = self.payload_size(payload)
+        self.metrics.record_send(items)
+        sink = self.event_sink
+        if sink is not None:
+            sink.emit(
+                Event(kind="send", node=source, peer=destination, round=self.round_index, items=items)
+            )
         if self.is_live(destination):
             inboxes[destination].append(payload)
             self.metrics.record_delivery()
+            if sink is not None:
+                sink.emit(
+                    Event(kind="deliver", node=source, peer=destination, round=self.round_index)
+                )
         else:
             # Reliable channels deliver, but a crashed node never processes:
             # the payload's weight leaves the system.
             self.metrics.record_drop()
+            if sink is not None:
+                sink.emit(
+                    Event(kind="drop", node=source, peer=destination, round=self.round_index)
+                )
         return 1
 
     # ------------------------------------------------------------------

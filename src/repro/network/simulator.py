@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.network.metrics import NetworkMetrics
 from repro.network.topology import neighbors_map, validate_topology
+from repro.obs.context import current_sink
+from repro.obs.events import Event, EventSink
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["NeighborSelector", "RandomSelector", "RoundRobinSelector", "Network"]
@@ -71,6 +73,14 @@ class Network:
         Seeds the engine RNG (neighbour choice, delays, crash draws).
     selector:
         Neighbour-selection strategy; defaults to uniform random gossip.
+    event_sink:
+        Destination for structured :class:`~repro.obs.events.Event`
+        records (sends, deliveries, drops, crashes, round closes).
+        Defaults to the ambient tracing sink
+        (:func:`repro.obs.context.current_sink`), which is ``None``
+        unless a ``tracing(...)`` block is active — so by default no
+        events are materialised and emission sites cost one ``None``
+        check.
     """
 
     def __init__(
@@ -79,6 +89,7 @@ class Network:
         protocols: Mapping[int, GossipProtocol],
         seed: int = 0,
         selector: NeighborSelector | None = None,
+        event_sink: EventSink | None = None,
     ) -> None:
         self.graph = validate_topology(graph)
         expected = set(range(graph.number_of_nodes()))
@@ -90,6 +101,14 @@ class Network:
         self.selector = selector if selector is not None else RandomSelector()
         self.live: set[int] = set(expected)
         self.metrics = NetworkMetrics()
+        self.event_sink = event_sink if event_sink is not None else current_sink()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _stamp(self) -> dict[str, int | float]:
+        """Engine-specific event stamp; overridden per engine."""
+        return {}
 
     # ------------------------------------------------------------------
     # Liveness
@@ -99,6 +118,8 @@ class Network:
         if node in self.live:
             self.live.discard(node)
             self.metrics.crashes += 1
+            if self.event_sink is not None:
+                self.event_sink.emit(Event(kind="crash", node=node, **self._stamp()))
 
     def is_live(self, node: int) -> bool:
         return node in self.live

@@ -1,16 +1,27 @@
 """Structured per-round run traces.
 
-A :class:`RunTracer` observes a :class:`~repro.network.rounds.RoundEngine`
-through its ``per_round`` hook and records, every round, whatever probes
-the caller registered — error against a ground truth, collection counts,
-live-node counts, cumulative messages.  Experiments and notebooks get one
-tidy record per round instead of hand-rolled bookkeeping loops.
+A :class:`RunTracer` observes an engine through its observation hook —
+``per_round`` on :class:`~repro.network.rounds.RoundEngine`, ``per_event``
+on :class:`~repro.network.asynchronous.AsyncEngine` — and records, at
+every sample, whatever probes the caller registered: error against a
+ground truth, collection counts, live-node counts, cumulative messages.
+Experiments and notebooks get one tidy record per sample instead of
+hand-rolled bookkeeping loops.
+
+The tracer is engine-agnostic: it needs only ``live_nodes`` and
+``metrics`` (both provided by :class:`~repro.network.simulator.Network`);
+the round stamp falls back to the processed-event count on engines
+without a ``round_index``.  When the observed engine has an event sink
+attached, every sample is also emitted as a ``probe`` event, so JSONL
+traces carry the convergence curve alongside the transport events.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.obs.events import Event
 
 __all__ = ["RoundRecord", "RunTracer"]
 
@@ -55,16 +66,31 @@ class RunTracer:
         self.records: list[RoundRecord] = []
 
     def __call__(self, engine: Any) -> None:
-        """The ``per_round`` hook: sample every probe."""
+        """The ``per_round``/``per_event`` hook: sample every probe."""
         values = {name: float(probe(engine)) for name, probe in self.probes.items()}
+        round_index = getattr(engine, "round_index", None)
+        if round_index is None:
+            # Asynchronous engines count processed events, not rounds;
+            # use that as the monotone progress stamp.
+            round_index = int(engine.metrics.events)
         self.records.append(
             RoundRecord(
-                round_index=engine.round_index,
+                round_index=round_index,
                 live_nodes=len(engine.live_nodes),
                 messages_sent=engine.metrics.messages_sent,
                 probes=values,
             )
         )
+        sink = getattr(engine, "event_sink", None)
+        if sink is not None:
+            sink.emit(
+                Event(
+                    kind="probe",
+                    round=round_index,
+                    t=getattr(engine, "now", None),
+                    extra=dict(values),
+                )
+            )
 
     # ------------------------------------------------------------------
     # Accessors

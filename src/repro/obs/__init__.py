@@ -1,0 +1,65 @@
+"""Observability: structured event traces, profiling, and run reports.
+
+The paper's entire evaluation is about *observing* a distributed run —
+error versus rounds, message complexity independent of ``n``, behaviour
+under crashes.  This package is the reproduction's observability layer,
+shared by both gossip engines:
+
+- :mod:`repro.obs.events` — typed, stamped event records (``send``,
+  ``deliver``, ``drop``, ``merge``, ``split``, ``crash``,
+  ``round_close``, ``em_step``, ``probe``, ``span``) and pluggable
+  sinks (in-memory ring buffer, JSONL file, composite fan-out);
+- :mod:`repro.obs.context` — the process-wide tracing context that lets
+  ``python -m repro.experiments.run <exp> --trace out.jsonl`` capture
+  every engine an experiment constructs without threading a sink
+  through each call site;
+- :mod:`repro.obs.profiling` — near-zero-cost timer spans around the
+  hot paths (EM fits, mixture reduction, protocol split/merge, engine
+  rounds) accumulated into a histogram-capable :class:`MetricsRegistry`;
+- :mod:`repro.obs.report` — the CLI (``python -m repro.obs.report
+  trace.jsonl``) that replays an event log into per-node timelines,
+  message-complexity summaries, convergence curves and top-k slowest
+  spans.
+
+Everything is off by default: with no sink installed and profiling
+disabled, the instrumentation reduces to a handful of ``None`` checks
+per round.
+"""
+
+from repro.obs.context import current_sink, set_sink, tracing
+from repro.obs.events import (
+    EVENT_KINDS,
+    CompositeSink,
+    Event,
+    EventSink,
+    JsonlSink,
+    RingBufferSink,
+)
+from repro.obs.profiling import (
+    MetricsRegistry,
+    TimerStats,
+    current_registry,
+    disable_profiling,
+    enable_profiling,
+    profiling,
+    span,
+)
+
+__all__ = [
+    "CompositeSink",
+    "EVENT_KINDS",
+    "Event",
+    "EventSink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "TimerStats",
+    "current_registry",
+    "current_sink",
+    "disable_profiling",
+    "enable_profiling",
+    "profiling",
+    "set_sink",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,55 @@
+"""The process-wide tracing context.
+
+Experiments build engines many layers below the CLI (``run_fig4`` alone
+constructs four), so a ``--trace`` flag cannot realistically thread a sink
+through every call signature.  Instead, a single module-level slot holds
+the *ambient* sink: engines and nodes consult :func:`current_sink` at
+construction time when no sink was passed explicitly, and hot code paths
+(EM fits, profiling spans) consult it dynamically.
+
+The default is ``None`` — no ambient sink, no behaviour change, and the
+lookup is one global read.  :func:`tracing` installs a sink for the
+duration of a ``with`` block and closes it on the way out.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.events import EventSink
+
+__all__ = ["current_sink", "set_sink", "tracing"]
+
+_SINK: Optional[EventSink] = None
+
+
+def current_sink() -> Optional[EventSink]:
+    """The ambient event sink, or ``None`` when tracing is off."""
+    return _SINK
+
+
+def set_sink(sink: Optional[EventSink]) -> Optional[EventSink]:
+    """Install ``sink`` as the ambient sink; returns the previous one."""
+    global _SINK
+    previous = _SINK
+    _SINK = sink
+    return previous
+
+
+@contextmanager
+def tracing(sink: EventSink) -> Iterator[EventSink]:
+    """Install ``sink`` for the duration of the block, then close it.
+
+    Engines constructed inside the block pick the sink up automatically::
+
+        with tracing(JsonlSink("trace.jsonl")):
+            engine, nodes = build_classification_network(...)
+            engine.run(50)
+    """
+    previous = set_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_sink(previous)
+        sink.close()

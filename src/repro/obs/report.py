@@ -1,0 +1,269 @@
+"""Telemetry report CLI: replay a JSONL event trace into readable tables.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl
+    python -m repro.obs.report trace.jsonl --top 20 --nodes 15
+
+Reads a trace written by :class:`~repro.obs.events.JsonlSink` (e.g. via
+``python -m repro.experiments.run fig4 --trace trace.jsonl``) and renders,
+with :mod:`repro.analysis.reporting`:
+
+- an event census (count per kind);
+- the message-complexity summary — totals, per-round message series,
+  mean/max messages per round — reconstructed purely from ``send`` /
+  ``deliver`` / ``drop`` / ``round_close`` events, so it can be checked
+  against the engine's own :class:`~repro.network.metrics.NetworkMetrics`;
+- convergence curves from ``probe`` events (one column per probe name)
+  and EM likelihood traces from ``em_step`` events;
+- the crash timeline;
+- per-node activity timelines (sends, receipts, drops, splits, merges,
+  crash stamp);
+- the top-k slowest profiled spans plus per-span aggregates.
+
+Sections with no matching events are omitted, so the report degrades
+gracefully down to an empty trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+from typing import Any, Iterable, Optional
+
+from repro.analysis.reporting import banner, format_series, format_table
+
+__all__ = ["load_events", "render_report", "main"]
+
+
+def load_events(path: str) -> list[dict[str, Any]]:
+    """Parse one JSONL trace file into a list of event dicts.
+
+    Blank lines are ignored; malformed lines and records without a
+    ``kind`` raise :class:`ValueError` naming the offending line.
+    """
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: invalid JSON ({error})") from None
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError(f"{path}:{line_number}: event record lacks a 'kind'")
+            events.append(record)
+    return events
+
+
+def _stamp(event: dict[str, Any]) -> str:
+    """Human-readable stamp: round for the round engine, time for async."""
+    if event.get("round") is not None:
+        return f"round {event['round']}"
+    if event.get("t") is not None:
+        return f"t={event['t']:.3f}"
+    return "-"
+
+
+def _summary_section(events: list[dict[str, Any]]) -> str:
+    census = Counter(event["kind"] for event in events)
+    if not census:
+        return f"{banner('Event census')}\n(no events recorded)"
+    rows = [[kind, count] for kind, count in sorted(census.items())]
+    rows.append(["total", len(events)])
+    return f"{banner('Event census')}\n{format_table(['kind', 'count'], rows)}"
+
+
+def _message_section(events: list[dict[str, Any]]) -> Optional[str]:
+    census = Counter(event["kind"] for event in events)
+    closes = [event for event in events if event["kind"] == "round_close"]
+    if not (census["send"] or closes):
+        return None
+    lines = [banner("Message complexity")]
+    totals = [
+        ["messages_sent", census["send"]],
+        ["messages_delivered", census["deliver"]],
+        ["messages_dropped", census["drop"]],
+        ["payload_items_sent", sum(e.get("items", 0) or 0 for e in events if e["kind"] == "send")],
+        ["rounds", len(closes)],
+    ]
+    per_round = [int((e.get("extra") or {}).get("messages", 0)) for e in closes]
+    if per_round:
+        totals.append(["mean_messages_per_round", sum(per_round) / len(per_round)])
+        totals.append(["max_messages_per_round", max(per_round)])
+    lines.append(format_table(["metric", "value"], totals))
+    if per_round:
+        live = [(e.get("extra") or {}).get("live", "-") for e in closes]
+        lines.append("")
+        lines.append(
+            format_series(
+                "Per-round message counts",
+                "round",
+                [e.get("round", index) for index, e in enumerate(closes)],
+                {"messages": per_round, "live_nodes": live},
+            )
+        )
+    return "\n".join(lines)
+
+
+def _convergence_section(events: list[dict[str, Any]]) -> Optional[str]:
+    probes = [event for event in events if event["kind"] == "probe"]
+    if not probes:
+        return None
+    names: list[str] = []
+    for event in probes:
+        for name in (event.get("extra") or {}):
+            if name not in names:
+                names.append(name)
+    x_values = [event.get("round", index + 1) for index, event in enumerate(probes)]
+    columns = {
+        name: [(event.get("extra") or {}).get(name, float("nan")) for event in probes]
+        for name in names
+    }
+    return format_series("Convergence curves (probe samples)", "round", x_values, columns)
+
+
+def _em_section(events: list[dict[str, Any]]) -> Optional[str]:
+    steps = [event for event in events if event["kind"] == "em_step"]
+    if not steps:
+        return None
+    rows = [
+        [
+            index + 1,
+            step.get("items", "-"),
+            (step.get("extra") or {}).get("log_likelihood", "-"),
+        ]
+        for index, step in enumerate(steps)
+    ]
+    # Long centralised fits would swamp the report; keep the tail.
+    shown = rows[-25:]
+    title = "EM iterations"
+    if len(shown) < len(rows):
+        title += f" (last {len(shown)} of {len(rows)})"
+    return f"{banner(title)}\n{format_table(['#', 'iteration', 'log_likelihood'], shown)}"
+
+
+def _crash_section(events: list[dict[str, Any]]) -> Optional[str]:
+    crashes = [event for event in events if event["kind"] == "crash"]
+    if not crashes:
+        return None
+    rows = [[_stamp(event), event.get("node", "-")] for event in crashes]
+    return f"{banner(f'Crash timeline ({len(crashes)} crashes)')}\n" + format_table(
+        ["when", "node"], rows
+    )
+
+
+def _node_section(events: list[dict[str, Any]], limit: int) -> Optional[str]:
+    per_node: dict[int, Counter] = defaultdict(Counter)
+    crashed_at: dict[int, str] = {}
+    for event in events:
+        kind = event["kind"]
+        node = event.get("node")
+        if node is None:
+            continue
+        if kind in ("send", "split", "merge", "crash"):
+            per_node[node][kind] += 1
+        if kind in ("deliver", "drop"):
+            peer = event.get("peer")
+            if peer is not None:
+                per_node[peer]["received" if kind == "deliver" else "lost"] += 1
+        if kind == "crash":
+            crashed_at[node] = _stamp(event)
+    if not per_node:
+        return None
+    ranked = sorted(per_node.items(), key=lambda item: (-item[1]["send"], item[0]))
+    shown = ranked[: max(limit, 0)] or ranked
+    rows = [
+        [
+            node,
+            counts["send"],
+            counts["received"],
+            counts["lost"],
+            counts["split"],
+            counts["merge"],
+            crashed_at.get(node, "-"),
+        ]
+        for node, counts in shown
+    ]
+    title = f"Per-node timelines (top {len(shown)} of {len(ranked)} nodes by sends)"
+    headers = ["node", "sends", "received", "lost", "splits", "merges", "crashed"]
+    return f"{banner(title)}\n{format_table(headers, rows)}"
+
+
+def _span_section(events: list[dict[str, Any]], top: int) -> Optional[str]:
+    spans = [event for event in events if event["kind"] == "span"]
+    if not spans:
+        return None
+    aggregates: dict[str, list[float]] = defaultdict(list)
+    for event in spans:
+        extra = event.get("extra") or {}
+        aggregates[str(extra.get("name", "?"))].append(float(extra.get("duration", 0.0)))
+    rows = [
+        [name, len(durations), sum(durations), 1e3 * sum(durations) / len(durations), 1e3 * max(durations)]
+        for name, durations in aggregates.items()
+    ]
+    rows.sort(key=lambda row: -row[2])
+    lines = [
+        banner("Profiled spans"),
+        format_table(["span", "count", "total_s", "mean_ms", "max_ms"], rows),
+    ]
+    slowest = sorted(
+        (
+            (float((event.get("extra") or {}).get("duration", 0.0)), event)
+            for event in spans
+        ),
+        key=lambda pair: -pair[0],
+    )[: max(top, 0)]
+    if slowest:
+        lines.append("")
+        lines.append(f"Top {len(slowest)} slowest spans:")
+        lines.append(
+            format_table(
+                ["span", "duration_ms", "when"],
+                [
+                    [(event.get("extra") or {}).get("name", "?"), 1e3 * duration, _stamp(event)]
+                    for duration, event in slowest
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_report(events: list[dict[str, Any]], top: int = 10, nodes: int = 10) -> str:
+    """The full plain-text report for one parsed trace."""
+    sections: Iterable[Optional[str]] = (
+        _summary_section(events),
+        _message_section(events),
+        _convergence_section(events),
+        _em_section(events),
+        _crash_section(events),
+        _node_section(events, nodes),
+        _span_section(events, top),
+    )
+    return "\n\n".join(section for section in sections if section is not None)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.report",
+        description="Summarise a JSONL event trace written with --trace / JsonlSink.",
+    )
+    parser.add_argument("trace", help="path to the .jsonl event log")
+    parser.add_argument("--top", type=int, default=10, help="slowest spans to list")
+    parser.add_argument("--nodes", type=int, default=10, help="nodes to show in timelines")
+    args = parser.parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_report(events, top=args.top, nodes=args.nodes))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

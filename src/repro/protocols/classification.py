@@ -22,6 +22,8 @@ from repro.network.failures import FailureModel
 from repro.network.links import LinkSchedule
 from repro.network.rounds import RoundEngine
 from repro.network.simulator import NeighborSelector
+from repro.obs.events import EventSink
+from repro.obs.profiling import span
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["ClassificationProtocol", "build_classification_network"]
@@ -39,7 +41,8 @@ class ClassificationProtocol(GossipProtocol):
         Returns ``None`` when quantisation leaves nothing sendable (every
         local collection holds a single quantum).
         """
-        payload = self.node.make_message()
+        with span("protocol.split"):
+            payload = self.node.make_message()
         return payload if payload else None
 
     def receive_batch(self, payloads: Sequence[list[Collection]]) -> None:
@@ -47,7 +50,8 @@ class ClassificationProtocol(GossipProtocol):
         incoming: list[Collection] = []
         for payload in payloads:
             incoming.extend(payload)
-        self.node.receive(incoming)
+        with span("protocol.merge"):
+            self.node.receive(incoming)
 
     # Convenience pass-throughs used pervasively by analysis code.
     @property
@@ -72,6 +76,7 @@ def build_classification_network(
     selector: Optional[NeighborSelector] = None,
     failure_model: Optional[FailureModel] = None,
     link_schedule: Optional[LinkSchedule] = None,
+    event_sink: Optional[EventSink] = None,
 ) -> tuple[RoundEngine, list[ClassifierNode]]:
     """Construct a round-engine running Algorithm 1 over ``values``.
 
@@ -79,6 +84,10 @@ def build_classification_network(
     have exactly ``len(values)`` nodes.  Returns the engine and the
     underlying :class:`~repro.core.node.ClassifierNode` list (index =
     node id) for direct state inspection.
+
+    ``event_sink`` (or the ambient :func:`repro.obs.context.tracing`
+    sink) is wired to both the engine (transport events) and every node
+    (split/merge events), giving one coherent trace per run.
     """
     n = len(values)
     if graph.number_of_nodes() != n:
@@ -96,6 +105,7 @@ def build_classification_network(
             track_aux=track_aux,
             n_inputs=n if track_aux else None,
             validate=validate,
+            event_sink=event_sink,
         )
         for i in range(n)
     ]
@@ -108,5 +118,6 @@ def build_classification_network(
         variant=variant,
         failure_model=failure_model,
         link_schedule=link_schedule,
+        event_sink=event_sink,
     )
     return engine, nodes

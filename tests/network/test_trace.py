@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.network.asynchronous import AsyncEngine
 from repro.network.topology import complete
 from repro.network.trace import RunTracer
-from repro.protocols.push_sum import build_push_sum_network
+from repro.obs import RingBufferSink
+from repro.protocols.push_sum import PushSumProtocol, build_push_sum_network
 
 
 def build_traced(n=10, seed=0):
@@ -61,6 +63,76 @@ class TestTracing:
         columns = tracer.as_columns()
         assert set(columns) == {"max_error"}
         assert len(columns["max_error"]) == 3
+
+
+def build_async_traced(n=8, seed=0, event_sink=None):
+    values = np.arange(n, dtype=float)[:, None]
+    protocols = {i: PushSumProtocol(values[i]) for i in range(n)}
+    engine = AsyncEngine(complete(n), protocols, seed=seed, event_sink=event_sink)
+    truth = float(values.mean())
+    tracer = RunTracer(
+        {
+            "max_error": lambda e: max(
+                abs(protocols[i].estimate[0] - truth) for i in e.live_nodes
+            ),
+        }
+    )
+    return engine, tracer
+
+
+class TestAsyncTracing:
+    """Regression: the tracer used to crash on the async engine, which has
+    no ``round_index`` attribute — it must fall back to the processed-event
+    count and otherwise behave identically."""
+
+    def test_tracer_attaches_via_per_event(self):
+        engine, tracer = build_async_traced()
+        executed = engine.run_events(120, per_event=tracer)
+        assert len(tracer.records) == executed == 120
+
+    def test_round_index_falls_back_to_event_count(self):
+        engine, tracer = build_async_traced()
+        engine.run_events(30, per_event=tracer)
+        assert tracer.rounds() == list(range(1, 31))
+
+    def test_series_converges(self):
+        engine, tracer = build_async_traced()
+        engine.run_events(600, per_event=tracer)
+        series = tracer.series("max_error")
+        assert series[-1] < series[0]
+
+    def test_live_nodes_reflect_crashes(self):
+        engine, tracer = build_async_traced()
+        engine.run_events(5, per_event=tracer)
+        engine.crash(0)
+        engine.run_events(5, per_event=tracer)
+        assert tracer.live_node_series() == [8] * 5 + [7] * 5
+
+    def test_probe_events_emitted_to_engine_sink(self):
+        sink = RingBufferSink()
+        engine, tracer = build_async_traced(event_sink=sink)
+        engine.run_events(10, per_event=tracer)
+        probes = sink.of_kind("probe")
+        assert len(probes) == 10
+        assert all("max_error" in event.extra for event in probes)
+        assert all(event.t is not None for event in probes)
+
+
+class TestProbeEvents:
+    def test_round_engine_probes_routed_to_sink(self):
+        sink = RingBufferSink()
+        engine, tracer = build_traced()
+        engine.event_sink = sink
+        engine.run(4, per_round=tracer)
+        probes = sink.of_kind("probe")
+        assert [event.round for event in probes] == [1, 2, 3, 4]
+        assert [event.extra["max_error"] for event in probes] == tracer.series("max_error")
+
+    def test_no_sink_means_no_probe_events(self):
+        engine, tracer = build_traced()
+        assert engine.event_sink is None
+        engine.run(3, per_round=tracer)  # must not raise
+        assert len(tracer.records) == 3
 
 
 class TestValidation:

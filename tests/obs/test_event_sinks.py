@@ -1,0 +1,137 @@
+"""Structured events, sinks, and the ambient tracing context."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    CompositeSink,
+    Event,
+    JsonlSink,
+    RingBufferSink,
+    current_sink,
+    set_sink,
+    tracing,
+)
+
+
+class TestEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Event(kind="teleport")
+
+    def test_known_kinds_accepted(self):
+        for kind in EVENT_KINDS:
+            assert Event(kind=kind).kind == kind
+
+    def test_json_dict_drops_none_fields(self):
+        event = Event(kind="send", node=3, peer=7, round=2, items=4)
+        record = event.to_json_dict()
+        assert record == {"kind": "send", "node": 3, "peer": 7, "round": 2, "items": 4}
+        assert "t" not in record and "extra" not in record
+
+    def test_json_dict_round_trips(self):
+        event = Event(kind="round_close", round=5, extra={"messages": 9, "live": 10})
+        parsed = json.loads(json.dumps(event.to_json_dict()))
+        assert parsed["kind"] == "round_close"
+        assert parsed["extra"] == {"messages": 9, "live": 10}
+
+
+class TestRingBufferSink:
+    def test_retains_in_order(self):
+        sink = RingBufferSink()
+        sink.emit(Event(kind="send", node=0))
+        sink.emit(Event(kind="deliver", node=0))
+        assert [event.kind for event in sink.events] == ["send", "deliver"]
+        assert len(sink) == 2
+
+    def test_capacity_evicts_oldest(self):
+        sink = RingBufferSink(capacity=3)
+        for index in range(5):
+            sink.emit(Event(kind="send", node=index))
+        assert [event.node for event in sink.events] == [2, 3, 4]
+
+    def test_of_kind_filters(self):
+        sink = RingBufferSink()
+        sink.emit(Event(kind="send"))
+        sink.emit(Event(kind="crash", node=1))
+        sink.emit(Event(kind="send"))
+        assert len(sink.of_kind("send")) == 2
+        assert sink.of_kind("crash")[0].node == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit(Event(kind="send", node=1, peer=2, round=0, items=3))
+            sink.emit(Event(kind="crash", node=2, round=0))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "send"
+        assert json.loads(lines[1]) == {"kind": "crash", "node": 2, "round": 0}
+        assert sink.emitted == 2
+
+    def test_creates_empty_file_immediately(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        sink = JsonlSink(str(path))
+        sink.close()
+        assert path.exists() and path.read_text() == ""
+
+    def test_close_is_idempotent_and_blocks_emit(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit(Event(kind="send"))
+
+
+class TestCompositeSink:
+    def test_fans_out_to_all_children(self):
+        first, second = RingBufferSink(), RingBufferSink()
+        composite = CompositeSink(first, second)
+        composite.emit(Event(kind="merge", node=4))
+        assert len(first) == len(second) == 1
+
+    def test_requires_children(self):
+        with pytest.raises(ValueError):
+            CompositeSink()
+
+
+class TestTracingContext:
+    def test_default_is_none(self):
+        assert current_sink() is None
+
+    def test_tracing_installs_and_restores(self):
+        sink = RingBufferSink()
+        with tracing(sink) as active:
+            assert active is sink
+            assert current_sink() is sink
+        assert current_sink() is None
+
+    def test_tracing_nests(self):
+        outer, inner = RingBufferSink(), RingBufferSink()
+        with tracing(outer):
+            with tracing(inner):
+                assert current_sink() is inner
+            assert current_sink() is outer
+
+    def test_tracing_closes_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing(JsonlSink(str(path))) as sink:
+            sink.emit(Event(kind="send"))
+        with pytest.raises(ValueError):
+            sink.emit(Event(kind="send"))
+
+    def test_set_sink_returns_previous(self):
+        sink = RingBufferSink()
+        assert set_sink(sink) is None
+        try:
+            assert current_sink() is sink
+        finally:
+            assert set_sink(None) is sink

@@ -1,0 +1,127 @@
+"""Timer spans and the metrics registry."""
+
+import time
+
+import pytest
+
+from repro.network.metrics import NetworkMetrics
+from repro.obs import (
+    MetricsRegistry,
+    RingBufferSink,
+    TimerStats,
+    current_registry,
+    disable_profiling,
+    enable_profiling,
+    profiling,
+    span,
+    tracing,
+)
+from repro.obs.profiling import _NULL_SPAN
+
+
+class TestTimerStats:
+    def test_record_accumulates(self):
+        stats = TimerStats()
+        stats.record(0.25)
+        stats.record(1.0)
+        assert stats.count == 2
+        assert stats.total == pytest.approx(1.25)
+        assert stats.minimum == pytest.approx(0.25)
+        assert stats.maximum == pytest.approx(1.0)
+        assert stats.mean == pytest.approx(0.625)
+
+    def test_histogram_buckets_cover_all_samples(self):
+        stats = TimerStats()
+        for duration in (1e-6, 3e-6, 0.1, 0.2, 0.4):
+            stats.record(duration)
+        buckets = stats.histogram()
+        assert sum(count for _, _, count in buckets) == 5
+        for low, high, _ in buckets:
+            assert high == pytest.approx(2 * low)
+
+    def test_zero_duration_and_empty_stats(self):
+        stats = TimerStats()
+        assert stats.mean == 0.0
+        assert stats.as_dict()["min"] == 0.0
+        stats.record(0.0)
+        assert stats.count == 1
+        assert stats.minimum == 0.0
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("merges")
+        registry.inc("merges", 4)
+        assert registry.counters["merges"] == 5
+
+    def test_absorbs_network_metrics_scalars_only(self):
+        metrics = NetworkMetrics()
+        metrics.record_send(3)
+        metrics.record_delivery()
+        metrics.close_round(1)
+        registry = MetricsRegistry()
+        registry.absorb_network(metrics)
+        assert registry.counters["network.messages_sent"] == 1
+        assert registry.counters["network.payload_items_sent"] == 3
+        assert registry.counters["network.rounds"] == 1
+        # The per-round list is not a scalar and must be skipped.
+        assert "network.per_round_messages" not in registry.counters
+
+    def test_summary_rows_sorted_by_total(self):
+        registry = MetricsRegistry()
+        registry.record_span("slow", 1.0)
+        registry.record_span("fast", 0.1)
+        rows = registry.summary_rows()
+        assert [row[0] for row in rows] == ["slow", "fast"]
+
+    def test_as_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        registry.record_span("y", 0.5)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"x": 1}
+        assert snapshot["timers"]["y"]["count"] == 1
+
+
+class TestSpan:
+    def test_disabled_span_is_shared_noop(self):
+        assert current_registry() is None
+        assert span("anything") is _NULL_SPAN
+        with span("anything"):
+            pass  # must not raise, must not allocate a registry
+
+    def test_profiling_records_duration(self):
+        with profiling() as registry:
+            with span("work"):
+                time.sleep(0.002)
+        stats = registry.timers["work"]
+        assert stats.count == 1
+        assert stats.total >= 0.002
+        assert current_registry() is None
+
+    def test_profiling_restores_previous_registry(self):
+        outer = enable_profiling()
+        try:
+            with profiling() as inner:
+                assert current_registry() is inner
+            assert current_registry() is outer
+        finally:
+            disable_profiling()
+
+    def test_span_emits_event_when_tracing(self):
+        sink = RingBufferSink()
+        with tracing(sink):
+            with span("traced.work"):
+                pass
+        spans = sink.of_kind("span")
+        assert len(spans) == 1
+        assert spans[0].extra["name"] == "traced.work"
+        assert spans[0].extra["duration"] >= 0.0
+
+    def test_span_records_even_when_body_raises(self):
+        with profiling() as registry:
+            with pytest.raises(RuntimeError):
+                with span("failing"):
+                    raise RuntimeError("boom")
+        assert registry.timers["failing"].count == 1
