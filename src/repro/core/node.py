@@ -21,7 +21,7 @@ setting of the convergence proof).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.core.classification import Classification

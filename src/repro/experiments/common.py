@@ -19,8 +19,9 @@ import numpy as np
 from repro.core.convergence import ConvergenceDetector
 from repro.core.node import ClassifierNode
 from repro.core.scheme import SummaryScheme
+from repro.network.factory import ENGINES
 from repro.network.failures import FailureModel
-from repro.network.rounds import RoundEngine
+from repro.network.kernel import SimulationKernel
 from repro.network.topology import complete
 from repro.protocols.classification import build_classification_network
 
@@ -50,6 +51,13 @@ class Scale:
         outliers are not density-distinguishable at all, at 4-4.5 they
         are flagged but inseparable, and from ~5 the classifier isolates
         them.
+    engine:
+        Which scheduler drives the gossip — ``"rounds"`` (the paper's
+        Section 5.3 synchronous methodology, the default) or ``"async"``
+        (the Section 6 Poisson schedule; one "round" is then one mean
+        firing interval of simulated time).  Threaded through every
+        experiment so each figure and robustness sweep runs identically
+        on either execution model.
     """
 
     name: str
@@ -60,6 +68,11 @@ class Scale:
     deltas: tuple[float, ...] = (
         0.0, 2.5, 4.0, 4.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0,
     )
+    engine: str = "rounds"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
 
     def with_overrides(self, **kwargs) -> "Scale":
         return replace(self, **kwargs)
@@ -102,7 +115,7 @@ def run_until_convergence(
     track_aux: bool = False,
     failure_model: Optional[FailureModel] = None,
     variant: str = "push",
-) -> tuple[RoundEngine, list[ClassifierNode], int]:
+) -> tuple[SimulationKernel, list[ClassifierNode], int]:
     """Run Algorithm 1 until probe nodes stop moving (or max_rounds).
 
     Returns ``(engine, nodes, rounds_run)``.  Convergence is declared when
@@ -110,6 +123,10 @@ def run_until_convergence(
     ``scale.convergence_tolerance`` (classification EMD) for three
     consecutive rounds — a practical stand-in for the paper's "run until
     convergence" which its asynchronous model cannot bound a priori.
+
+    ``scale.engine`` selects the scheduler; the kernel's uniform ``run``
+    drives either one in round-equivalents, so "rounds to convergence"
+    is measured on the same axis for both execution models.
     """
     n = len(values)
     if graph is None:
@@ -123,11 +140,12 @@ def run_until_convergence(
         track_aux=track_aux,
         failure_model=failure_model,
         variant=variant,
+        engine=scale.engine,
     )
     probe_step = max(1, n // max(1, scale.probe_count))
     detector = ConvergenceDetector(scheme, tolerance=scale.convergence_tolerance)
 
-    def settled(current_engine: RoundEngine) -> bool:
+    def settled(current_engine: SimulationKernel) -> bool:
         probes = [
             nodes[node_id]
             for node_id in range(0, n, probe_step)

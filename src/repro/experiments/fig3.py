@@ -96,7 +96,7 @@ def run_fig3_row(
     )
 
     push_engine, push_nodes = build_push_sum_network(
-        scenario.values, complete(scenario.n), seed=seed
+        scenario.values, complete(scenario.n), seed=seed, engine=scale.engine
     )
     push_engine.run(rounds)
     regular = average_error((node.estimate for node in push_nodes), scenario.true_mean)

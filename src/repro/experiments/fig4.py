@@ -61,6 +61,7 @@ def _robust_trace(
     rounds: int,
     seed: int,
     crash_probability: float,
+    engine: str = "rounds",
 ) -> tuple[list[float], list[int]]:
     """Per-round average robust-mean error of the GM protocol."""
     failure_model = (
@@ -73,6 +74,7 @@ def _robust_trace(
         graph=complete(scenario.n),
         seed=seed,
         failure_model=failure_model,
+        engine=engine,
     )
     errors: list[float] = []
     survivors: list[int] = []
@@ -96,13 +98,18 @@ def _regular_trace(
     rounds: int,
     seed: int,
     crash_probability: float,
+    engine: str = "rounds",
 ) -> list[float]:
     """Per-round average push-sum error under the same conditions."""
     failure_model = (
         BernoulliCrashes(crash_probability) if crash_probability > 0 else NoFailures()
     )
     engine, nodes = build_push_sum_network(
-        scenario.values, complete(scenario.n), seed=seed, failure_model=failure_model
+        scenario.values,
+        complete(scenario.n),
+        seed=seed,
+        failure_model=failure_model,
+        engine=engine,
     )
     errors: list[float] = []
 
@@ -130,10 +137,14 @@ def run_fig4(
     )
     total_rounds = rounds if rounds is not None else min(50, scale.max_rounds)
 
-    robust_clean, _ = _robust_trace(scenario, total_rounds, seed, 0.0)
-    robust_crash, survivors = _robust_trace(scenario, total_rounds, seed, crash_probability)
-    regular_clean = _regular_trace(scenario, total_rounds, seed, 0.0)
-    regular_crash = _regular_trace(scenario, total_rounds, seed, crash_probability)
+    robust_clean, _ = _robust_trace(scenario, total_rounds, seed, 0.0, scale.engine)
+    robust_crash, survivors = _robust_trace(
+        scenario, total_rounds, seed, crash_probability, scale.engine
+    )
+    regular_clean = _regular_trace(scenario, total_rounds, seed, 0.0, scale.engine)
+    regular_crash = _regular_trace(
+        scenario, total_rounds, seed, crash_probability, scale.engine
+    )
 
     return Fig4Result(
         rounds=tuple(range(1, total_rounds + 1)),

@@ -86,7 +86,8 @@ def run_partition_heal(
     )
     scheme = GaussianMixtureScheme(seed=seed)
     engine, nodes = build_classification_network(
-        values, scheme, k=2, graph=graph, seed=seed, link_schedule=outage
+        values, scheme, k=2, graph=graph, seed=seed, link_schedule=outage,
+        engine=scale.engine,
     )
 
     probe_a, probe_b = nodes[0], nodes[n - 1]
@@ -94,7 +95,9 @@ def run_partition_heal(
     gaps: list[float] = []
 
     def record(current_engine) -> None:
-        rounds.append(current_engine.round_index)
+        # Round-equivalent count; works on either scheduler (the async
+        # engine has no round counter).
+        rounds.append(len(rounds) + 1)
         gaps.append(
             classification_distance(
                 probe_a.classification, probe_b.classification, scheme

@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 
-def _run_robust(scenario, k, rounds, seed, failure_model=None):
+def _run_robust(scenario, k, rounds, seed, failure_model=None, engine_kind="rounds"):
     """Robust (GM, k collections) error, averaged over live nodes."""
     engine, nodes = build_classification_network(
         scenario.values,
@@ -53,6 +53,7 @@ def _run_robust(scenario, k, rounds, seed, failure_model=None):
         graph=complete(scenario.n),
         seed=seed,
         failure_model=failure_model,
+        engine=engine_kind,
     )
     engine.run(rounds)
     live = [nodes[node_id] for node_id in engine.live_nodes]
@@ -62,10 +63,14 @@ def _run_robust(scenario, k, rounds, seed, failure_model=None):
     return error, engine
 
 
-def _run_regular(scenario, rounds, seed, failure_model=None):
+def _run_regular(scenario, rounds, seed, failure_model=None, engine_kind="rounds"):
     """Push-sum error under identical conditions."""
     engine, nodes = build_push_sum_network(
-        scenario.values, complete(scenario.n), seed=seed, failure_model=failure_model
+        scenario.values,
+        complete(scenario.n),
+        seed=seed,
+        failure_model=failure_model,
+        engine=engine_kind,
     )
     engine.run(rounds)
     return average_error(
@@ -87,8 +92,8 @@ def run_outlier_fraction_sweep(
         scenario = outlier_scenario(
             delta, n_good=scale.n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
         )
-        robust, _ = _run_robust(scenario, k=2, rounds=rounds, seed=seed)
-        regular = _run_regular(scenario, rounds=rounds, seed=seed)
+        robust, _ = _run_robust(scenario, k=2, rounds=rounds, seed=seed, engine_kind=scale.engine)
+        regular = _run_regular(scenario, rounds=rounds, seed=seed, engine_kind=scale.engine)
         rows.append(
             AblationRow(
                 label=f"{fraction:.0%}",
@@ -118,7 +123,12 @@ def run_crash_rate_sweep(
     for rate in rates:
         failure_model = BernoulliCrashes(rate, min_survivors=4) if rate > 0 else None
         robust, engine = _run_robust(
-            scenario, k=2, rounds=rounds, seed=seed, failure_model=failure_model
+            scenario,
+            k=2,
+            rounds=rounds,
+            seed=seed,
+            failure_model=failure_model,
+            engine_kind=scale.engine,
         )
         rows.append(
             AblationRow(
@@ -147,7 +157,7 @@ def run_k_mismatch(
     rounds = min(scale.max_rounds, 40)
     rows = []
     for k in ks:
-        robust, _ = _run_robust(scenario, k=k, rounds=rounds, seed=seed)
+        robust, _ = _run_robust(scenario, k=k, rounds=rounds, seed=seed, engine_kind=scale.engine)
         rows.append(
             AblationRow(
                 label=f"k={k}",

@@ -22,6 +22,7 @@ import sys
 from typing import Callable
 
 from repro.analysis.reporting import banner, format_series, format_table
+from repro.network.factory import ENGINES
 from repro.experiments import (
     preset,
     run_partition_heal,
@@ -182,6 +183,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment", choices=[*COMMANDS.keys(), "all"])
     parser.add_argument("--scale", default="paper", choices=["paper", "bench", "fast"])
     parser.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINES),
+        help="scheduler driving the gossip: 'rounds' (synchronous, the paper's "
+        "Section 5.3 methodology, the default) or 'async' (Section 6 Poisson model)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -189,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     scale = preset(args.scale)
+    if args.engine is not None:
+        scale = scale.with_overrides(engine=args.engine)
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
 
     def execute() -> None:

@@ -1,25 +1,32 @@
-"""Network substrate: topologies, channels, engines, failures, metrics.
+"""Network substrate: topologies, channels, kernel, schedulers, failures.
 
 The model is the paper's Section 3.1: ``n`` nodes on a static connected
-topology joined by reliable asynchronous channels.  Two engines drive
-protocols over it — :class:`~repro.network.rounds.RoundEngine` reproduces
-the paper's round-counted simulations, and
+topology joined by reliable asynchronous channels.  One simulation kernel
+(:class:`~repro.network.kernel.SimulationKernel`) owns the transport,
+delivery, failure and observability machinery; pluggable schedulers
+decide *when* it runs — :class:`~repro.network.rounds.RoundEngine`
+reproduces the paper's round-counted simulations
+(:class:`~repro.network.schedulers.SynchronousRoundScheduler`), and
 :class:`~repro.network.asynchronous.AsyncEngine` realises the fully
-asynchronous executions of the convergence proof.
+asynchronous executions of the convergence proof
+(:class:`~repro.network.schedulers.PoissonScheduler`).
 """
 
 from repro.network.asynchronous import AsyncEngine
 from repro.network.channel import Channel, InFlightMessage
 from repro.network.events import EventQueue
+from repro.network.factory import ENGINES, make_engine
 from repro.network.failures import (
     BernoulliCrashes,
     FailureModel,
     NoFailures,
     ScheduledCrashes,
 )
+from repro.network.kernel import GOSSIP_VARIANTS, Scheduler, SimulationKernel
 from repro.network.links import AlwaysUp, LinkSchedule, WindowedOutage, cut_edges
 from repro.network.metrics import NetworkMetrics
-from repro.network.rounds import GOSSIP_VARIANTS, RoundEngine
+from repro.network.rounds import RoundEngine
+from repro.network.schedulers import PoissonScheduler, SynchronousRoundScheduler
 from repro.network.trace import RoundRecord, RunTracer
 from repro.network.simulator import (
     NeighborSelector,
@@ -34,6 +41,7 @@ __all__ = [
     "AsyncEngine",
     "BernoulliCrashes",
     "Channel",
+    "ENGINES",
     "EventQueue",
     "FailureModel",
     "GOSSIP_VARIANTS",
@@ -43,13 +51,18 @@ __all__ = [
     "Network",
     "NetworkMetrics",
     "NoFailures",
+    "PoissonScheduler",
     "RandomSelector",
     "RoundEngine",
     "RoundRecord",
     "RoundRobinSelector",
     "RunTracer",
     "ScheduledCrashes",
+    "Scheduler",
+    "SimulationKernel",
+    "SynchronousRoundScheduler",
     "WindowedOutage",
     "cut_edges",
+    "make_engine",
     "topology",
 ]

@@ -1,13 +1,22 @@
 """Event-driven asynchronous engine: the convergence theorem's setting.
 
 Section 6 proves convergence under *arbitrary asynchrony*: nodes act on
-their own clocks and messages suffer arbitrary finite delays.  This engine
-realises that model as a discrete-event simulation: every node fires at
-exponentially distributed intervals (a Poisson clock); on firing it picks
-a neighbour — round-robin by default, giving the proof's deterministic
-fairness — and sends its split share over a reliable channel with a random
-delay; delivery events invoke the receiver's merge handler one message at
-a time.
+their own clocks and messages suffer arbitrary finite delays.
+:class:`AsyncEngine` binds the simulation kernel
+(:mod:`repro.network.kernel`) to a
+:class:`~repro.network.schedulers.PoissonScheduler`: every node fires at
+exponentially distributed intervals; on firing it picks a neighbour —
+round-robin by default, giving the proof's deterministic fairness — and
+gossips its split share over a reliable channel with a random delay.
+
+Because the mechanics live in the shared kernel, everything the round
+engine supports works here too: the push / pull / push-pull variants, a
+:class:`~repro.network.failures.FailureModel` (applied at epoch
+boundaries — one epoch per mean firing interval), and a
+:class:`~repro.network.links.LinkSchedule` (evaluated per epoch).
+Deliveries that land at the same instant on the same node merge as one
+batch, the asynchronous counterpart of the round schedule's
+receiver-side batching.
 
 The engine exposes the in-flight payloads so tests can reconstruct the
 global pool of Section 6.1 (collections at nodes *plus* in channels) and
@@ -16,36 +25,22 @@ check invariants like total-weight conservation and Lemma 2 monotonicity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 import networkx as nx
 
-from repro.network.channel import Channel, InFlightMessage
-from repro.network.events import EventQueue
-from repro.network.simulator import NeighborSelector, Network, RoundRobinSelector
-from repro.obs.events import Event, EventSink
+from repro.network.failures import FailureModel
+from repro.network.kernel import SimulationKernel
+from repro.network.links import LinkSchedule
+from repro.network.schedulers import PoissonScheduler
+from repro.network.simulator import NeighborSelector
+from repro.obs.events import EventSink
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["AsyncEngine"]
 
 
-@dataclass(frozen=True, slots=True)
-class _Fire:
-    """Event: a node's periodic timer expires (Algorithm 1 lines 3-7)."""
-
-    node: int
-
-
-@dataclass(frozen=True, slots=True)
-class _Delivery:
-    """Event: a message arrives (Algorithm 1 lines 8-11)."""
-
-    channel: Channel
-    message: InFlightMessage
-
-
-class AsyncEngine(Network):
+class AsyncEngine(SimulationKernel):
     """Poisson-clock, random-delay asynchronous execution.
 
     Parameters
@@ -56,117 +51,85 @@ class AsyncEngine(Network):
         Defaults to round-robin, the deterministic fairness the proof
         assumes.
     mean_interval:
-        Mean of the exponential time between a node's sends.
+        Mean of the exponential time between a node's sends; also the
+        epoch length for failure models and link schedules.
     delay_range:
         Message latency is drawn uniformly from this interval; any finite
         positive range satisfies the reliable-asynchronous model.
     fifo:
         Enforce per-channel FIFO delivery (not required by the algorithm;
         useful for constructing deterministic orderings in tests).
+    variant, failure_model, link_schedule:
+        See :class:`~repro.network.rounds.RoundEngine` — identical
+        semantics, at epoch granularity.
     """
+
+    scheduler: PoissonScheduler
 
     def __init__(
         self,
         graph: nx.Graph,
         protocols: Mapping[int, GossipProtocol],
         seed: int = 0,
-        selector: NeighborSelector | None = None,
+        selector: Optional[NeighborSelector] = None,
         mean_interval: float = 1.0,
         delay_range: tuple[float, float] = (0.05, 2.0),
         fifo: bool = False,
-        event_sink: EventSink | None = None,
+        event_sink: Optional[EventSink] = None,
+        variant: str = "push",
+        failure_model: Optional[FailureModel] = None,
+        link_schedule: Optional[LinkSchedule] = None,
     ) -> None:
         super().__init__(
             graph,
             protocols,
+            PoissonScheduler(
+                variant=variant,
+                mean_interval=mean_interval,
+                delay_range=delay_range,
+            ),
             seed=seed,
-            selector=selector if selector is not None else RoundRobinSelector(),
+            selector=selector,
+            failure_model=failure_model,
+            link_schedule=link_schedule,
+            fifo=fifo,
             event_sink=event_sink,
         )
-        if mean_interval <= 0:
-            raise ValueError("mean_interval must be positive")
-        low, high = delay_range
-        if not 0 <= low <= high:
-            raise ValueError(f"invalid delay range {delay_range}")
-        self.mean_interval = mean_interval
-        self.delay_range = delay_range
-        self.now = 0.0
-        self._events = EventQueue()
-        self._channels: dict[tuple[int, int], Channel] = {}
-        for u, v in self.graph.edges:
-            self._channels[(u, v)] = Channel(u, v, fifo=fifo)
-            self._channels[(v, u)] = Channel(v, u, fifo=fifo)
-        # Stagger initial timers uniformly so nodes do not fire in lockstep.
-        for node in self.live_nodes:
-            self._events.push(float(self.rng.uniform(0.0, mean_interval)), _Fire(node))
 
-    def _stamp(self) -> dict[str, int | float]:
-        return {"t": self.now}
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.scheduler.now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self.scheduler.now = value
+
+    @property
+    def mean_interval(self) -> float:
+        return self.scheduler.mean_interval
+
+    @property
+    def delay_range(self) -> tuple[float, float]:
+        return self.scheduler.delay_range
+
+    @property
+    def variant(self) -> str:
+        return self.scheduler.variant
 
     # ------------------------------------------------------------------
     # Event handling
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process one event; returns False when the queue is empty."""
-        if not self._events:
-            return False
-        self.now, event = self._events.pop()
-        self.metrics.events += 1
-        if isinstance(event, _Fire):
-            self._handle_fire(event)
-        else:
-            self._handle_delivery(event)
-        return True
-
-    def _handle_fire(self, event: _Fire) -> None:
-        node = event.node
-        if not self.is_live(node):
-            return
-        neighbors = self.neighbors[node]
-        if neighbors:
-            peer = self.selector.choose(node, neighbors, self.rng)
-            payload = self.protocols[node].make_payload()
-            if payload is not None:
-                channel = self._channels[(node, peer)]
-                low, high = self.delay_range
-                deliver_at = self.now + float(self.rng.uniform(low, high))
-                message = channel.send(payload, self.now, deliver_at)
-                self._events.push(message.deliver_time, _Delivery(channel, message))
-                items = self.payload_size(payload)
-                self.metrics.record_send(items)
-                if self.event_sink is not None:
-                    self.event_sink.emit(
-                        Event(kind="send", node=node, peer=peer, t=self.now, items=items)
-                    )
-        next_fire = self.now + float(self.rng.exponential(self.mean_interval))
-        self._events.push(next_fire, _Fire(node))
-
-    def _handle_delivery(self, event: _Delivery) -> None:
-        payload = event.channel.deliver(event.message)
-        source = event.channel.source
-        destination = event.channel.destination
-        if not self.is_live(destination):
-            self.metrics.record_drop()
-            if self.event_sink is not None:
-                self.event_sink.emit(
-                    Event(kind="drop", node=source, peer=destination, t=self.now)
-                )
-            return
-        self.metrics.record_delivery()
-        if self.event_sink is not None:
-            self.event_sink.emit(
-                Event(kind="deliver", node=source, peer=destination, t=self.now)
-            )
-        self.protocols[destination].receive_batch([payload])
+        return self.scheduler.advance(self)
 
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
     def run_until(self, time: float) -> None:
         """Process all events with timestamps strictly below ``time``."""
-        while self._events and self._events.peek_time() < time:
-            self.step()
-        self.now = max(self.now, time)
+        self.scheduler.run_until(self, time)
 
     def run_events(
         self,
@@ -180,24 +143,10 @@ class AsyncEngine(Network):
         event — the asynchronous counterpart of the round engine's
         ``per_round`` hook, and how a
         :class:`~repro.network.trace.RunTracer` attaches to this engine.
+        For round-equivalent driving (one unit per mean interval, shared
+        with the round engine), use
+        :meth:`~repro.network.kernel.SimulationKernel.run` instead.
         """
-        executed = 0
-        for _ in range(count):
-            if not self.step():
-                break
-            executed += 1
-            if per_event is not None:
-                per_event(self)
-            if stop_condition is not None and stop_condition(self):
-                break
-        return executed
+        return self.run_steps(count, stop_condition=stop_condition, observer=per_event)
 
-    # ------------------------------------------------------------------
-    # Pool inspection (Section 6.1)
-    # ------------------------------------------------------------------
-    def in_flight_payloads(self) -> list[Any]:
-        """Payloads currently inside channels, for global-pool assertions."""
-        payloads = []
-        for channel in self._channels.values():
-            payloads.extend(message.payload for message in channel.in_flight)
-        return payloads
+    # in_flight_payloads() is inherited from the kernel (Section 6.1 pool).

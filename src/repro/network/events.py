@@ -41,6 +41,13 @@ class EventQueue:
             raise IndexError("peek on an empty event queue")
         return self._heap[0][0]
 
+    def peek(self) -> tuple[float, Any]:
+        """The earliest ``(time, item)`` without removing it."""
+        if not self._heap:
+            raise IndexError("peek on an empty event queue")
+        time, _, item = self._heap[0]
+        return time, item
+
     def __len__(self) -> int:
         return len(self._heap)
 

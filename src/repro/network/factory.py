@@ -1,0 +1,78 @@
+"""One-call engine construction: the scheduler axis as a string knob.
+
+Experiment drivers and protocol builders select the execution model by
+name — ``"rounds"`` for the paper's Section 5.3 synchronous schedule,
+``"async"`` for the Section 6 Poisson schedule — and get back a fully
+wired :class:`~repro.network.kernel.SimulationKernel` subclass.  Every
+other knob (variant, failures, link schedules, tracing) means the same
+thing on either engine, which is what makes ``--engine`` a pure axis in
+the experiment CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import networkx as nx
+
+from repro.network.asynchronous import AsyncEngine
+from repro.network.failures import FailureModel
+from repro.network.kernel import SimulationKernel
+from repro.network.links import LinkSchedule
+from repro.network.rounds import RoundEngine
+from repro.network.simulator import NeighborSelector
+from repro.obs.events import EventSink
+from repro.protocols.base import GossipProtocol
+
+__all__ = ["ENGINES", "make_engine"]
+
+#: The selectable execution models.
+ENGINES = ("rounds", "async")
+
+
+def make_engine(
+    engine: str,
+    graph: nx.Graph,
+    protocols: Mapping[int, GossipProtocol],
+    seed: int = 0,
+    selector: Optional[NeighborSelector] = None,
+    variant: str = "push",
+    failure_model: Optional[FailureModel] = None,
+    link_schedule: Optional[LinkSchedule] = None,
+    event_sink: Optional[EventSink] = None,
+    mean_interval: float = 1.0,
+    delay_range: tuple[float, float] = (0.05, 2.0),
+    fifo: bool = False,
+) -> SimulationKernel:
+    """Construct the named engine over a protocol map.
+
+    ``mean_interval``, ``delay_range`` and ``fifo`` only apply to the
+    asynchronous engine; they are accepted (and ignored) for ``"rounds"``
+    so callers can thread one configuration through either schedule.
+    """
+    if engine == "rounds":
+        return RoundEngine(
+            graph,
+            protocols,
+            seed=seed,
+            selector=selector,
+            variant=variant,
+            failure_model=failure_model,
+            link_schedule=link_schedule,
+            event_sink=event_sink,
+        )
+    if engine == "async":
+        return AsyncEngine(
+            graph,
+            protocols,
+            seed=seed,
+            selector=selector,
+            variant=variant,
+            failure_model=failure_model,
+            link_schedule=link_schedule,
+            event_sink=event_sink,
+            mean_interval=mean_interval,
+            delay_range=delay_range,
+            fifo=fifo,
+        )
+    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")

@@ -1,0 +1,390 @@
+"""The simulation kernel: one engine core under every gossip schedule.
+
+The paper proves convergence for *any* connected topology under
+*arbitrary* asynchrony (Section 6) but evaluates with a synchronous round
+schedule (Section 5.3).  Those are two points on one axis — *when* nodes
+act — while everything else (what travels, how it can be lost, what is
+counted, what is observed) is schedule-independent.  The kernel owns that
+schedule-independent core:
+
+- **transport** — one reliable directed :class:`~repro.network.channel.Channel`
+  per used edge, message envelopes, and the delivery pipeline
+  (link availability → send → delay → deliver → receiver-side batched
+  merge);
+- **failure injection** — a :class:`~repro.network.failures.FailureModel`
+  consulted at the end of every round (synchronous schedule) or at every
+  round-equivalent epoch boundary (asynchronous schedule);
+- **liveness and metrics** — inherited from
+  :class:`~repro.network.simulator.Network`;
+- **observability** — the *single* site where transport events
+  (``send`` / ``deliver`` / ``drop`` / ``round_close``) are materialised,
+  so a trace's schema cannot drift between schedules.
+
+*When* things happen is delegated to a pluggable
+:class:`Scheduler` strategy:
+:class:`~repro.network.schedulers.SynchronousRoundScheduler` reproduces
+the paper's Section 5.3 methodology (all sends logically precede all
+receives; push / pull / push-pull variants), and
+:class:`~repro.network.schedulers.PoissonScheduler` realises the Section 6
+asynchronous model (exponential firing, random finite delays).  The
+historical engine classes — :class:`~repro.network.rounds.RoundEngine`
+and :class:`~repro.network.asynchronous.AsyncEngine` — survive as thin
+shims binding the kernel to one scheduler each.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Mapping, Optional, Union
+
+import networkx as nx
+
+from repro.network.channel import Channel, InFlightMessage
+from repro.network.events import EventQueue
+from repro.network.failures import FailureModel, NoFailures
+from repro.network.links import AlwaysUp, LinkSchedule
+from repro.network.simulator import NeighborSelector, Network
+from repro.obs.events import Event, EventSink
+from repro.protocols.base import GossipProtocol
+
+__all__ = ["GOSSIP_VARIANTS", "Scheduler", "SimulationKernel"]
+
+#: The gossip communication patterns of Section 4.1, valid on either
+#: scheduler: ``push`` sends the split share to the chosen neighbour,
+#: ``pull`` asks the chosen neighbour for its share, ``pushpull`` does
+#: both in one exchange.
+GOSSIP_VARIANTS = ("push", "pull", "pushpull")
+
+#: A delivery time: an absolute timestamp, or a thunk evaluated lazily —
+#: only once a payload actually exists — so schedulers can draw random
+#: delays without disturbing the RNG stream when a node has nothing to
+#: send.
+DeliveryTime = Union[float, Callable[[], float]]
+
+
+class Scheduler:
+    """Execution-order strategy: decides *when* the kernel's machinery runs.
+
+    A scheduler owns the clock (rounds or continuous time), drives the
+    kernel's transport through :meth:`SimulationKernel.transmit` and the
+    delivery helpers, and stamps every emitted event.  Concrete
+    schedulers live in :mod:`repro.network.schedulers`.
+    """
+
+    def attach(self, kernel: "SimulationKernel") -> None:
+        """Install initial events / state; called once from kernel init."""
+
+    def advance(self, kernel: "SimulationKernel") -> bool:
+        """Execute the scheduler's smallest unit of progress.
+
+        One synchronous round, or one discrete event.  Returns ``False``
+        when nothing remains to execute.
+        """
+        raise NotImplementedError
+
+    def advance_unit(self, kernel: "SimulationKernel") -> bool:
+        """Execute one *round-equivalent* of progress.
+
+        For the synchronous scheduler this is one round; for the Poisson
+        scheduler, one mean firing interval of simulated time.  This is
+        the unit :meth:`SimulationKernel.run` counts, which is what lets
+        experiment drivers measure "rounds" identically on both
+        schedules.
+        """
+        raise NotImplementedError
+
+    def stamp(self, kernel: "SimulationKernel") -> dict[str, Any]:
+        """The schedule-specific progress stamp carried by every event."""
+        raise NotImplementedError
+
+    def clock(self, kernel: "SimulationKernel") -> float:
+        """Current time on the scheduler's clock (rounds count as 1.0)."""
+        raise NotImplementedError
+
+    def tick(self, kernel: "SimulationKernel") -> int:
+        """The round index equivalent, for link schedules and failures."""
+        raise NotImplementedError
+
+    def default_selector(self) -> Optional[NeighborSelector]:
+        """Scheduler-preferred neighbour selection (``None`` = kernel default)."""
+        return None
+
+
+class _Delivery:
+    """Queue entry: a message envelope due at its channel's far end."""
+
+    __slots__ = ("channel", "message")
+
+    def __init__(self, channel: Channel, message: InFlightMessage) -> None:
+        self.channel = channel
+        self.message = message
+
+
+class _Fire:
+    """Queue entry: a node's periodic timer expires (Algorithm 1 lines 3-7)."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+
+
+class SimulationKernel(Network):
+    """Schedule-independent gossip engine core.
+
+    Parameters
+    ----------
+    graph, protocols, seed, selector, event_sink:
+        See :class:`~repro.network.simulator.Network`.  When ``selector``
+        is ``None`` the scheduler's preference applies (round-robin for
+        the Poisson scheduler, uniform random otherwise).
+    scheduler:
+        The execution-order strategy; see :mod:`repro.network.schedulers`.
+    failure_model:
+        Crash injection, consulted once per round / epoch; defaults to no
+        failures.
+    link_schedule:
+        Link availability per round / epoch; defaults to the paper's
+        always-up static links.  A node that picks a currently-down link
+        skips its transmission — nothing is sent, so channel reliability
+        is not violated and the weight stays at the sender.
+    fifo:
+        Enforce per-channel FIFO delivery (only observable under delayed
+        schedules; used by tests to build deterministic orderings).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        protocols: Mapping[int, GossipProtocol],
+        scheduler: Scheduler,
+        seed: int = 0,
+        selector: Optional[NeighborSelector] = None,
+        failure_model: Optional[FailureModel] = None,
+        link_schedule: Optional[LinkSchedule] = None,
+        fifo: bool = False,
+        event_sink: Optional[EventSink] = None,
+    ) -> None:
+        super().__init__(
+            graph,
+            protocols,
+            seed=seed,
+            selector=selector if selector is not None else scheduler.default_selector(),
+            event_sink=event_sink,
+        )
+        self.failure_model = failure_model if failure_model is not None else NoFailures()
+        self.link_schedule = link_schedule if link_schedule is not None else AlwaysUp()
+        self.fifo = fifo
+        self.queue = EventQueue()
+        #: One reliable directed channel per *used* edge, created lazily —
+        #: a 1,000-node complete graph has ~10^6 directed edges, most of
+        #: which a short run never exercises.
+        self.channels: dict[tuple[int, int], Channel] = {}
+        self.scheduler = scheduler
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    # Observability: the single emission site
+    # ------------------------------------------------------------------
+    def _stamp(self) -> dict[str, Any]:
+        return self.scheduler.stamp(self)
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.event_sink is not None:
+            self.event_sink.emit(Event(kind=kind, **fields, **self._stamp()))
+
+    def emit_round_close(self, round_index: int, messages: int) -> None:
+        """Record the end of one round (or round-equivalent epoch)."""
+        if self.event_sink is not None:
+            stamp = self._stamp()
+            self.event_sink.emit(
+                Event(
+                    kind="round_close",
+                    round=round_index,
+                    t=stamp.get("t"),
+                    extra={"messages": messages, "live": len(self.live)},
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def channel(self, source: int, destination: int) -> Channel:
+        """The directed channel for an edge, created on first use."""
+        key = (source, destination)
+        found = self.channels.get(key)
+        if found is None:
+            if not self.graph.has_edge(source, destination):
+                raise KeyError(f"no edge {source}->{destination} in the topology")
+            found = Channel(source, destination, fifo=self.fifo)
+            self.channels[key] = found
+        return found
+
+    def link_up(self, source: int, destination: int) -> bool:
+        """Is the (undirected) link usable right now, per the schedule?"""
+        return self.link_schedule.is_up(self.scheduler.tick(self), source, destination)
+
+    def transmit(
+        self,
+        source: int,
+        destination: int,
+        deliver_time: Optional[DeliveryTime] = None,
+    ) -> int:
+        """Run the send half of the pipeline; returns messages sent (0 or 1).
+
+        Asks ``source``'s protocol for a payload (which may legally be
+        ``None`` — nothing sendable), wraps it in an envelope on the
+        directed channel, schedules its delivery, and counts and emits
+        the ``send``.  ``deliver_time`` may be an absolute time or a
+        thunk; the thunk is only evaluated once a payload exists, so
+        random delay draws never happen for skipped transmissions.
+        """
+        payload = self.protocols[source].make_payload()
+        if payload is None:
+            return 0
+        send_time = self.scheduler.clock(self)
+        if deliver_time is None:
+            deliver_at = send_time
+        elif callable(deliver_time):
+            deliver_at = float(deliver_time())
+        else:
+            deliver_at = float(deliver_time)
+        channel = self.channel(source, destination)
+        message = channel.send(payload, send_time, deliver_at)
+        self.queue.push(message.deliver_time, _Delivery(channel, message))
+        items = self.payload_size(payload)
+        self.metrics.record_send(items)
+        self._emit("send", node=source, peer=destination, items=items)
+        return 1
+
+    # ------------------------------------------------------------------
+    # Delivery pipeline
+    # ------------------------------------------------------------------
+    def _complete_delivery(
+        self, destination: int, entries: list[tuple[Channel, InFlightMessage]]
+    ) -> None:
+        """Terminal stage: drop at a crashed node, or batched merge."""
+        payloads = [channel.deliver(message) for channel, message in entries]
+        if not self.is_live(destination):
+            # Reliable channels deliver, but a crashed node never
+            # processes: the payloads' weight leaves the system.
+            for channel, _ in entries:
+                self.metrics.record_drop()
+                self._emit("drop", node=channel.source, peer=destination)
+            return
+        for channel, _ in entries:
+            self.metrics.record_delivery()
+            self._emit("deliver", node=channel.source, peer=destination)
+        self.protocols[destination].receive_batch(payloads)
+
+    def flush_deliveries(self) -> None:
+        """Deliver *everything* queued, batched per destination.
+
+        The synchronous scheduler's receive phase: every message sent
+        this round reaches its destination as one batch per receiver
+        (the paper's "accumulate all the received collections and run EM
+        once for the entire set").
+        """
+        batches: dict[int, list[tuple[Channel, InFlightMessage]]] = defaultdict(list)
+        while self.queue:
+            _, entry = self.queue.pop()
+            batches[entry.channel.destination].append((entry.channel, entry.message))
+        for destination in sorted(batches):
+            self._complete_delivery(destination, batches[destination])
+
+    def dispatch_delivery(
+        self, channel: Channel, message: InFlightMessage, coalesce_at: Optional[float] = None
+    ) -> int:
+        """Deliver one due envelope; returns the number of envelopes consumed.
+
+        With ``coalesce_at`` set (the event-driven path), any further
+        queued deliveries due at exactly the same instant for the same
+        destination join the batch — the asynchronous counterpart of the
+        round schedule's receiver-side merge batching.  Random continuous
+        delays make ties measure-zero, but FIFO clamping and adversarial
+        test schedules produce them deliberately.
+        """
+        entries = [(channel, message)]
+        if coalesce_at is not None:
+            destination = channel.destination
+            while self.queue:
+                when, entry = self.queue.peek()
+                if (
+                    when != coalesce_at
+                    or not isinstance(entry, _Delivery)
+                    or entry.channel.destination != destination
+                ):
+                    break
+                self.queue.pop()
+                entries.append((entry.channel, entry.message))
+        self._complete_delivery(channel.destination, entries)
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def inject_crashes(self, round_index: int) -> None:
+        """Consult the failure model for the round just finished."""
+        crashed = self.failure_model.crashes_after_round(
+            round_index, self.live_nodes, self.rng
+        )
+        for node in crashed:
+            self.crash(node)
+
+    # ------------------------------------------------------------------
+    # Pool inspection (Section 6.1)
+    # ------------------------------------------------------------------
+    def in_flight_payloads(self) -> list[Any]:
+        """Payloads currently inside channels, for global-pool assertions."""
+        payloads: list[Any] = []
+        for channel in self.channels.values():
+            payloads.extend(message.payload for message in channel.in_flight)
+        return payloads
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rounds: int,
+        stop_condition: Optional[Callable[[Any], bool]] = None,
+        per_round: Optional[Callable[[Any], None]] = None,
+    ) -> int:
+        """Run up to ``rounds`` round-equivalents; returns the number run.
+
+        Uniform across schedulers: a synchronous round, or one mean
+        firing interval of simulated time.  ``per_round`` (if given)
+        observes the engine after each unit; ``stop_condition`` (if
+        given) ends the run early when it returns true — the experiment
+        scripts plug a
+        :class:`~repro.core.convergence.ConvergenceDetector` in here to
+        implement "run until convergence" on either schedule.
+        """
+        executed = 0
+        for _ in range(rounds):
+            if not self.scheduler.advance_unit(self):
+                break
+            executed += 1
+            if per_round is not None:
+                per_round(self)
+            if stop_condition is not None and stop_condition(self):
+                break
+        return executed
+
+    def run_steps(
+        self,
+        count: int,
+        stop_condition: Optional[Callable[[Any], bool]] = None,
+        observer: Optional[Callable[[Any], None]] = None,
+    ) -> int:
+        """Run up to ``count`` scheduler steps; returns the number run."""
+        executed = 0
+        for _ in range(count):
+            if not self.scheduler.advance(self):
+                break
+            executed += 1
+            if observer is not None:
+                observer(self)
+            if stop_condition is not None and stop_condition(self):
+                break
+        return executed

@@ -3,37 +3,41 @@
 Section 5.3 measures progress in *rounds*: "in each round each node sends
 a classification to one neighbor.  Nodes that receive classifications from
 multiple neighbors accumulate all the received collections and run EM once
-for the entire set."  :class:`RoundEngine` implements exactly that
-schedule, plus the three gossip variants Section 4.1 mentions (push, pull,
-push-pull) and per-round crash injection for the Figure 4 experiment.
+for the entire set."  :class:`RoundEngine` binds the simulation kernel
+(:mod:`repro.network.kernel`) to a
+:class:`~repro.network.schedulers.SynchronousRoundScheduler`, which
+implements exactly that schedule, plus the three gossip variants
+Section 4.1 mentions (push, pull, push-pull) and per-round crash
+injection for the Figure 4 experiment.
 
 Within a round all sends logically precede all receives (a synchronous
 parallel step); messages addressed to nodes that crashed in an earlier
 round are lost, taking their weight with them.
+
+The class is a compatibility shim: all mechanics — transport, delivery
+batching, failure injection, metrics, event emission — live in the
+kernel and are shared verbatim with :class:`~repro.network.asynchronous.AsyncEngine`.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Callable, Mapping, Optional
 
 import networkx as nx
 
-from repro.network.failures import FailureModel, NoFailures
-from repro.network.links import AlwaysUp, LinkSchedule
-from repro.network.simulator import NeighborSelector, Network
-from repro.obs.events import Event, EventSink
-from repro.obs.profiling import span
+from repro.network.failures import FailureModel
+from repro.network.kernel import GOSSIP_VARIANTS, SimulationKernel
+from repro.network.links import LinkSchedule
+from repro.network.schedulers import SynchronousRoundScheduler
+from repro.network.simulator import NeighborSelector
+from repro.obs.events import EventSink
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["RoundEngine", "GOSSIP_VARIANTS"]
 
-#: The gossip communication patterns of Section 4.1.
-GOSSIP_VARIANTS = ("push", "pull", "pushpull")
 
-
-class RoundEngine(Network):
-    """Synchronous-round driver over a :class:`~repro.network.simulator.Network`.
+class RoundEngine(SimulationKernel):
+    """Synchronous-round driver: the kernel under the paper's schedule.
 
     Parameters
     ----------
@@ -55,107 +59,43 @@ class RoundEngine(Network):
         the weight stays at the sender.
     """
 
+    scheduler: SynchronousRoundScheduler
+
     def __init__(
         self,
         graph: nx.Graph,
         protocols: Mapping[int, GossipProtocol],
         seed: int = 0,
-        selector: NeighborSelector | None = None,
+        selector: Optional[NeighborSelector] = None,
         variant: str = "push",
-        failure_model: FailureModel | None = None,
-        link_schedule: LinkSchedule | None = None,
-        event_sink: EventSink | None = None,
+        failure_model: Optional[FailureModel] = None,
+        link_schedule: Optional[LinkSchedule] = None,
+        event_sink: Optional[EventSink] = None,
     ) -> None:
-        super().__init__(graph, protocols, seed=seed, selector=selector, event_sink=event_sink)
-        if variant not in GOSSIP_VARIANTS:
-            raise ValueError(f"variant must be one of {GOSSIP_VARIANTS}, got {variant!r}")
-        self.variant = variant
-        self.failure_model = failure_model if failure_model is not None else NoFailures()
-        self.link_schedule = link_schedule if link_schedule is not None else AlwaysUp()
-        self.round_index = 0
+        super().__init__(
+            graph,
+            protocols,
+            SynchronousRoundScheduler(variant=variant),
+            seed=seed,
+            selector=selector,
+            failure_model=failure_model,
+            link_schedule=link_schedule,
+            event_sink=event_sink,
+        )
 
-    def _stamp(self) -> dict[str, int | float]:
-        return {"round": self.round_index}
+    @property
+    def variant(self) -> str:
+        return self.scheduler.variant
 
-    # ------------------------------------------------------------------
-    # One round
-    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        """Rounds completed so far (the 0-based index of the next round)."""
+        return self.scheduler.round_index
+
     def run_round(self) -> None:
         """Execute one synchronous gossip round and then inject crashes."""
-        with span("engine.round"):
-            self._run_round()
+        self.scheduler.advance(self)
 
-    def _run_round(self) -> None:
-        inboxes: dict[int, list] = defaultdict(list)
-        messages_this_round = 0
-
-        for node in self.live_nodes:
-            neighbors = self.neighbors[node]
-            if not neighbors:
-                continue
-            peer = self.selector.choose(node, neighbors, self.rng)
-            if not self.link_schedule.is_up(self.round_index, node, peer):
-                continue  # detected-down link: hold the data, try next round
-            if self.variant in ("push", "pushpull"):
-                messages_this_round += self._transmit(node, peer, inboxes)
-            if self.variant in ("pull", "pushpull"):
-                # The peer answers a pull only if it is still alive.
-                if self.is_live(peer):
-                    messages_this_round += self._transmit(peer, node, inboxes)
-
-        for destination in sorted(inboxes):
-            if self.is_live(destination):
-                self.protocols[destination].receive_batch(inboxes[destination])
-
-        crashed = self.failure_model.crashes_after_round(
-            self.round_index, self.live_nodes, self.rng
-        )
-        for node in crashed:
-            self.crash(node)
-
-        if self.event_sink is not None:
-            self.event_sink.emit(
-                Event(
-                    kind="round_close",
-                    round=self.round_index,
-                    extra={"messages": messages_this_round, "live": len(self.live)},
-                )
-            )
-        self.round_index += 1
-        self.metrics.close_round(messages_this_round)
-
-    def _transmit(self, source: int, destination: int, inboxes: dict[int, list]) -> int:
-        """Move one payload from source to destination; returns messages sent."""
-        payload = self.protocols[source].make_payload()
-        if payload is None:
-            return 0
-        items = self.payload_size(payload)
-        self.metrics.record_send(items)
-        sink = self.event_sink
-        if sink is not None:
-            sink.emit(
-                Event(kind="send", node=source, peer=destination, round=self.round_index, items=items)
-            )
-        if self.is_live(destination):
-            inboxes[destination].append(payload)
-            self.metrics.record_delivery()
-            if sink is not None:
-                sink.emit(
-                    Event(kind="deliver", node=source, peer=destination, round=self.round_index)
-                )
-        else:
-            # Reliable channels deliver, but a crashed node never processes:
-            # the payload's weight leaves the system.
-            self.metrics.record_drop()
-            if sink is not None:
-                sink.emit(
-                    Event(kind="drop", node=source, peer=destination, round=self.round_index)
-                )
-        return 1
-
-    # ------------------------------------------------------------------
-    # Multi-round driving
-    # ------------------------------------------------------------------
     def run(
         self,
         rounds: int,
@@ -164,18 +104,8 @@ class RoundEngine(Network):
     ) -> int:
         """Run up to ``rounds`` rounds; returns the number actually run.
 
-        ``per_round`` (if given) observes the engine after each round;
-        ``stop_condition`` (if given) is evaluated after each round and
-        ends the run early when it returns true — the experiment scripts
-        plug a :class:`~repro.core.convergence.ConvergenceDetector` in
-        here to implement "run until convergence".
+        See :meth:`repro.network.kernel.SimulationKernel.run` — this is
+        the kernel's uniform drive loop, shared with the asynchronous
+        engine.
         """
-        executed = 0
-        for _ in range(rounds):
-            self.run_round()
-            executed += 1
-            if per_round is not None:
-                per_round(self)
-            if stop_condition is not None and stop_condition(self):
-                break
-        return executed
+        return super().run(rounds, stop_condition=stop_condition, per_round=per_round)

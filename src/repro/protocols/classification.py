@@ -18,9 +18,10 @@ from repro.core.collection import Collection
 from repro.core.node import ClassifierNode
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
+from repro.network.factory import make_engine
 from repro.network.failures import FailureModel
+from repro.network.kernel import SimulationKernel
 from repro.network.links import LinkSchedule
-from repro.network.rounds import RoundEngine
 from repro.network.simulator import NeighborSelector
 from repro.obs.events import EventSink
 from repro.obs.profiling import span
@@ -77,13 +78,21 @@ def build_classification_network(
     failure_model: Optional[FailureModel] = None,
     link_schedule: Optional[LinkSchedule] = None,
     event_sink: Optional[EventSink] = None,
-) -> tuple[RoundEngine, list[ClassifierNode]]:
-    """Construct a round-engine running Algorithm 1 over ``values``.
+    engine: str = "rounds",
+    mean_interval: float = 1.0,
+    delay_range: tuple[float, float] = (0.05, 2.0),
+) -> tuple[SimulationKernel, list[ClassifierNode]]:
+    """Construct an engine running Algorithm 1 over ``values``.
 
     ``values[i]`` becomes node ``i``'s input; the graph must therefore
     have exactly ``len(values)`` nodes.  Returns the engine and the
     underlying :class:`~repro.core.node.ClassifierNode` list (index =
     node id) for direct state inspection.
+
+    ``engine`` selects the schedule — ``"rounds"`` (the default, the
+    paper's Section 5.3 methodology) or ``"async"`` (the Section 6
+    Poisson model; ``mean_interval`` / ``delay_range`` then apply).
+    Every other knob means the same thing on either schedule.
 
     ``event_sink`` (or the ambient :func:`repro.obs.context.tracing`
     sink) is wired to both the engine (transport events) and every node
@@ -110,7 +119,8 @@ def build_classification_network(
         for i in range(n)
     ]
     protocols = {i: ClassificationProtocol(nodes[i]) for i in range(n)}
-    engine = RoundEngine(
+    built = make_engine(
+        engine,
         graph,
         protocols,
         seed=seed,
@@ -119,5 +129,7 @@ def build_classification_network(
         failure_model=failure_model,
         link_schedule=link_schedule,
         event_sink=event_sink,
+        mean_interval=mean_interval,
+        delay_range=delay_range,
     )
-    return engine, nodes
+    return built, nodes

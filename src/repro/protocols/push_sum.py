@@ -22,8 +22,9 @@ from typing import Any, Optional, Sequence
 import networkx as nx
 import numpy as np
 
+from repro.network.factory import make_engine
 from repro.network.failures import FailureModel
-from repro.network.rounds import RoundEngine
+from repro.network.kernel import SimulationKernel
 from repro.network.simulator import NeighborSelector
 from repro.protocols.base import GossipProtocol
 
@@ -68,8 +69,15 @@ def build_push_sum_network(
     variant: str = "push",
     selector: Optional[NeighborSelector] = None,
     failure_model: Optional[FailureModel] = None,
-) -> tuple[RoundEngine, list[PushSumProtocol]]:
-    """Construct a round-engine running push-sum over ``values``."""
+    engine: str = "rounds",
+    mean_interval: float = 1.0,
+    delay_range: tuple[float, float] = (0.05, 2.0),
+) -> tuple[SimulationKernel, list[PushSumProtocol]]:
+    """Construct an engine running push-sum over ``values``.
+
+    ``engine`` selects the schedule (``"rounds"`` or ``"async"``) exactly
+    as in :func:`repro.protocols.classification.build_classification_network`.
+    """
     n = len(values)
     if graph.number_of_nodes() != n:
         raise ValueError(
@@ -77,12 +85,15 @@ def build_push_sum_network(
         )
     protocols_list = [PushSumProtocol(values[i]) for i in range(n)]
     protocols = {i: protocols_list[i] for i in range(n)}
-    engine = RoundEngine(
+    built = make_engine(
+        engine,
         graph,
         protocols,
         seed=seed,
         selector=selector,
         variant=variant,
         failure_model=failure_model,
+        mean_interval=mean_interval,
+        delay_range=delay_range,
     )
-    return engine, protocols_list
+    return built, protocols_list
