@@ -28,7 +28,7 @@ from repro.core.node import ClassifierNode
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
 from repro.data.generators import fence_fire_mixture, fence_fire_values
-from repro.experiments.common import Scale, PAPER, run_until_convergence
+from repro.experiments.common import Scale, PAPER, run_experiment_sweep, run_until_convergence
 from repro.ml.em import fit_gmm_em
 from repro.ml.gmm import GaussianMixtureModel
 from repro.ml.kmeans import weighted_kmeans
@@ -38,9 +38,11 @@ from repro.schemes.centroid import CentroidScheme
 from repro.schemes.gaussian import classification_to_gmm
 from repro.schemes.gm import GaussianMixtureScheme
 from repro.schemes.histogram import HistogramScheme
+from repro.sweep import SweepSpec
 
 __all__ = [
     "AblationRow",
+    "ablation_cell",
     "run_topology_ablation",
     "run_gossip_variant_ablation",
     "run_k_ablation",
@@ -90,6 +92,162 @@ def weighted_assignment_accuracy(
 
 
 # ----------------------------------------------------------------------
+# The sweep cell behind every grid-shaped ablation
+# ----------------------------------------------------------------------
+_TOPOLOGY_NAMES = ("complete", "ring", "grid", "geometric", "small_world")
+
+
+def _ablation_graph(name: str, n: int, seed: int):
+    """The topology ablation's graphs, rebuilt from parameters alone."""
+    grid_side = int(np.sqrt(n))
+    if name == "complete":
+        return topology.complete(n)
+    if name == "ring":
+        return topology.ring(n)
+    if name == "grid":
+        return topology.grid(grid_side, (n + grid_side - 1) // grid_side)
+    if name == "geometric":
+        return topology.random_geometric(n, seed=seed)
+    if name == "small_world":
+        return topology.watts_strogatz(n, k=4, rewire=0.2, seed=seed)
+    raise ValueError(f"unknown ablation topology {name!r}")
+
+
+def ablation_cell(params: dict) -> dict:
+    """One grid-shaped ablation configuration as a sweep cell.
+
+    ``mode`` selects the series (``topology`` / ``variant`` / ``k`` /
+    ``quantum`` / ``scheme``); the run scale travels as a plain dict so
+    the cell is self-contained in a pool worker.
+    """
+    mode = str(params["mode"])
+    scale = Scale.from_dict(params["scale"])
+    seed = int(params["seed"])
+    n = int(params["n"])
+
+    if mode == "topology":
+        graph = _ablation_graph(str(params["topology"]), n, seed)
+        graph_n = graph.number_of_nodes()
+        values, _ = _two_cluster_values(n, seed)
+        scheme = GaussianMixtureScheme(seed=seed)
+        run_scale = scale.with_overrides(
+            n_nodes=graph_n, max_rounds=max(scale.max_rounds, 60 * graph_n)
+        )
+        engine, nodes, rounds = run_until_convergence(
+            values[:graph_n], scheme, k=2, scale=run_scale, seed=seed, graph=graph
+        )
+        return {
+            "n": graph_n,
+            "rounds": rounds,
+            "messages": engine.metrics.messages_sent,
+            "disagreement": float(disagreement(nodes, scheme)),
+        }
+
+    if mode == "variant":
+        values, _ = _two_cluster_values(n, seed)
+        scheme = GaussianMixtureScheme(seed=seed)
+        engine, nodes, rounds = run_until_convergence(
+            values, scheme, k=2, scale=scale.with_overrides(n_nodes=n), seed=seed,
+            graph=topology.complete(n), variant=str(params["variant"]),
+        )
+        return {
+            "rounds": rounds,
+            "messages": engine.metrics.messages_sent,
+            "disagreement": float(disagreement(nodes, scheme)),
+        }
+
+    if mode == "k":
+        values, _ = fence_fire_values(n, seed=seed)
+        source = fence_fire_mixture()
+        scheme = GaussianMixtureScheme(seed=seed)
+        _, nodes, rounds = run_until_convergence(
+            values, scheme, k=int(params["k"]), scale=scale.with_overrides(n_nodes=n), seed=seed
+        )
+        recovered = classification_to_gmm(nodes[0].classification)
+        return {
+            "rounds": rounds,
+            "collections": recovered.n_components,
+            "loglik_per_value": float(recovered.log_likelihood(values) / n),
+            "loglik_source": float(source.log_likelihood(values) / n),
+        }
+
+    if mode == "quantum":
+        quanta_per_unit = int(params["quanta_per_unit"])
+        values, _ = _two_cluster_values(n, seed)
+        from repro.protocols.classification import build_classification_network
+
+        engine, nodes = build_classification_network(
+            values,
+            GaussianMixtureScheme(seed=seed),
+            k=2,
+            graph=topology.complete(n),
+            seed=seed,
+            quantization=Quantization(quanta_per_unit),
+            engine=scale.engine,
+        )
+        engine.run(scale.max_rounds)
+        true_balance = 0.5
+        balance_errors = []
+        for node in nodes:
+            relative = node.classification.relative_weights()
+            balance_errors.append(abs(float(np.max(relative)) - true_balance))
+        return {
+            "avg_balance_error": float(np.mean(balance_errors)),
+            "total_quanta_conserved": float(
+                sum(node.total_quanta for node in nodes) == n * quanta_per_unit
+            ),
+        }
+
+    if mode == "scheme":
+        rng = np.random.default_rng(seed)
+        half = n // 2
+        tight = rng.normal(0.0, 0.3, size=half)
+        wide = rng.normal(4.0, 2.0, size=n - half)
+        values = np.concatenate([tight, wide])[:, None]
+        labels = np.concatenate([np.zeros(half, dtype=int), np.ones(n - half, dtype=int)])
+        scheme_name = str(params["scheme"])
+        scheme: SummaryScheme
+        if scheme_name == "centroid":
+            scheme = CentroidScheme()
+        elif scheme_name == "gaussian_mixture":
+            scheme = GaussianMixtureScheme(seed=seed)
+        elif scheme_name == "histogram":
+            scheme = HistogramScheme(low=-4.0, high=12.0, bins=48)
+        else:
+            raise ValueError(f"unknown ablation scheme {scheme_name!r}")
+        _, nodes, rounds = run_until_convergence(
+            values, scheme, k=2, scale=scale.with_overrides(n_nodes=n), seed=seed, track_aux=True
+        )
+        return {
+            "rounds": rounds,
+            "weight_accuracy": float(weighted_assignment_accuracy(nodes, labels)),
+        }
+
+    raise ValueError(f"unknown ablation cell mode {mode!r}")
+
+
+def _ablation_sweep(name: str, cells: list[dict], scale: Scale, seed: int) -> dict:
+    spec = SweepSpec(
+        name=name,
+        runner="repro.experiments.ablations:ablation_cell",
+        base_seed=seed,
+        cells=cells,
+    )
+    return run_experiment_sweep(spec, scale)
+
+
+def _cell(scale: Scale, seed: int, n: int, mode: str, label: str, **extra) -> dict:
+    return {
+        "label": label,
+        "mode": mode,
+        "n": n,
+        "seed": seed,
+        "scale": scale.as_dict(),
+        **extra,
+    }
+
+
+# ----------------------------------------------------------------------
 # Topology
 # ----------------------------------------------------------------------
 def run_topology_ablation(scale: Scale = PAPER, seed: int = 11) -> list[AblationRow]:
@@ -101,38 +259,23 @@ def run_topology_ablation(scale: Scale = PAPER, seed: int = 11) -> list[Ablation
     equal n*.
     """
     n = min(scale.n_nodes, 36)
-    grid_side = int(np.sqrt(n))
-    graphs = {
-        "complete": topology.complete(n),
-        "ring": topology.ring(n),
-        "grid": topology.grid(grid_side, (n + grid_side - 1) // grid_side),
-        "geometric": topology.random_geometric(n, seed=seed),
-        "small_world": topology.watts_strogatz(n, k=4, rewire=0.2, seed=seed),
-    }
-    values, _ = _two_cluster_values(n, seed)
-    rows = []
-    for name, graph in graphs.items():
-        graph_n = graph.number_of_nodes()
-        graph_values = values[:graph_n]
-        scheme = GaussianMixtureScheme(seed=seed)
-        run_scale = scale.with_overrides(
-            n_nodes=graph_n, max_rounds=max(scale.max_rounds, 60 * graph_n)
+    cells = [
+        _cell(scale, seed, n, "topology", label=name, topology=name)
+        for name in _TOPOLOGY_NAMES
+    ]
+    results = _ablation_sweep("ablation-topology", cells, scale, seed)
+    return [
+        AblationRow(
+            label=name,
+            metrics={
+                "n": float(results[name]["n"]),
+                "rounds": float(results[name]["rounds"]),
+                "messages": float(results[name]["messages"]),
+                "disagreement": results[name]["disagreement"],
+            },
         )
-        engine, nodes, rounds = run_until_convergence(
-            graph_values, scheme, k=2, scale=run_scale, seed=seed, graph=graph
-        )
-        rows.append(
-            AblationRow(
-                label=name,
-                metrics={
-                    "n": float(graph_n),
-                    "rounds": float(rounds),
-                    "messages": float(engine.metrics.messages_sent),
-                    "disagreement": disagreement(nodes, scheme),
-                },
-            )
-        )
-    return rows
+        for name in _TOPOLOGY_NAMES
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -141,26 +284,23 @@ def run_topology_ablation(scale: Scale = PAPER, seed: int = 11) -> list[Ablation
 def run_gossip_variant_ablation(scale: Scale = PAPER, seed: int = 12) -> list[AblationRow]:
     """push vs pull vs push-pull on the complete graph."""
     n = min(scale.n_nodes, 200)
-    values, _ = _two_cluster_values(n, seed)
-    rows = []
-    for variant in ("push", "pull", "pushpull"):
-        scheme = GaussianMixtureScheme(seed=seed)
-        run_scale = scale.with_overrides(n_nodes=n)
-        engine, nodes, rounds = run_until_convergence(
-            values, scheme, k=2, scale=run_scale, seed=seed,
-            graph=topology.complete(n), variant=variant,
+    variants = ("push", "pull", "pushpull")
+    cells = [
+        _cell(scale, seed, n, "variant", label=variant, variant=variant)
+        for variant in variants
+    ]
+    results = _ablation_sweep("ablation-gossip-variant", cells, scale, seed)
+    return [
+        AblationRow(
+            label=variant,
+            metrics={
+                "rounds": float(results[variant]["rounds"]),
+                "messages": float(results[variant]["messages"]),
+                "disagreement": results[variant]["disagreement"],
+            },
         )
-        rows.append(
-            AblationRow(
-                label=variant,
-                metrics={
-                    "rounds": float(rounds),
-                    "messages": float(engine.metrics.messages_sent),
-                    "disagreement": disagreement(nodes, scheme),
-                },
-            )
-        )
-    return rows
+        for variant in variants
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -171,29 +311,24 @@ def run_k_ablation(
 ) -> list[AblationRow]:
     """Compression bound k versus fence-fire estimate quality."""
     n = min(scale.n_nodes, 300)
-    values, _ = fence_fire_values(n, seed=seed)
-    source = fence_fire_mixture()
-    rows = []
-    for k in ks:
-        scheme = GaussianMixtureScheme(seed=seed)
-        run_scale = scale.with_overrides(n_nodes=n)
-        _, nodes, rounds = run_until_convergence(
-            values, scheme, k=k, scale=run_scale, seed=seed
+    labels = [f"k={k}" for k in ks]
+    cells = [
+        _cell(scale, seed, n, "k", label=label, k=k) for label, k in zip(labels, ks)
+    ]
+    results = _ablation_sweep("ablation-k", cells, scale, seed)
+    return [
+        AblationRow(
+            label=label,
+            metrics={
+                "k": float(k),
+                "rounds": float(results[label]["rounds"]),
+                "collections": float(results[label]["collections"]),
+                "loglik_per_value": results[label]["loglik_per_value"],
+                "loglik_source": results[label]["loglik_source"],
+            },
         )
-        recovered = classification_to_gmm(nodes[0].classification)
-        rows.append(
-            AblationRow(
-                label=f"k={k}",
-                metrics={
-                    "k": float(k),
-                    "rounds": float(rounds),
-                    "collections": float(recovered.n_components),
-                    "loglik_per_value": recovered.log_likelihood(values) / n,
-                    "loglik_source": source.log_likelihood(values) / n,
-                },
-            )
-        )
-    return rows
+        for label, k in zip(labels, ks)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -211,41 +346,23 @@ def run_quantum_ablation(
     assumption ``q << 1/n`` corresponds to the finest setting.
     """
     n = min(scale.n_nodes, 128)
-    values, _ = _two_cluster_values(n, seed)
-    true_balance = 0.5
-    rows = []
-    for quanta_per_unit in quanta:
-        scheme = GaussianMixtureScheme(seed=seed)
-        from repro.protocols.classification import build_classification_network
-
-        engine, nodes = build_classification_network(
-            values,
-            scheme,
-            k=2,
-            graph=topology.complete(n),
-            seed=seed,
-            quantization=Quantization(quanta_per_unit),
+    labels = [f"1/q={quanta_per_unit}" for quanta_per_unit in quanta]
+    cells = [
+        _cell(scale, seed, n, "quantum", label=label, quanta_per_unit=quanta_per_unit)
+        for label, quanta_per_unit in zip(labels, quanta)
+    ]
+    results = _ablation_sweep("ablation-quantum", cells, scale, seed)
+    return [
+        AblationRow(
+            label=label,
+            metrics={
+                "quanta_per_unit": float(quanta_per_unit),
+                "avg_balance_error": results[label]["avg_balance_error"],
+                "total_quanta_conserved": results[label]["total_quanta_conserved"],
+            },
         )
-        engine.run(scale.max_rounds)
-        balance_errors = []
-        for node in nodes:
-            relative = node.classification.relative_weights()
-            heaviest = float(np.max(relative))
-            balance_errors.append(abs(heaviest - true_balance))
-        rows.append(
-            AblationRow(
-                label=f"1/q={quanta_per_unit}",
-                metrics={
-                    "quanta_per_unit": float(quanta_per_unit),
-                    "avg_balance_error": float(np.mean(balance_errors)),
-                    "total_quanta_conserved": float(
-                        sum(node.total_quanta for node in nodes)
-                        == n * quanta_per_unit
-                    ),
-                },
-            )
-        )
-    return rows
+        for label, quanta_per_unit in zip(labels, quanta)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -261,35 +378,21 @@ def run_scheme_ablation(scale: Scale = PAPER, seed: int = 15) -> list[AblationRo
     is measured as correctly-assigned value weight via provenance.
     """
     n = min(scale.n_nodes, 200)
-    rng = np.random.default_rng(seed)
-    half = n // 2
-    tight = rng.normal(0.0, 0.3, size=half)
-    wide = rng.normal(4.0, 2.0, size=n - half)
-    values = np.concatenate([tight, wide])[:, None]
-    labels = np.concatenate([np.zeros(half, dtype=int), np.ones(n - half, dtype=int)])
-
-    schemes: list[tuple[str, SummaryScheme]] = [
-        ("centroid", CentroidScheme()),
-        ("gaussian_mixture", GaussianMixtureScheme(seed=seed)),
-        ("histogram", HistogramScheme(low=-4.0, high=12.0, bins=48)),
+    scheme_names = ("centroid", "gaussian_mixture", "histogram")
+    cells = [
+        _cell(scale, seed, n, "scheme", label=name, scheme=name) for name in scheme_names
     ]
-    rows = []
-    for name, scheme in schemes:
-        run_scale = scale.with_overrides(n_nodes=n)
-        _, nodes, rounds = run_until_convergence(
-            values, scheme, k=2, scale=run_scale, seed=seed, track_aux=True
+    results = _ablation_sweep("ablation-scheme", cells, scale, seed)
+    return [
+        AblationRow(
+            label=name,
+            metrics={
+                "rounds": float(results[name]["rounds"]),
+                "weight_accuracy": results[name]["weight_accuracy"],
+            },
         )
-        accuracy = weighted_assignment_accuracy(nodes, labels)
-        rows.append(
-            AblationRow(
-                label=name,
-                metrics={
-                    "rounds": float(rounds),
-                    "weight_accuracy": accuracy,
-                },
-            )
-        )
-    return rows
+        for name in scheme_names
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -24,8 +24,17 @@ from repro.network.failures import FailureModel
 from repro.network.kernel import SimulationKernel
 from repro.network.topology import complete
 from repro.protocols.classification import build_classification_network
+from repro.sweep import SweepSpec, run_sweep
 
-__all__ = ["Scale", "PAPER", "BENCH", "FAST", "preset", "run_until_convergence"]
+__all__ = [
+    "Scale",
+    "PAPER",
+    "BENCH",
+    "FAST",
+    "preset",
+    "run_until_convergence",
+    "run_experiment_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +67,11 @@ class Scale:
         firing interval of simulated time).  Threaded through every
         experiment so each figure and robustness sweep runs identically
         on either execution model.
+    workers:
+        Worker processes for experiments that fan their grids out
+        through :mod:`repro.sweep`.  ``0`` (the default) runs every
+        cell inline in this process; results are byte-identical either
+        way, so this is purely a wall-clock knob.
     """
 
     name: str
@@ -69,13 +83,36 @@ class Scale:
         0.0, 2.5, 4.0, 4.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0,
     )
     engine: str = "rounds"
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
 
     def with_overrides(self, **kwargs) -> "Scale":
         return replace(self, **kwargs)
+
+    def as_dict(self) -> dict:
+        """A JSON-serialisable view (``deltas`` becomes a list)."""
+        return {
+            "name": self.name,
+            "n_nodes": self.n_nodes,
+            "max_rounds": self.max_rounds,
+            "convergence_tolerance": self.convergence_tolerance,
+            "probe_count": self.probe_count,
+            "deltas": list(self.deltas),
+            "engine": self.engine,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scale":
+        payload = dict(data)
+        if "deltas" in payload:
+            payload["deltas"] = tuple(payload["deltas"])
+        return cls(**payload)
 
 
 #: The published configuration (Section 5.3).
@@ -103,6 +140,24 @@ def preset(name: str) -> Scale:
         return _PRESETS[name]
     except KeyError:
         raise ValueError(f"unknown scale {name!r}; choose from {sorted(_PRESETS)}") from None
+
+
+def run_experiment_sweep(spec: SweepSpec, scale: Scale) -> dict:
+    """Execute an experiment's cell grid through :mod:`repro.sweep`.
+
+    Returns results keyed by cell key (the ``label`` for explicit
+    cells).  Experiments are not partial-result consumers the way ad-hoc
+    sweeps are — a figure with a missing curve is wrong, not degraded —
+    so any failed cell raises instead of being silently dropped.
+    """
+    report = run_sweep(spec, workers=scale.workers)
+    if report.failures:
+        summary = "; ".join(
+            f"{key}: {error.strip().splitlines()[-1] if error.strip() else 'unknown error'}"
+            for key, error in report.failures.items()
+        )
+        raise RuntimeError(f"sweep {spec.name!r} had failed cells: {summary}")
+    return report.results
 
 
 def run_until_convergence(

@@ -12,9 +12,11 @@ sets and reports both decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from repro.experiments.common import Scale
 from repro.ml.gaussian import log_density, pool_moments
 
 __all__ = ["Fig1Result", "run_fig1"]
@@ -43,14 +45,23 @@ class Fig1Result:
         return self.centroid_choice == "A" and self.gaussian_choice == "B"
 
 
-def run_fig1(seed: int = 0, n_per_collection: int = 400) -> Fig1Result:
+def run_fig1(
+    scale: Optional[Scale] = None, seed: int = 0, n_per_collection: int = 400
+) -> Fig1Result:
     """Reconstruct Figure 1's scenario from sampled value sets.
 
     Collection A: tight cluster (sigma 0.5) centred at the origin.
     Collection B: wide cluster (sigma 3.0) centred at (6, 0).
     New value: (2.4, 0) — closer to A's centroid, but ~5 standard
     deviations from A versus ~1.2 from B.
+
+    ``scale`` is accepted for uniformity with the other ``run_*``
+    entry points (the CLI passes it to every experiment), but this
+    figure is a purely local two-collection computation — no gossip
+    network is built, so ``scale.engine`` and ``scale.n_nodes`` cannot
+    affect the result; the collection size is the paper's fixed 400.
     """
+    del scale  # engine-invariant: no network is constructed here
     rng = np.random.default_rng(seed)
     values_a = rng.normal([0.0, 0.0], 0.5, size=(n_per_collection, 2))
     values_b = rng.normal([6.0, 0.0], 3.0, size=(n_per_collection, 2))

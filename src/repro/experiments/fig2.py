@@ -55,7 +55,10 @@ def run_fig2(scale: Scale = PAPER, k: int = 7, seed: int = 2) -> Fig2Result:
 
     The paper's parameters: 1,000 nodes, fully connected network, k = 7,
     q set by floating-point accuracy (our lattice is 2^-20, finer than
-    1/n), run until convergence.
+    1/n), run until convergence.  ``scale.engine`` selects the schedule
+    (synchronous rounds or the Section 6 Poisson model) — it is threaded
+    through :func:`~repro.experiments.common.run_until_convergence`, so
+    ``--engine async`` regenerates this figure on the event-driven engine.
     """
     values, _ = fence_fire_values(scale.n_nodes, seed=seed)
     scheme = GaussianMixtureScheme(seed=seed)

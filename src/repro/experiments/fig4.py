@@ -21,14 +21,15 @@ import numpy as np
 from repro.analysis.accuracy import average_error
 from repro.analysis.outliers import robust_mean
 from repro.data.generators import OutlierScenario, outlier_scenario
-from repro.experiments.common import Scale, PAPER
+from repro.experiments.common import Scale, PAPER, run_experiment_sweep
 from repro.network.failures import BernoulliCrashes, NoFailures
 from repro.network.topology import complete
 from repro.protocols.classification import build_classification_network
 from repro.protocols.push_sum import build_push_sum_network
 from repro.schemes.gm import GaussianMixtureScheme
+from repro.sweep import SweepSpec
 
-__all__ = ["Fig4Result", "run_fig4", "CRASH_PROBABILITY"]
+__all__ = ["Fig4Result", "run_fig4", "fig4_cell", "CRASH_PROBABILITY"]
 
 #: The paper's per-round crash probability.
 CRASH_PROBABILITY = 0.05
@@ -123,6 +124,32 @@ def _regular_trace(
     return errors
 
 
+def fig4_cell(params: dict) -> dict:
+    """One Figure 4 configuration as an independent sweep cell.
+
+    Each of the four {protocol} x {crash rate} configurations rebuilds
+    the delta = 10 outlier scenario from its parameters alone, so the
+    cell runs identically in-process or inside a pool worker.
+    """
+    n_nodes = int(params["n_nodes"])
+    seed = int(params["seed"])
+    n_outliers = max(1, round(n_nodes * 0.05))
+    scenario = outlier_scenario(
+        float(params["delta"]),
+        n_good=n_nodes - n_outliers,
+        n_outliers=n_outliers,
+        seed=seed,
+    )
+    rounds = int(params["rounds"])
+    crash_probability = float(params["crash_probability"])
+    engine = str(params["engine"])
+    if params["protocol"] == "robust":
+        errors, survivors = _robust_trace(scenario, rounds, seed, crash_probability, engine)
+        return {"errors": [float(e) for e in errors], "survivors": [int(s) for s in survivors]}
+    errors = _regular_trace(scenario, rounds, seed, crash_probability, engine)
+    return {"errors": [float(e) for e in errors], "survivors": []}
+
+
 def run_fig4(
     scale: Scale = PAPER,
     delta: float = 10.0,
@@ -130,29 +157,52 @@ def run_fig4(
     seed: int = 4,
     crash_probability: float = CRASH_PROBABILITY,
 ) -> Fig4Result:
-    """Run the four-configuration crash experiment."""
-    n_outliers = max(1, round(scale.n_nodes * 0.05))
-    scenario = outlier_scenario(
-        delta, n_good=scale.n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
-    )
-    total_rounds = rounds if rounds is not None else min(50, scale.max_rounds)
+    """Run the four-configuration crash experiment.
 
-    robust_clean, _ = _robust_trace(scenario, total_rounds, seed, 0.0, scale.engine)
-    robust_crash, survivors = _robust_trace(
-        scenario, total_rounds, seed, crash_probability, scale.engine
+    The configurations are declared as a four-cell
+    :class:`~repro.sweep.spec.SweepSpec` and executed through
+    :func:`repro.sweep.run_sweep` — serially by default, or on
+    ``scale.workers`` processes.  Every cell pins the experiment's seed,
+    so the traces are identical to running the helpers directly.
+    """
+    total_rounds = rounds if rounds is not None else min(50, scale.max_rounds)
+    base = {
+        "delta": delta,
+        "n_nodes": scale.n_nodes,
+        "rounds": total_rounds,
+        "engine": scale.engine,
+        "seed": seed,
+    }
+    spec = SweepSpec(
+        name="fig4",
+        runner="repro.experiments.fig4:fig4_cell",
+        base_seed=seed,
+        cells=[
+            {"label": "robust_no_crashes", "protocol": "robust", "crash_probability": 0.0, **base},
+            {"label": "regular_no_crashes", "protocol": "regular", "crash_probability": 0.0, **base},
+            {
+                "label": "robust_with_crashes",
+                "protocol": "robust",
+                "crash_probability": crash_probability,
+                **base,
+            },
+            {
+                "label": "regular_with_crashes",
+                "protocol": "regular",
+                "crash_probability": crash_probability,
+                **base,
+            },
+        ],
     )
-    regular_clean = _regular_trace(scenario, total_rounds, seed, 0.0, scale.engine)
-    regular_crash = _regular_trace(
-        scenario, total_rounds, seed, crash_probability, scale.engine
-    )
+    results = run_experiment_sweep(spec, scale)
 
     return Fig4Result(
         rounds=tuple(range(1, total_rounds + 1)),
-        robust_no_crashes=tuple(robust_clean),
-        regular_no_crashes=tuple(regular_clean),
-        robust_with_crashes=tuple(robust_crash),
-        regular_with_crashes=tuple(regular_crash),
-        survivors_with_crashes=tuple(survivors),
+        robust_no_crashes=tuple(results["robust_no_crashes"]["errors"]),
+        regular_no_crashes=tuple(results["regular_no_crashes"]["errors"]),
+        robust_with_crashes=tuple(results["robust_with_crashes"]["errors"]),
+        regular_with_crashes=tuple(results["regular_with_crashes"]["errors"]),
+        survivors_with_crashes=tuple(results["robust_with_crashes"]["survivors"]),
         delta=delta,
         n_nodes=scale.n_nodes,
     )

@@ -30,17 +30,19 @@ from repro.analysis.accuracy import average_error
 from repro.analysis.outliers import robust_mean
 from repro.data.generators import outlier_scenario
 from repro.experiments.ablations import AblationRow
-from repro.experiments.common import Scale, PAPER
+from repro.experiments.common import Scale, PAPER, run_experiment_sweep
 from repro.network.failures import BernoulliCrashes
 from repro.network.topology import complete
 from repro.protocols.classification import build_classification_network
 from repro.protocols.push_sum import build_push_sum_network
 from repro.schemes.gm import GaussianMixtureScheme
+from repro.sweep import SweepSpec
 
 __all__ = [
     "run_outlier_fraction_sweep",
     "run_crash_rate_sweep",
     "run_k_mismatch",
+    "robustness_cell",
 ]
 
 
@@ -78,6 +80,60 @@ def _run_regular(scenario, rounds, seed, failure_model=None, engine_kind="rounds
     )
 
 
+def robustness_cell(params: dict) -> dict:
+    """One robustness-sweep cell: mode selects which axis it measures.
+
+    ``mode="fraction"`` measures robust and regular error at one
+    contamination level; ``mode="crash"`` measures robust error and
+    survivor count at one per-round crash rate; ``mode="k"`` measures
+    robust error at one collection count.  Every cell rebuilds its
+    scenario from parameters alone so it can run in any process.
+    """
+    mode = str(params["mode"])
+    n_nodes = int(params["n_nodes"])
+    seed = int(params["seed"])
+    delta = float(params["delta"])
+    rounds = int(params["rounds"])
+    engine_kind = str(params["engine"])
+    fraction = float(params.get("fraction", 0.05))
+    n_outliers = max(1, round(n_nodes * fraction))
+    scenario = outlier_scenario(
+        delta, n_good=n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
+    )
+    if mode == "fraction":
+        robust, _ = _run_robust(scenario, k=2, rounds=rounds, seed=seed, engine_kind=engine_kind)
+        regular = _run_regular(scenario, rounds=rounds, seed=seed, engine_kind=engine_kind)
+        return {"robust_error": float(robust), "regular_error": float(regular)}
+    if mode == "crash":
+        rate = float(params["rate"])
+        failure_model = BernoulliCrashes(rate, min_survivors=4) if rate > 0 else None
+        robust, engine = _run_robust(
+            scenario,
+            k=2,
+            rounds=rounds,
+            seed=seed,
+            failure_model=failure_model,
+            engine_kind=engine_kind,
+        )
+        return {"robust_error": float(robust), "survivors": len(engine.live_nodes)}
+    if mode == "k":
+        robust, _ = _run_robust(
+            scenario, k=int(params["k"]), rounds=rounds, seed=seed, engine_kind=engine_kind
+        )
+        return {"robust_error": float(robust)}
+    raise ValueError(f"unknown robustness cell mode {mode!r}")
+
+
+def _robustness_sweep(name: str, cells: list[dict], scale: Scale, seed: int) -> dict:
+    spec = SweepSpec(
+        name=name,
+        runner="repro.experiments.robustness:robustness_cell",
+        base_seed=seed,
+        cells=cells,
+    )
+    return run_experiment_sweep(spec, scale)
+
+
 def run_outlier_fraction_sweep(
     scale: Scale = PAPER,
     seed: int = 31,
@@ -85,26 +141,33 @@ def run_outlier_fraction_sweep(
     delta: float = 10.0,
 ) -> list[AblationRow]:
     """Robust vs regular error as the contamination level grows."""
-    rows = []
     rounds = min(scale.max_rounds, 40)
-    for fraction in fractions:
-        n_outliers = max(1, round(scale.n_nodes * fraction))
-        scenario = outlier_scenario(
-            delta, n_good=scale.n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
+    labels = [f"{fraction:.0%}" for fraction in fractions]
+    cells = [
+        {
+            "label": label,
+            "mode": "fraction",
+            "fraction": fraction,
+            "delta": delta,
+            "n_nodes": scale.n_nodes,
+            "rounds": rounds,
+            "engine": scale.engine,
+            "seed": seed,
+        }
+        for label, fraction in zip(labels, fractions)
+    ]
+    results = _robustness_sweep("robustness-outliers", cells, scale, seed)
+    return [
+        AblationRow(
+            label=label,
+            metrics={
+                "outlier_fraction": fraction,
+                "robust_error": results[label]["robust_error"],
+                "regular_error": results[label]["regular_error"],
+            },
         )
-        robust, _ = _run_robust(scenario, k=2, rounds=rounds, seed=seed, engine_kind=scale.engine)
-        regular = _run_regular(scenario, rounds=rounds, seed=seed, engine_kind=scale.engine)
-        rows.append(
-            AblationRow(
-                label=f"{fraction:.0%}",
-                metrics={
-                    "outlier_fraction": fraction,
-                    "robust_error": robust,
-                    "regular_error": regular,
-                },
-            )
-        )
-    return rows
+        for label, fraction in zip(labels, fractions)
+    ]
 
 
 def run_crash_rate_sweep(
@@ -115,32 +178,32 @@ def run_crash_rate_sweep(
     rounds: int = 40,
 ) -> list[AblationRow]:
     """Surviving-node estimate quality as the crash rate grows."""
-    n_outliers = max(1, round(scale.n_nodes * 0.05))
-    scenario = outlier_scenario(
-        delta, n_good=scale.n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
-    )
-    rows = []
-    for rate in rates:
-        failure_model = BernoulliCrashes(rate, min_survivors=4) if rate > 0 else None
-        robust, engine = _run_robust(
-            scenario,
-            k=2,
-            rounds=rounds,
-            seed=seed,
-            failure_model=failure_model,
-            engine_kind=scale.engine,
+    labels = [f"p={rate:.2f}" for rate in rates]
+    cells = [
+        {
+            "label": label,
+            "mode": "crash",
+            "rate": rate,
+            "delta": delta,
+            "n_nodes": scale.n_nodes,
+            "rounds": rounds,
+            "engine": scale.engine,
+            "seed": seed,
+        }
+        for label, rate in zip(labels, rates)
+    ]
+    results = _robustness_sweep("robustness-crashes", cells, scale, seed)
+    return [
+        AblationRow(
+            label=label,
+            metrics={
+                "crash_rate": rate,
+                "robust_error": results[label]["robust_error"],
+                "survivors": float(results[label]["survivors"]),
+            },
         )
-        rows.append(
-            AblationRow(
-                label=f"p={rate:.2f}",
-                metrics={
-                    "crash_rate": rate,
-                    "robust_error": robust,
-                    "survivors": float(len(engine.live_nodes)),
-                },
-            )
-        )
-    return rows
+        for label, rate in zip(labels, rates)
+    ]
 
 
 def run_k_mismatch(
@@ -150,18 +213,26 @@ def run_k_mismatch(
     delta: float = 10.0,
 ) -> list[AblationRow]:
     """Robust averaging with more collections than the two it hopes for."""
-    n_outliers = max(1, round(scale.n_nodes * 0.05))
-    scenario = outlier_scenario(
-        delta, n_good=scale.n_nodes - n_outliers, n_outliers=n_outliers, seed=seed
-    )
     rounds = min(scale.max_rounds, 40)
-    rows = []
-    for k in ks:
-        robust, _ = _run_robust(scenario, k=k, rounds=rounds, seed=seed, engine_kind=scale.engine)
-        rows.append(
-            AblationRow(
-                label=f"k={k}",
-                metrics={"k": float(k), "robust_error": robust},
-            )
+    labels = [f"k={k}" for k in ks]
+    cells = [
+        {
+            "label": label,
+            "mode": "k",
+            "k": k,
+            "delta": delta,
+            "n_nodes": scale.n_nodes,
+            "rounds": rounds,
+            "engine": scale.engine,
+            "seed": seed,
+        }
+        for label, k in zip(labels, ks)
+    ]
+    results = _robustness_sweep("robustness-k", cells, scale, seed)
+    return [
+        AblationRow(
+            label=label,
+            metrics={"k": float(k), "robust_error": results[label]["robust_error"]},
         )
-    return rows
+        for label, k in zip(labels, ks)
+    ]

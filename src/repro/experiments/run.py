@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments.run ablation-topology
     python -m repro.experiments.run all --scale fast
     python -m repro.experiments.run fig4 --scale fast --trace trace.jsonl
+    python -m repro.experiments.run ablation-k --scale bench --workers 4
 
 Prints the same fixed-width series the benchmark suite emits.  With
 ``--trace PATH``, every engine the experiment constructs writes its
@@ -46,7 +47,7 @@ from repro.experiments import (
 
 
 def _print_fig1(scale) -> None:
-    result = run_fig1()
+    result = run_fig1(scale)
     print(banner("Figure 1 — centroid vs Gaussian association"))
     rows = [
         ["distance to centroid", result.distance_to_a, result.distance_to_b],
@@ -190,15 +191,26 @@ def main(argv: list[str] | None = None) -> int:
         "Section 5.3 methodology, the default) or 'async' (Section 6 Poisson model)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the experiments that fan out through repro.sweep "
+        "(0 = run every cell inline, the default; results are identical either way)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
         help="write a JSONL event trace of the run (see repro.obs.report)",
     )
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
     scale = preset(args.scale)
     if args.engine is not None:
         scale = scale.with_overrides(engine=args.engine)
+    if args.workers:
+        scale = scale.with_overrides(workers=args.workers)
     names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
 
     def execute() -> None:

@@ -27,12 +27,10 @@ import numpy as np
 from repro.core.convergence import disagreement
 from repro.core.node import ClassifierNode
 from repro.core.serialization import codec_for_scheme, encode_payload
-from repro.core.weights import Quantization
 from repro.experiments.ablations import AblationRow
 from repro.experiments.common import Scale, PAPER, run_until_convergence
-from repro.network.asynchronous import AsyncEngine
 from repro.network.topology import complete, ring
-from repro.protocols.classification import ClassificationProtocol
+from repro.protocols.classification import build_classification_network
 from repro.schemes.centroid import CentroidScheme
 from repro.schemes.diagonal import DiagonalGaussianScheme
 from repro.schemes.gm import GaussianMixtureScheme
@@ -165,14 +163,8 @@ def run_async_ablation(
     rows = []
     for name, graph in graphs.items():
         scheme = GaussianMixtureScheme(seed=seed)
-        nodes = [
-            ClassifierNode(i, values[i], scheme, k=2, quantization=Quantization())
-            for i in range(n)
-        ]
-        engine = AsyncEngine(
-            graph,
-            {i: ClassificationProtocol(nodes[i]) for i in range(n)},
-            seed=seed,
+        engine, nodes = build_classification_network(
+            values, scheme, k=2, graph=graph, seed=seed, engine="async"
         )
         horizon = 40.0
         reached_at = float("nan")

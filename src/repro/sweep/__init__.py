@@ -1,0 +1,35 @@
+"""``repro.sweep`` — parallel experiment orchestration.
+
+The evaluation layer above the simulation kernel: a declarative
+:class:`~repro.sweep.spec.SweepSpec` expands a parameter grid (scheme,
+topology, n, k, engine, failure model, seeds) into independent tasks
+with deterministic per-task seeds; :func:`~repro.sweep.runner.run_sweep`
+executes them — inline, or fanned out over a fault-tolerant
+``multiprocessing`` worker pool — and a SQLite-backed
+:class:`~repro.sweep.store.ResultStore` makes interrupted sweeps
+resumable cell by cell.  ``python -m repro.sweep`` is the command-line
+front door (``run`` / ``status`` / ``export``).
+"""
+
+from repro.sweep.cells import RUNNERS, classification_cell, debug_cell, push_sum_cell, resolve_runner
+from repro.sweep.runner import SweepReport, run_sweep
+from repro.sweep.spec import SweepSpec, Task, canonical_json, derive_seed
+from repro.sweep.specs import BUILTIN_SPECS, builtin_spec
+from repro.sweep.store import ResultStore
+
+__all__ = [
+    "BUILTIN_SPECS",
+    "RUNNERS",
+    "ResultStore",
+    "SweepReport",
+    "SweepSpec",
+    "Task",
+    "builtin_spec",
+    "canonical_json",
+    "classification_cell",
+    "debug_cell",
+    "derive_seed",
+    "push_sum_cell",
+    "resolve_runner",
+    "run_sweep",
+]

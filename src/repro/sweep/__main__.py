@@ -1,0 +1,7 @@
+"""``python -m repro.sweep`` — the sweep orchestration CLI."""
+
+import sys
+
+from repro.sweep.cli import main
+
+sys.exit(main())

@@ -1,0 +1,254 @@
+"""The sweep CLI: ``python -m repro.sweep {run,status,export}``.
+
+Usage::
+
+    python -m repro.sweep run mini --workers 4 --store sweep.sqlite
+    python -m repro.sweep run grid.json --workers 4 --store sweep.sqlite --resume
+    python -m repro.sweep status --store sweep.sqlite
+    python -m repro.sweep status --store sweep.sqlite --check-complete
+    python -m repro.sweep export --store sweep.sqlite --format csv -o cells.csv
+
+``run`` accepts a built-in spec name (see :mod:`repro.sweep.specs`) or a
+path to a JSON spec file.  ``--trace PATH`` wires the run into the
+:mod:`repro.obs` event pipeline (per-task spans land in the JSONL trace;
+summarise with ``python -m repro.obs.report``).  ``export`` emits JSON or
+CSV records — one flat row per cell — for the analysis layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import os
+import sys
+from typing import Any, Optional
+
+from repro.analysis.reporting import banner, format_table
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import SweepSpec
+from repro.sweep.specs import BUILTIN_SPECS, builtin_spec
+from repro.sweep.store import ResultStore
+
+__all__ = ["main"]
+
+
+def _load_spec(reference: str) -> SweepSpec:
+    """A built-in name, or a JSON spec file path."""
+    if reference in BUILTIN_SPECS:
+        return builtin_spec(reference)
+    if os.path.exists(reference):
+        return SweepSpec.from_file(reference)
+    raise SystemExit(
+        f"error: {reference!r} is neither a built-in spec ({sorted(BUILTIN_SPECS)}) "
+        "nor a spec file that exists"
+    )
+
+
+def _latest_run_id(store: ResultStore, run_id: Optional[str]) -> str:
+    if run_id is not None:
+        return run_id
+    run_ids = store.run_ids()
+    if not run_ids:
+        raise SystemExit(f"error: no runs recorded in {store.path}")
+    return run_ids[-1]
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    if args.timeout is not None:
+        spec = SweepSpec.from_json_dict({**spec.to_json_dict(), "timeout_s": args.timeout})
+
+    def execute() -> Any:
+        return run_sweep(
+            spec,
+            workers=args.workers,
+            store=args.store,
+            resume=args.resume,
+            run_id=args.run_id,
+            limit=args.limit,
+            progress=not args.no_progress,
+        )
+
+    if args.trace:
+        from repro.obs import JsonlSink, tracing
+
+        with tracing(JsonlSink(args.trace)):
+            report = execute()
+    else:
+        report = execute()
+
+    print(banner(f"sweep {report.name} — run {report.run_id}"))
+    rows = [
+        ["cells", report.total],
+        ["completed", report.completed],
+        ["skipped (resume)", report.skipped],
+        ["failed", report.failed],
+        ["retries", report.retries],
+        ["workers", args.workers],
+        ["duration_s", report.duration_s],
+        ["cells/minute", report.cells_per_minute],
+        ["interrupted", report.interrupted],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if report.failures:
+        print()
+        print("failed cells:")
+        for key, error in report.failures.items():
+            last_line = error.strip().splitlines()[-1] if error.strip() else "unknown error"
+            print(f"  {key}: {last_line}")
+    return 0 if not report.failures else 1
+
+
+# ----------------------------------------------------------------------
+# status
+# ----------------------------------------------------------------------
+def _cmd_status(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        run_ids = store.run_ids()
+        if not run_ids:
+            print(f"no runs recorded in {args.store}")
+            return 1 if args.check_complete else 0
+        targets = [args.run_id] if args.run_id else run_ids
+        incomplete = False
+        for run_id in targets:
+            info = store.run_info(run_id)
+            counts = store.status_counts(run_id)
+            total = sum(counts.values())
+            print(banner(f"run {run_id} — {info['name']} ({info['status']})"))
+            print(
+                format_table(
+                    ["total", "pending", "running", "done", "failed", "workers"],
+                    [[
+                        total,
+                        counts.get("pending", 0),
+                        counts.get("running", 0),
+                        counts.get("done", 0),
+                        counts.get("failed", 0),
+                        info["workers"],
+                    ]],
+                )
+            )
+            if counts.get("done", 0) != total:
+                incomplete = True
+            if args.tasks:
+                rows = [
+                    [task.key, task.status, task.attempts,
+                     task.duration_s if task.duration_s is not None else "-"]
+                    for task in store.task_rows(run_id)
+                ]
+                print(format_table(["key", "status", "attempts", "duration_s"], rows))
+            print()
+    if args.check_complete and incomplete:
+        print("check-complete: FAILED — not every cell is done", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+def _flatten(record: dict[str, Any]) -> dict[str, Any]:
+    """One CSV row: params and result dicts become dotted columns."""
+    flat: dict[str, Any] = {
+        name: record[name] for name in ("key", "status", "seed", "attempts", "duration_s", "error")
+    }
+    for prefix in ("params", "result"):
+        nested = record.get(prefix) or {}
+        for name, value in nested.items():
+            flat[f"{prefix}.{name}"] = (
+                json.dumps(value) if isinstance(value, (list, dict)) else value
+            )
+    return flat
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        run_id = _latest_run_id(store, args.run_id)
+        records = store.export_rows(run_id)
+        info = store.run_info(run_id)
+    if args.format == "json":
+        text = json.dumps(
+            {"run_id": run_id, "name": info["name"], "cells": records}, indent=2, sort_keys=True
+        )
+    else:
+        flat = [_flatten(record) for record in records]
+        columns: list[str] = []
+        for row in flat:
+            for name in row:
+                if name not in columns:
+                    columns.append(name)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(flat)
+        text = buffer.getvalue().rstrip("\n")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.sweep",
+        description="Parallel experiment orchestration: run, inspect and export sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute a sweep spec")
+    run_p.add_argument("spec", help="built-in spec name or JSON spec file path")
+    run_p.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = serial in-process, the default)")
+    run_p.add_argument("--store", default=None,
+                       help="SQLite store path (omitted: in-memory, nothing persisted)")
+    run_p.add_argument("--resume", action="store_true",
+                       help="skip cells already completed under this run id")
+    run_p.add_argument("--run-id", default=None,
+                       help="run identifier (default: the spec's content hash)")
+    run_p.add_argument("--limit", type=int, default=None,
+                       help="stop after this many completions this invocation")
+    run_p.add_argument("--timeout", type=float, default=None,
+                       help="override the spec's per-task timeout (seconds)")
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a JSONL obs trace of the sweep (see repro.obs.report)")
+    run_p.add_argument("--no-progress", action="store_true",
+                       help="disable the live progress line")
+    run_p.set_defaults(fn=_cmd_run)
+
+    status_p = sub.add_parser("status", help="show run/task state in a store")
+    status_p.add_argument("--store", required=True)
+    status_p.add_argument("--run-id", default=None, help="one run (default: all runs)")
+    status_p.add_argument("--tasks", action="store_true", help="also list per-task rows")
+    status_p.add_argument("--check-complete", action="store_true",
+                          help="exit 1 unless every cell of every listed run is done")
+    status_p.set_defaults(fn=_cmd_status)
+
+    export_p = sub.add_parser("export", help="export one run's cells as JSON or CSV")
+    export_p.add_argument("--store", required=True)
+    export_p.add_argument("--run-id", default=None, help="default: the most recent run")
+    export_p.add_argument("--format", choices=["json", "csv"], default="json")
+    export_p.add_argument("--output", "-o", default=None, help="default: stdout")
+    export_p.set_defaults(fn=_cmd_export)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a consumer that stopped reading (head, grep -q).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

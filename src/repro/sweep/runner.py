@@ -1,0 +1,517 @@
+"""Sweep execution: serial in-process, or a fault-tolerant worker pool.
+
+:func:`run_sweep` is the single entry point.  ``workers=0`` executes the
+cells inline (the migrated experiment drivers' default — zero process
+overhead, exact legacy behaviour); ``workers>=1`` fans cells out over
+long-lived ``multiprocessing`` workers with:
+
+- **per-task timeouts** — a cell that exceeds its deadline has its
+  worker terminated and replaced;
+- **bounded retry on worker crash** — a task whose worker died (crash or
+  timeout) is requeued up to ``max_retries`` times before it is recorded
+  as ``failed``;
+- **graceful degradation** — a failed cell is a row in the store, never
+  an aborted sweep; cell *exceptions* are deterministic and therefore
+  fail immediately without retry.
+
+Topology of the pool: each worker owns a private task queue (so the
+parent always knows exactly which task a dead worker was holding — the
+precondition for correct retry) and all workers share one result queue.
+Workers send ``started`` / ``done`` / ``error`` messages; results travel
+as canonical JSON text produced *inside* the worker, so the bytes that
+reach the store are the bytes the cell computed, regardless of where it
+ran — the serial path canonicalises identically, which is what makes
+serial and pooled sweeps byte-comparable cell by cell.
+
+Observability: every finished task records a ``sweep.task`` span into
+the ambient :mod:`repro.obs` registry/sink (when active), sweep-level
+counters (``sweep.completed`` / ``failed`` / ``retries`` / ``skipped``)
+accumulate in the :class:`~repro.obs.profiling.MetricsRegistry`, and an
+optional live progress line tracks completion on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Any, Optional, Union
+
+from repro.obs import context as obs_context
+from repro.obs.events import Event
+from repro.obs.profiling import MetricsRegistry, current_registry
+from repro.sweep.cells import resolve_runner
+from repro.sweep.spec import SweepSpec, Task, canonical_json
+from repro.sweep.store import ResultStore
+
+__all__ = ["SweepReport", "run_sweep"]
+
+#: Environment knobs for deterministic fault injection (used by the CI
+#: mini-sweep and the fault-tolerance tests): a worker about to execute a
+#: task whose key contains ``REPRO_SWEEP_CRASH_TASK`` hard-exits once,
+#: using ``REPRO_SWEEP_CRASH_FLAG`` (a file path) as the "already
+#: crashed" marker so the retry succeeds.
+CRASH_TASK_ENV = "REPRO_SWEEP_CRASH_TASK"
+CRASH_FLAG_ENV = "REPRO_SWEEP_CRASH_FLAG"
+
+#: Exit code of an injected worker crash (visible in worker exitcodes).
+_CRASH_EXIT = 17
+
+#: How long the parent waits in one result-queue poll.
+_POLL_S = 0.05
+
+#: Grace period between dispatching a task and its ``started`` message
+#: before the dispatch deadline applies (covers queue latency).
+_DISPATCH_GRACE_S = 30.0
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` invocation did."""
+
+    run_id: str
+    name: str
+    total: int
+    completed: int = 0
+    failed: int = 0
+    skipped: int = 0
+    retries: int = 0
+    duration_s: float = 0.0
+    interrupted: bool = False
+    results: dict[str, Any] = field(default_factory=dict)
+    failures: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def cells_per_minute(self) -> float:
+        if self.duration_s <= 0.0:
+            return 0.0
+        return 60.0 * self.completed / self.duration_s
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "name": self.name,
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "retries": self.retries,
+            "duration_s": self.duration_s,
+            "interrupted": self.interrupted,
+            "cells_per_minute": self.cells_per_minute,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _maybe_inject_crash(key: str) -> None:
+    """Deterministic once-only hard crash, driven by environment knobs."""
+    needle = os.environ.get(CRASH_TASK_ENV)
+    if not needle or needle not in key:
+        return
+    flag = os.environ.get(CRASH_FLAG_ENV)
+    if not flag:
+        return
+    try:
+        # O_EXCL: exactly one worker ever wins the crash, even if several
+        # hold matching tasks concurrently.
+        handle = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(handle)
+    os._exit(_CRASH_EXIT)
+
+
+def _worker_main(worker_id: int, task_queue: Any, result_queue: Any) -> None:
+    """Long-lived worker loop: execute tasks until the ``None`` sentinel."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        key, runner_ref, params, seed, attempt = item
+        result_queue.put(("started", worker_id, key, attempt))
+        _maybe_inject_crash(key)
+        start = time.perf_counter()
+        try:
+            fn = resolve_runner(runner_ref)
+            merged = dict(params)
+            merged["seed"] = seed
+            result = fn(merged)
+            payload = canonical_json(result)
+        except BaseException:
+            duration = time.perf_counter() - start
+            result_queue.put(
+                ("error", worker_id, key, traceback.format_exc(limit=30), duration)
+            )
+        else:
+            duration = time.perf_counter() - start
+            result_queue.put(("done", worker_id, key, payload, duration))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _WorkerHandle:
+    """One pool slot: the process, its private queue, and what it holds."""
+
+    __slots__ = ("process", "queue", "task", "attempt", "deadline")
+
+    def __init__(self, process: Any, queue: Any) -> None:
+        self.process = process
+        self.queue = queue
+        self.task: Optional[Task] = None
+        self.attempt = 0
+        self.deadline: Optional[float] = None
+
+
+class _Progress:
+    """A single self-overwriting progress line on stderr (TTY only)."""
+
+    def __init__(self, name: str, total: int, enabled: bool) -> None:
+        self.name = name
+        self.total = total
+        self.enabled = enabled and sys.stderr.isatty()
+        self.started = time.perf_counter()
+
+    def update(self, report: SweepReport, running: int) -> None:
+        if not self.enabled:
+            return
+        elapsed = time.perf_counter() - self.started
+        sys.stderr.write(
+            f"\r[sweep {self.name}] {report.completed}/{self.total} done"
+            f" | {report.failed} failed | {running} running"
+            f" | {report.retries} retried | {elapsed:6.1f}s"
+        )
+        sys.stderr.flush()
+
+    def finish(self) -> None:
+        if self.enabled:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+class _Telemetry:
+    """Fan task outcomes into the ambient obs registry and event sink."""
+
+    def __init__(self, registry: Optional[MetricsRegistry]) -> None:
+        self.registry = registry if registry is not None else current_registry()
+        self.sink = obs_context.current_sink()
+
+    def task_span(self, key: str, duration: float, status: str) -> None:
+        if self.registry is not None:
+            self.registry.record_span("sweep.task", duration)
+            self.registry.inc(f"sweep.{status}")
+        if self.sink is not None:
+            self.sink.emit(
+                Event(
+                    kind="span",
+                    extra={"name": "sweep.task", "key": key, "duration": duration, "status": status},
+                )
+            )
+
+    def count(self, name: str, value: float = 1) -> None:
+        if self.registry is not None:
+            self.registry.inc(name, value)
+
+
+def _open_store(store: Union[ResultStore, str, os.PathLike, None]) -> tuple[ResultStore, bool]:
+    """(store, owned): an in-memory store stands in when none was given."""
+    if store is None:
+        return ResultStore(":memory:"), True
+    if isinstance(store, ResultStore):
+        return store, False
+    return ResultStore(os.fspath(store)), True
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 0,
+    store: Union[ResultStore, str, os.PathLike, None] = None,
+    resume: bool = False,
+    run_id: Optional[str] = None,
+    limit: Optional[int] = None,
+    progress: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+) -> SweepReport:
+    """Execute a sweep spec; never raises for individual cell failures.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    workers:
+        ``0`` — inline serial execution in this process (timeouts are not
+        enforceable without process isolation and are ignored);
+        ``>= 1`` — that many worker processes.
+    store:
+        A :class:`ResultStore`, a path to one, or ``None`` (ephemeral
+        in-memory bookkeeping).
+    resume:
+        Skip cells already ``done`` under this run id (their stored
+        results are loaded into the report, so callers see the full
+        sweep either way).
+    run_id:
+        Defaults to the spec's content hash, so "the same sweep" resumes
+        naturally without naming anything.
+    limit:
+        Stop dispatching after this many completions in *this*
+        invocation, leaving the rest pending (used to exercise resume,
+        and for budgeted partial runs).  The run is marked
+        ``interrupted``.
+    progress:
+        Draw a live progress line on stderr (TTY only).
+    registry:
+        Metrics destination; defaults to the ambient profiling registry.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    tasks = spec.expand()
+    the_run_id = run_id if run_id is not None else spec.spec_hash()
+    the_store, owned = _open_store(store)
+    telemetry = _Telemetry(registry)
+    report = SweepReport(run_id=the_run_id, name=spec.name, total=len(tasks))
+    started = time.perf_counter()
+    try:
+        the_store.begin_run(the_run_id, spec, tasks, workers=workers, resume=resume)
+        done_keys = the_store.keys_with_status(the_run_id, "done") if resume else set()
+        if done_keys:
+            for key, value in the_store.results(the_run_id).items():
+                if key in done_keys:
+                    report.results[key] = value
+            report.skipped = len(done_keys)
+            telemetry.count("sweep.skipped", len(done_keys))
+        pending = [task for task in tasks if task.key not in done_keys]
+        progress_line = _Progress(spec.name, len(tasks), progress)
+        if workers == 0:
+            _run_serial(spec, pending, the_store, the_run_id, report, telemetry, limit, progress_line)
+        else:
+            _run_pooled(
+                spec, pending, the_store, the_run_id, report, telemetry, limit, progress_line, workers
+            )
+        progress_line.finish()
+        remaining = the_store.status_counts(the_run_id).get("pending", 0)
+        report.interrupted = remaining > 0
+        the_store.finish_run(the_run_id, "interrupted" if report.interrupted else "complete")
+    finally:
+        report.duration_s = time.perf_counter() - started
+        if owned:
+            the_store.close()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+def _run_serial(
+    spec: SweepSpec,
+    pending: list[Task],
+    store: ResultStore,
+    run_id: str,
+    report: SweepReport,
+    telemetry: _Telemetry,
+    limit: Optional[int],
+    progress_line: _Progress,
+) -> None:
+    for task in pending:
+        if limit is not None and report.completed >= limit:
+            return
+        store.mark_running(run_id, task.key)
+        start = time.perf_counter()
+        try:
+            fn = resolve_runner(task.runner)
+            result = fn(task.runner_params())
+            payload = canonical_json(result)
+        except Exception:
+            duration = time.perf_counter() - start
+            error = traceback.format_exc(limit=30)
+            store.mark_failed(run_id, task.key, error, duration)
+            report.failed += 1
+            report.failures[task.key] = error
+            telemetry.task_span(task.key, duration, "failed")
+        else:
+            duration = time.perf_counter() - start
+            store.mark_done(run_id, task.key, payload, duration)
+            report.completed += 1
+            report.results[task.key] = result
+            telemetry.task_span(task.key, duration, "completed")
+        progress_line.update(report, running=0)
+
+
+# ----------------------------------------------------------------------
+# Pooled path
+# ----------------------------------------------------------------------
+def _pool_context() -> Any:
+    """Fork where available (cheap respawn); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _run_pooled(
+    spec: SweepSpec,
+    pending: list[Task],
+    store: ResultStore,
+    run_id: str,
+    report: SweepReport,
+    telemetry: _Telemetry,
+    limit: Optional[int],
+    progress_line: _Progress,
+    workers: int,
+) -> None:
+    ctx = _pool_context()
+    result_queue = ctx.Queue()
+    queue: list[Task] = list(pending)
+    attempts: dict[str, int] = {}
+    handles: dict[int, _WorkerHandle] = {}
+    next_worker_id = 0
+
+    def spawn() -> int:
+        nonlocal next_worker_id
+        worker_id = next_worker_id
+        next_worker_id += 1
+        task_queue = ctx.Queue(maxsize=1)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, result_queue),
+            daemon=True,
+            name=f"sweep-worker-{worker_id}",
+        )
+        process.start()
+        handles[worker_id] = _WorkerHandle(process, task_queue)
+        return worker_id
+
+    def dispatch(worker_id: int) -> bool:
+        """Hand the next queued task to an idle worker."""
+        handle = handles[worker_id]
+        if handle.task is not None or not queue:
+            return False
+        if limit is not None and report.completed + in_flight_count() >= limit:
+            return False
+        task = queue.pop(0)
+        handle.task = task
+        handle.attempt = attempts.get(task.key, 0) + 1
+        attempts[task.key] = handle.attempt
+        timeout = task.timeout_s
+        handle.deadline = (
+            time.monotonic() + timeout + _DISPATCH_GRACE_S if timeout is not None else None
+        )
+        store.mark_running(run_id, task.key)
+        handle.queue.put((task.key, task.runner, dict(task.params), task.seed, handle.attempt))
+        return True
+
+    def in_flight_count() -> int:
+        return sum(1 for handle in handles.values() if handle.task is not None)
+
+    def settle_lost_task(handle: _WorkerHandle, reason: str) -> None:
+        """A worker died or was killed while holding a task: retry or fail."""
+        task = handle.task
+        handle.task = None
+        handle.deadline = None
+        if task is None:
+            return
+        if attempts[task.key] <= task.max_retries:
+            report.retries += 1
+            telemetry.count("sweep.retries")
+            store.mark_pending(run_id, task.key, error=reason)
+            queue.insert(0, task)
+        else:
+            store.mark_failed(run_id, task.key, reason, None)
+            report.failed += 1
+            report.failures[task.key] = reason
+            telemetry.count("sweep.failed")
+
+    def replace_worker(worker_id: int, reason: str) -> None:
+        handle = handles.pop(worker_id)
+        settle_lost_task(handle, reason)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck in kernel
+                handle.process.kill()
+                handle.process.join(timeout=2.0)
+        handle.queue.close()
+        spawn()
+
+    for _ in range(workers):
+        spawn()
+
+    try:
+        while True:
+            for worker_id in sorted(handles):
+                dispatch(worker_id)
+            if in_flight_count() == 0:
+                # Nothing running and nothing dispatchable: done (or
+                # limit reached / queue drained).
+                if not queue or (limit is not None and report.completed >= limit):
+                    break
+            try:
+                message = result_queue.get(timeout=_POLL_S)
+            except Empty:
+                message = None
+            if message is not None:
+                kind, worker_id, key = message[0], message[1], message[2]
+                handle = handles.get(worker_id)
+                if handle is None or handle.task is None or handle.task.key != key:
+                    # A terminated worker's late message; drop it.
+                    continue
+                if kind == "started":
+                    if handle.task.timeout_s is not None:
+                        handle.deadline = time.monotonic() + handle.task.timeout_s
+                elif kind == "done":
+                    payload, duration = message[3], message[4]
+                    store.mark_done(run_id, key, payload, duration)
+                    report.completed += 1
+                    report.results[key] = json.loads(payload)
+                    telemetry.task_span(key, duration, "completed")
+                    handle.task = None
+                    handle.deadline = None
+                    progress_line.update(report, running=in_flight_count())
+                elif kind == "error":
+                    error, duration = message[3], message[4]
+                    store.mark_failed(run_id, key, error, duration)
+                    report.failed += 1
+                    report.failures[key] = error
+                    telemetry.task_span(key, duration, "failed")
+                    handle.task = None
+                    handle.deadline = None
+                    progress_line.update(report, running=in_flight_count())
+            now = time.monotonic()
+            for worker_id in list(handles):
+                handle = handles[worker_id]
+                if handle.task is None:
+                    continue
+                if not handle.process.is_alive():
+                    exitcode = handle.process.exitcode
+                    replace_worker(
+                        worker_id,
+                        f"worker crashed (exit code {exitcode}) while running this task",
+                    )
+                    progress_line.update(report, running=in_flight_count())
+                elif handle.deadline is not None and now > handle.deadline:
+                    replace_worker(
+                        worker_id,
+                        f"task exceeded its {handle.task.timeout_s}s timeout and the worker was terminated",
+                    )
+                    progress_line.update(report, running=in_flight_count())
+    finally:
+        for handle in handles.values():
+            try:
+                handle.queue.put_nowait(None)
+            except Exception:  # pragma: no cover - full queue on a dead worker
+                pass
+        deadline = time.monotonic() + 5.0
+        for handle in handles.values():
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        result_queue.close()
+        result_queue.cancel_join_thread()

@@ -1,0 +1,270 @@
+"""Declarative sweep specifications and their expansion into tasks.
+
+A :class:`SweepSpec` names a grid of simulation cells — scheme, topology,
+network size, engine, failure model, seeds — without saying anything
+about *how* they run.  :meth:`SweepSpec.expand` turns it into a flat
+tuple of independent :class:`Task`\\ s, each carrying everything a worker
+process needs: a stable key, a runner reference, a JSON-able parameter
+dict and a deterministically derived seed.
+
+Two derivation rules make sweeps reproducible by construction:
+
+- **Keys** are canonical functions of the cell parameters (or an explicit
+  per-cell ``label``), so the same spec always expands to the same keys
+  in the same order — that is what lets ``--resume`` skip completed cells
+  by key, and what makes serial and pooled executions comparable
+  cell-for-cell.
+- **Seeds** are derived as ``sha256(base_seed ':' key)`` unless the cell
+  pins an explicit ``seed`` parameter.  SHA-256 is stable across
+  processes, platforms and ``PYTHONHASHSEED``, so a task's RNG stream
+  never depends on expansion order, worker identity or scheduling — the
+  precondition for byte-identical serial/pooled results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+__all__ = [
+    "Task",
+    "SweepSpec",
+    "canonical_json",
+    "derive_seed",
+    "format_param",
+]
+
+#: Parameter names with special meaning inside explicit cells.
+_CELL_LABEL = "label"
+_CELL_RUNNER = "runner"
+
+
+def canonical_json(obj: Any) -> str:
+    """One canonical text form per JSON value.
+
+    Sorted keys, no whitespace.  Used for cell results (the byte-identity
+    contract between serial and pooled execution), spec hashing (the
+    default run id) and everything the store persists.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(base_seed: int, key: str) -> int:
+    """The task seed for ``key``: a stable 32-bit SHA-256 derivation."""
+    digest = hashlib.sha256(f"{base_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**32)
+
+
+def format_param(value: Any) -> str:
+    """Render one parameter value inside a task key.
+
+    ``repr`` for floats (round-trips exactly), lowercase booleans, plain
+    ``str`` otherwise — compact, unambiguous and stable across runs.
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent sweep cell, ready to ship to a worker.
+
+    Attributes
+    ----------
+    index:
+        Position in the expanded spec (dispatch order).
+    key:
+        Canonical cell identity; primary key in the result store.
+    runner:
+        Runner reference — a registered short name (``"classification"``)
+        or a dotted ``"module:function"`` path, resolved inside the
+        worker by :func:`repro.sweep.cells.resolve_runner`.
+    params:
+        JSON-able cell parameters.  The runner receives ``params`` with
+        ``seed`` injected.
+    seed:
+        The derived (or pinned) cell seed.
+    timeout_s, max_retries:
+        Per-task execution policy, copied from the spec.
+    """
+
+    index: int
+    key: str
+    runner: str
+    params: Mapping[str, Any]
+    seed: int
+    timeout_s: Optional[float] = None
+    max_retries: int = 1
+
+    def runner_params(self) -> dict[str, Any]:
+        """The dict actually handed to the cell function."""
+        merged = dict(self.params)
+        merged["seed"] = self.seed
+        return merged
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative parameter grid plus execution policy.
+
+    Either ``axes`` (a full cross-product grid over ``fixed`` defaults)
+    or ``cells`` (an explicit, possibly irregular list of parameter
+    dicts) describes the cells; ``replicates`` appends a ``rep`` axis for
+    seed replication.  Explicit cells may carry a ``label`` (used as the
+    task key) and a ``runner`` override.
+    """
+
+    name: str
+    runner: str = "classification"
+    base_seed: int = 0
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    cells: Optional[Sequence[Mapping[str, Any]]] = None
+    replicates: int = 1
+    timeout_s: Optional[float] = None
+    max_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a sweep spec needs a non-empty name")
+        if self.replicates < 1:
+            raise ValueError(f"replicates must be >= 1, got {self.replicates}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.cells is not None and self.axes:
+            raise ValueError("give either axes (a grid) or cells (explicit), not both")
+        if self.cells is None and not self.axes:
+            raise ValueError("an empty sweep: neither axes nor cells were given")
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def _grid_cells(self) -> list[tuple[str, str, dict[str, Any]]]:
+        """(key, runner, params) triples for the axes cross-product."""
+        axis_names = sorted(self.axes)
+        triples = []
+        for combo in itertools.product(*(self.axes[name] for name in axis_names)):
+            params = dict(self.fixed)
+            params.update(zip(axis_names, combo))
+            key = "/".join(
+                f"{name}={format_param(value)}" for name, value in zip(axis_names, combo)
+            )
+            triples.append((key, self.runner, params))
+        return triples
+
+    def _explicit_cells(self) -> list[tuple[str, str, dict[str, Any]]]:
+        """(key, runner, params) triples for an explicit cell list."""
+        triples = []
+        for cell in self.cells or ():
+            params = dict(self.fixed)
+            params.update(cell)
+            runner = str(params.pop(_CELL_RUNNER, self.runner))
+            label = params.pop(_CELL_LABEL, None)
+            if label is not None:
+                key = str(label)
+            else:
+                key = "/".join(
+                    f"{name}={format_param(params[name])}" for name in sorted(params)
+                )
+            triples.append((key, runner, params))
+        return triples
+
+    def expand(self) -> tuple[Task, ...]:
+        """The flat, ordered task list this spec describes."""
+        base = self._explicit_cells() if self.cells is not None else self._grid_cells()
+        tasks: list[Task] = []
+        seen: set[str] = set()
+        for key, runner, params in base:
+            for rep in range(self.replicates):
+                cell_params = dict(params)
+                cell_key = key
+                if self.replicates > 1:
+                    cell_params["rep"] = rep
+                    cell_key = f"{key}/rep={rep}"
+                if cell_key in seen:
+                    raise ValueError(f"duplicate task key {cell_key!r}; add labels or axes")
+                seen.add(cell_key)
+                pinned = cell_params.get("seed")
+                seed = int(pinned) if pinned is not None else derive_seed(self.base_seed, cell_key)
+                tasks.append(
+                    Task(
+                        index=len(tasks),
+                        key=cell_key,
+                        runner=runner,
+                        params=cell_params,
+                        seed=seed,
+                        timeout_s=self.timeout_s,
+                        max_retries=self.max_retries,
+                    )
+                )
+        return tuple(tasks)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "name": self.name,
+            "runner": self.runner,
+            "base_seed": self.base_seed,
+            "replicates": self.replicates,
+            "max_retries": self.max_retries,
+        }
+        if self.timeout_s is not None:
+            record["timeout_s"] = self.timeout_s
+        if self.cells is not None:
+            record["cells"] = [dict(cell) for cell in self.cells]
+        else:
+            record["axes"] = {name: list(values) for name, values in self.axes.items()}
+        if self.fixed:
+            record["fixed"] = dict(self.fixed)
+        return record
+
+    @classmethod
+    def from_json_dict(cls, record: Mapping[str, Any]) -> "SweepSpec":
+        known = {
+            "name",
+            "runner",
+            "base_seed",
+            "axes",
+            "fixed",
+            "cells",
+            "replicates",
+            "timeout_s",
+            "max_retries",
+        }
+        unknown = set(record) - known
+        if unknown:
+            raise ValueError(f"unknown sweep spec fields: {sorted(unknown)}")
+        if "name" not in record:
+            raise ValueError("a sweep spec file needs a 'name'")
+        return cls(
+            name=record["name"],
+            runner=record.get("runner", "classification"),
+            base_seed=int(record.get("base_seed", 0)),
+            axes=dict(record.get("axes", {})),
+            fixed=dict(record.get("fixed", {})),
+            cells=list(record["cells"]) if "cells" in record else None,
+            replicates=int(record.get("replicates", 1)),
+            timeout_s=record.get("timeout_s"),
+            max_retries=int(record.get("max_retries", 1)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepSpec":
+        """Load a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        return cls.from_json_dict(record)
+
+    def spec_hash(self) -> str:
+        """Stable content hash — the default run id."""
+        return hashlib.sha256(canonical_json(self.to_json_dict()).encode()).hexdigest()[:12]

@@ -1,0 +1,111 @@
+"""Named, built-in sweep specifications.
+
+These are the grids the CI job, the throughput benchmark and the docs
+refer to by name; ``python -m repro.sweep run mini`` resolves here
+before trying the argument as a file path.
+
+- ``mini`` — a 16-cell cross of engine x topology x variant x n on the
+  outlier workload: every scheduler and both gossip directions at two
+  network sizes, small enough to finish in well under a minute serially.
+- ``robustness`` — the paper's crash/outage axes as one grid: crash rate
+  x engine at fixed separation, with seed replicates.
+- ``paper-grid`` — a reduced-resolution version of the full evaluation
+  surface (scheme x engine x n), the shape a "run the whole paper"
+  sweep takes at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["BUILTIN_SPECS", "builtin_spec", "mini_spec", "robustness_spec", "paper_grid_spec"]
+
+
+def mini_spec() -> SweepSpec:
+    """The 16-cell smoke grid (CI, benchmarks, examples)."""
+    return SweepSpec(
+        name="mini",
+        runner="classification",
+        base_seed=7,
+        axes={
+            "engine": ["rounds", "async"],
+            "topology": ["complete", "ring"],
+            "variant": ["push", "pushpull"],
+            "n": [24, 36],
+        },
+        fixed={
+            "dataset": "outlier",
+            "delta": 10.0,
+            "outlier_fraction": 0.1,
+            "k": 2,
+            "rounds": 8,
+        },
+        timeout_s=300.0,
+        max_retries=2,
+    )
+
+
+def robustness_spec() -> SweepSpec:
+    """Crash-rate x engine with replicates: the Figure 4 axis as a grid."""
+    return SweepSpec(
+        name="robustness",
+        runner="classification",
+        base_seed=32,
+        axes={
+            "engine": ["rounds", "async"],
+            "crash_rate": [0.0, 0.02, 0.05, 0.10],
+        },
+        fixed={
+            "dataset": "outlier",
+            "delta": 10.0,
+            "n": 64,
+            "k": 2,
+            "rounds": 20,
+            "min_survivors": 4,
+        },
+        replicates=3,
+        timeout_s=600.0,
+        max_retries=2,
+    )
+
+
+def paper_grid_spec() -> SweepSpec:
+    """A reduced-resolution cut of the full evaluation surface."""
+    return SweepSpec(
+        name="paper-grid",
+        runner="classification",
+        base_seed=2010,
+        axes={
+            "scheme": ["gm", "centroid"],
+            "engine": ["rounds", "async"],
+            "n": [100, 200, 400],
+        },
+        fixed={
+            "dataset": "outlier",
+            "delta": 10.0,
+            "k": 2,
+            "rounds": 30,
+        },
+        replicates=2,
+        timeout_s=1800.0,
+        max_retries=2,
+    )
+
+
+BUILTIN_SPECS: dict[str, Callable[[], SweepSpec]] = {
+    "mini": mini_spec,
+    "robustness": robustness_spec,
+    "paper-grid": paper_grid_spec,
+}
+
+
+def builtin_spec(name: str) -> SweepSpec:
+    """Look a built-in spec up by name."""
+    try:
+        return BUILTIN_SPECS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown built-in spec {name!r}; choose from {sorted(BUILTIN_SPECS)}"
+        ) from None

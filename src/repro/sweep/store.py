@@ -1,0 +1,290 @@
+"""The persistent sweep result store (SQLite).
+
+One file holds any number of *runs*; a run is one spec expansion, its
+per-task execution state, and the cell results.  The store is the
+substrate of ``--resume``: task status survives interruption, so a
+restarted sweep registers the same task set (``INSERT OR IGNORE``),
+reads back the ``done`` keys and only executes the remainder.
+
+Concurrency model: **single writer**.  Only the orchestrating parent
+process touches the database — workers report results over a queue —
+so no WAL tuning, busy-retry loops or cross-process locking is needed,
+and the store works unchanged on any filesystem SQLite does.
+
+Schema (three tables):
+
+- ``runs`` — one row per run: id, the full spec as canonical JSON,
+  creation time, worker count, terminal status
+  (``running`` / ``interrupted`` / ``complete``);
+- ``tasks`` — one row per cell: canonical key, parameter JSON, derived
+  seed, execution status (``pending`` / ``running`` / ``done`` /
+  ``failed``), attempt count, duration, and the last error text;
+- ``results`` — one row per completed cell: the canonical result JSON
+  exactly as the worker produced it (byte-identity is preserved
+  end-to-end) plus a completion timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from typing import Any, Iterable, Optional
+
+from repro.sweep.spec import SweepSpec, Task, canonical_json
+
+__all__ = ["ResultStore", "TaskRow"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id     TEXT PRIMARY KEY,
+    name       TEXT NOT NULL,
+    spec_json  TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    workers    INTEGER NOT NULL DEFAULT 0,
+    status     TEXT NOT NULL DEFAULT 'running'
+);
+CREATE TABLE IF NOT EXISTS tasks (
+    run_id      TEXT NOT NULL,
+    key         TEXT NOT NULL,
+    idx         INTEGER NOT NULL,
+    runner      TEXT NOT NULL,
+    params_json TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'pending',
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    duration_s  REAL,
+    error       TEXT,
+    PRIMARY KEY (run_id, key)
+);
+CREATE TABLE IF NOT EXISTS results (
+    run_id       TEXT NOT NULL,
+    key          TEXT NOT NULL,
+    result_json  TEXT NOT NULL,
+    completed_at REAL NOT NULL,
+    PRIMARY KEY (run_id, key)
+);
+"""
+
+
+class TaskRow:
+    """One task's persisted state (a thin named view over a row)."""
+
+    __slots__ = ("key", "idx", "runner", "params", "seed", "status", "attempts", "duration_s", "error")
+
+    def __init__(self, row: sqlite3.Row) -> None:
+        self.key: str = row["key"]
+        self.idx: int = row["idx"]
+        self.runner: str = row["runner"]
+        self.params: dict[str, Any] = json.loads(row["params_json"])
+        self.seed: int = row["seed"]
+        self.status: str = row["status"]
+        self.attempts: int = row["attempts"]
+        self.duration_s: Optional[float] = row["duration_s"]
+        self.error: Optional[str] = row["error"]
+
+
+class ResultStore:
+    """Open (creating if needed) the sweep database at ``path``.
+
+    ``":memory:"`` gives an ephemeral store with identical semantics —
+    the serial runner uses one when no persistence was requested, so
+    every execution path exercises the same bookkeeping.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def has_run(self, run_id: str) -> bool:
+        row = self._conn.execute("SELECT 1 FROM runs WHERE run_id = ?", (run_id,)).fetchone()
+        return row is not None
+
+    def run_ids(self) -> list[str]:
+        """All run ids, oldest first."""
+        rows = self._conn.execute("SELECT run_id FROM runs ORDER BY created_at").fetchall()
+        return [row["run_id"] for row in rows]
+
+    def run_info(self, run_id: str) -> dict[str, Any]:
+        row = self._conn.execute("SELECT * FROM runs WHERE run_id = ?", (run_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"no run {run_id!r} in {self.path}")
+        return dict(row)
+
+    def spec_for(self, run_id: str) -> SweepSpec:
+        """Rehydrate the spec a run was created from."""
+        return SweepSpec.from_json_dict(json.loads(self.run_info(run_id)["spec_json"]))
+
+    def begin_run(
+        self, run_id: str, spec: SweepSpec, tasks: Iterable[Task], workers: int, resume: bool
+    ) -> None:
+        """Register a run and its task set; idempotent under ``resume``.
+
+        A fresh run with an id already present is an error — it would
+        silently mix two sweeps' results; pass ``resume=True`` (skip
+        completed cells) or choose a new run id.
+        """
+        exists = self.has_run(run_id)
+        if exists and not resume:
+            raise ValueError(
+                f"run {run_id!r} already exists in {self.path}; "
+                "resume it or pick a different --run-id"
+            )
+        with self._conn:
+            if not exists:
+                self._conn.execute(
+                    "INSERT INTO runs (run_id, name, spec_json, created_at, workers, status) "
+                    "VALUES (?, ?, ?, ?, ?, 'running')",
+                    (run_id, spec.name, canonical_json(spec.to_json_dict()), time.time(), workers),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE runs SET status = 'running', workers = ? WHERE run_id = ?",
+                    (workers, run_id),
+                )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO tasks (run_id, key, idx, runner, params_json, seed) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (run_id, task.key, task.index, task.runner, canonical_json(dict(task.params)), task.seed)
+                    for task in tasks
+                ],
+            )
+            # A task interrupted mid-flight last time is pending again.
+            self._conn.execute(
+                "UPDATE tasks SET status = 'pending' WHERE run_id = ? AND status = 'running'",
+                (run_id,),
+            )
+
+    def finish_run(self, run_id: str, status: str) -> None:
+        with self._conn:
+            self._conn.execute("UPDATE runs SET status = ? WHERE run_id = ?", (status, run_id))
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+    def task_rows(self, run_id: str) -> list[TaskRow]:
+        rows = self._conn.execute(
+            "SELECT * FROM tasks WHERE run_id = ? ORDER BY idx", (run_id,)
+        ).fetchall()
+        return [TaskRow(row) for row in rows]
+
+    def keys_with_status(self, run_id: str, status: str) -> set[str]:
+        rows = self._conn.execute(
+            "SELECT key FROM tasks WHERE run_id = ? AND status = ?", (run_id, status)
+        ).fetchall()
+        return {row["key"] for row in rows}
+
+    def status_counts(self, run_id: str) -> dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM tasks WHERE run_id = ? GROUP BY status",
+            (run_id,),
+        ).fetchall()
+        return {row["status"]: row["n"] for row in rows}
+
+    def mark_running(self, run_id: str, key: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "UPDATE tasks SET status = 'running', attempts = attempts + 1 "
+                "WHERE run_id = ? AND key = ?",
+                (run_id, key),
+            )
+
+    def mark_done(self, run_id: str, key: str, result_json: str, duration_s: float) -> None:
+        with self._conn:
+            self._conn.execute(
+                "UPDATE tasks SET status = 'done', duration_s = ?, error = NULL "
+                "WHERE run_id = ? AND key = ?",
+                (duration_s, run_id, key),
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (run_id, key, result_json, completed_at) "
+                "VALUES (?, ?, ?, ?)",
+                (run_id, key, result_json, time.time()),
+            )
+
+    def mark_failed(self, run_id: str, key: str, error: str, duration_s: Optional[float]) -> None:
+        with self._conn:
+            self._conn.execute(
+                "UPDATE tasks SET status = 'failed', duration_s = ?, error = ? "
+                "WHERE run_id = ? AND key = ?",
+                (duration_s, error, run_id, key),
+            )
+
+    def mark_pending(self, run_id: str, key: str, error: Optional[str] = None) -> None:
+        """Requeue a task after a worker crash or timeout (attempt kept)."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE tasks SET status = 'pending', error = ? WHERE run_id = ? AND key = ?",
+                (error, run_id, key),
+            )
+
+    def attempts(self, run_id: str, key: str) -> int:
+        row = self._conn.execute(
+            "SELECT attempts FROM tasks WHERE run_id = ? AND key = ?", (run_id, key)
+        ).fetchone()
+        return 0 if row is None else int(row["attempts"])
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result_json(self, run_id: str, key: str) -> Optional[str]:
+        """The stored canonical result text (byte-exact), or ``None``."""
+        row = self._conn.execute(
+            "SELECT result_json FROM results WHERE run_id = ? AND key = ?", (run_id, key)
+        ).fetchone()
+        return None if row is None else row["result_json"]
+
+    def results(self, run_id: str) -> dict[str, Any]:
+        """All completed results, parsed, keyed by task key, in task order."""
+        rows = self._conn.execute(
+            "SELECT r.key AS key, r.result_json AS result_json FROM results r "
+            "JOIN tasks t ON t.run_id = r.run_id AND t.key = r.key "
+            "WHERE r.run_id = ? ORDER BY t.idx",
+            (run_id,),
+        ).fetchall()
+        return {row["key"]: json.loads(row["result_json"]) for row in rows}
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_rows(self, run_id: str) -> list[dict[str, Any]]:
+        """One flat record per task: identity, state, params and result."""
+        results = {
+            row["key"]: row["result_json"]
+            for row in self._conn.execute(
+                "SELECT key, result_json FROM results WHERE run_id = ?", (run_id,)
+            ).fetchall()
+        }
+        records = []
+        for task in self.task_rows(run_id):
+            record: dict[str, Any] = {
+                "key": task.key,
+                "status": task.status,
+                "seed": task.seed,
+                "attempts": task.attempts,
+                "duration_s": task.duration_s,
+                "error": task.error,
+                "params": task.params,
+                "result": json.loads(results[task.key]) if task.key in results else None,
+            }
+            records.append(record)
+        return records

@@ -1,8 +1,32 @@
-"""The experiment CLI (python -m repro.experiments.run)."""
+"""The experiment CLI (python -m repro.experiments.run).
+
+Every subcommand (and ``all``) is smoke-run on both engines.  The
+``fast`` preset still takes minutes for the full registry, so these
+tests monkeypatch it down to a tiny network — same code paths, seconds
+of runtime — and assert exit 0 plus non-empty printed tables.
+"""
 
 import pytest
 
+from repro.experiments import common
+from repro.experiments.common import Scale
 from repro.experiments.run import COMMANDS, main
+
+#: A seconds-scale stand-in for the "fast" preset: every subcommand's
+#: internal caps (min(n_nodes, ...)) collapse to 16 nodes, and the loose
+#: tolerance lets the sparse-topology convergence runs settle quickly.
+TINY_SMOKE = Scale(
+    name="fast",
+    n_nodes=16,
+    max_rounds=10,
+    deltas=(0.0, 10.0),
+    convergence_tolerance=5e-3,
+)
+
+
+@pytest.fixture
+def tiny_fast(monkeypatch):
+    monkeypatch.setitem(common._PRESETS, "fast", TINY_SMOKE)
 
 
 class TestCli:
@@ -20,6 +44,38 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fig1", "--scale", "huge"])
 
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--scale", "fast", "--workers", "-1"])
+
     def test_command_registry_covers_figures_and_ablations(self):
         assert {"fig1", "fig2", "fig3", "fig4"} <= set(COMMANDS)
         assert any(name.startswith("ablation-") for name in COMMANDS)
+
+
+@pytest.mark.slow
+class TestCliSmoke:
+    @pytest.mark.parametrize("engine", ["rounds", "async"])
+    @pytest.mark.parametrize("command", sorted(COMMANDS))
+    def test_every_subcommand_runs_on_both_engines(
+        self, tiny_fast, capsys, command, engine
+    ):
+        assert main([command, "--scale", "fast", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert out.strip(), f"{command} on {engine} printed nothing"
+        # Every printer emits either a banner/table rule or a series header.
+        assert "=" in out or "|" in out
+
+    @pytest.mark.parametrize("engine", ["rounds", "async"])
+    def test_all_runs_every_command(self, tiny_fast, capsys, engine):
+        assert main(["all", "--scale", "fast", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        for fragment in ("Figure 1", "Figure 2", "Figure 3", "Figure 4", "Ablation"):
+            assert fragment in out
+
+    def test_workers_flag_produces_identical_output(self, tiny_fast, capsys):
+        assert main(["fig4", "--scale", "fast"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["fig4", "--scale", "fast", "--workers", "2"]) == 0
+        pooled_out = capsys.readouterr().out
+        assert serial_out == pooled_out

@@ -1,0 +1,191 @@
+"""run_sweep: serial/pooled parity, resume, fault tolerance.
+
+The acceptance contract under test: a >= 16-cell sweep on 4 workers
+produces byte-identical per-cell results versus serial execution, an
+interrupted sweep completes under ``--resume`` without recomputing
+finished cells, and injected worker crashes / hung cells degrade to
+retries or ``failed`` rows — never an aborted sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.profiling import MetricsRegistry
+from repro.sweep.runner import CRASH_FLAG_ENV, CRASH_TASK_ENV, run_sweep
+from repro.sweep.spec import SweepSpec, canonical_json
+from repro.sweep.specs import mini_spec
+from repro.sweep.store import ResultStore
+
+
+def debug_spec(n=6, **overrides):
+    base = dict(name="debug-grid", runner="debug", axes={"value": list(range(n))})
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestSerial:
+    def test_runs_every_cell(self):
+        report = run_sweep(debug_spec())
+        assert report.total == report.completed == 6
+        assert report.failed == 0
+        assert not report.interrupted
+        assert sorted(report.results) == [f"value={v}" for v in range(6)]
+
+    def test_results_echo_derived_seeds(self):
+        spec = debug_spec()
+        report = run_sweep(spec)
+        for task in spec.expand():
+            assert report.results[task.key]["seed"] == task.seed
+
+    def test_cell_exception_is_recorded_not_raised(self):
+        spec = SweepSpec(
+            name="mixed",
+            runner="debug",
+            cells=[{"label": "ok", "value": 1}, {"label": "bad", "fail": True}],
+        )
+        report = run_sweep(spec)
+        assert report.completed == 1
+        assert report.failed == 1
+        assert "injected cell failure" in report.failures["bad"]
+        assert "ok" in report.results and "bad" not in report.results
+
+    def test_limit_interrupts_and_resume_completes(self, tmp_path):
+        path = str(tmp_path / "sweep.sqlite")
+        first = run_sweep(debug_spec(), store=path, limit=2)
+        assert first.completed == 2
+        assert first.interrupted
+        second = run_sweep(debug_spec(), store=path, resume=True)
+        assert second.skipped == 2
+        assert second.completed == 4
+        assert not second.interrupted
+        assert len(second.results) == 6
+
+    def test_resume_does_not_recompute_finished_cells(self, tmp_path):
+        path = str(tmp_path / "sweep.sqlite")
+        run_sweep(debug_spec(), store=path, limit=2)
+        run_sweep(debug_spec(), store=path, resume=True)
+        with ResultStore(path) as store:
+            run_id = store.run_ids()[0]
+            rows = store.task_rows(run_id)
+            assert all(row.attempts == 1 for row in rows)
+            assert store.run_info(run_id)["status"] == "complete"
+
+    def test_fresh_run_with_existing_id_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.sqlite")
+        run_sweep(debug_spec(), store=path)
+        with pytest.raises(ValueError, match="already exists"):
+            run_sweep(debug_spec(), store=path)
+
+    def test_metrics_registry_sees_sweep_counters(self):
+        registry = MetricsRegistry()
+        run_sweep(debug_spec(n=3), registry=registry)
+        assert registry.counters["sweep.completed"] == 3
+        assert registry.timers["sweep.task"].count == 3
+
+
+class TestPooled:
+    def test_pooled_matches_serial_byte_for_byte(self, tmp_path):
+        serial = run_sweep(debug_spec(n=8), store=str(tmp_path / "serial.sqlite"))
+        pooled = run_sweep(
+            debug_spec(n=8), store=str(tmp_path / "pooled.sqlite"), workers=3
+        )
+        assert pooled.completed == 8
+        for key in serial.results:
+            assert canonical_json(serial.results[key]) == canonical_json(pooled.results[key])
+
+    def test_pooled_cell_exception_fails_without_retry(self, tmp_path):
+        spec = SweepSpec(
+            name="mixed",
+            runner="debug",
+            cells=[{"label": "ok", "value": 1}, {"label": "bad", "fail": True}],
+            max_retries=2,
+        )
+        report = run_sweep(spec, workers=2, store=str(tmp_path / "s.sqlite"))
+        assert report.completed == 1
+        assert report.failed == 1
+        assert report.retries == 0  # deterministic exceptions never retry
+
+    def test_worker_crash_is_retried(self, tmp_path, monkeypatch):
+        flag = tmp_path / "crashed.flag"
+        monkeypatch.setenv(CRASH_TASK_ENV, "value=2")
+        monkeypatch.setenv(CRASH_FLAG_ENV, str(flag))
+        report = run_sweep(
+            debug_spec(n=4, max_retries=2), workers=2, store=str(tmp_path / "s.sqlite")
+        )
+        assert flag.exists()  # the crash actually fired
+        assert report.retries >= 1
+        assert report.completed == 4
+        assert report.failed == 0
+
+    def test_exhausted_retries_mark_the_cell_failed(self, tmp_path, monkeypatch):
+        # Crash on every attempt: remove the flag as soon as it appears so
+        # the injection re-arms, exhausting max_retries.
+        flag = tmp_path / "crashed.flag"
+        monkeypatch.setenv(CRASH_TASK_ENV, "value=1")
+        monkeypatch.setenv(CRASH_FLAG_ENV, str(flag))
+
+        import repro.sweep.runner as runner_mod
+
+        original = runner_mod._maybe_inject_crash
+
+        def rearming(key):
+            flag.unlink(missing_ok=True)
+            original(key)
+
+        monkeypatch.setattr(runner_mod, "_maybe_inject_crash", rearming)
+        report = run_sweep(
+            debug_spec(n=2, max_retries=1), workers=1, store=str(tmp_path / "s.sqlite")
+        )
+        assert report.failed == 1
+        assert report.completed == 1
+        assert "worker crashed" in report.failures["value=1"]
+
+    def test_hung_cell_times_out_and_fails(self, tmp_path):
+        spec = SweepSpec(
+            name="hang",
+            runner="debug",
+            cells=[{"label": "fast", "value": 1}, {"label": "slow", "sleep_s": 60.0}],
+            timeout_s=1.0,
+            max_retries=0,
+        )
+        report = run_sweep(spec, workers=2, store=str(tmp_path / "s.sqlite"))
+        assert report.completed == 1
+        assert report.failed == 1
+        assert "timeout" in report.failures["slow"]
+
+    def test_pooled_resume_skips_serial_results(self, tmp_path):
+        path = str(tmp_path / "sweep.sqlite")
+        run_sweep(debug_spec(), store=path, limit=3)
+        report = run_sweep(debug_spec(), store=path, resume=True, workers=2)
+        assert report.skipped == 3
+        assert report.completed == 3
+        assert len(report.results) == 6
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            run_sweep(debug_spec(), workers=-1)
+
+
+@pytest.mark.slow
+class TestMiniGridParity:
+    def test_mini_grid_serial_vs_four_workers_byte_identical(self, tmp_path):
+        """The acceptance criterion: 16 real simulation cells, 4 workers."""
+        spec = mini_spec()
+        assert len(spec.expand()) >= 16
+        serial = run_sweep(spec, store=str(tmp_path / "serial.sqlite"))
+        pooled = run_sweep(spec, store=str(tmp_path / "pooled.sqlite"), workers=4)
+        assert serial.completed == pooled.completed == len(spec.expand())
+        assert serial.failed == pooled.failed == 0
+        with ResultStore(str(tmp_path / "serial.sqlite")) as s_store, ResultStore(
+            str(tmp_path / "pooled.sqlite")
+        ) as p_store:
+            s_id, p_id = s_store.run_ids()[0], p_store.run_ids()[0]
+            for task in spec.expand():
+                s_bytes = s_store.result_json(s_id, task.key)
+                p_bytes = p_store.result_json(p_id, task.key)
+                assert s_bytes is not None and s_bytes == p_bytes
+        # The parsed results agree too (what experiment drivers consume).
+        assert json.loads(canonical_json(serial.results)) == json.loads(
+            canonical_json(pooled.results)
+        )

@@ -1,0 +1,146 @@
+"""ResultStore: run registration, task state and resume bookkeeping."""
+
+import pytest
+
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultStore
+
+
+def debug_spec():
+    return SweepSpec(name="store-test", runner="debug", axes={"value": [1, 2, 3]})
+
+
+def begin(store, run_id="run-1", resume=False, workers=0):
+    spec = debug_spec()
+    tasks = spec.expand()
+    store.begin_run(run_id, spec, tasks, workers=workers, resume=resume)
+    return spec, tasks
+
+
+class TestRuns:
+    def test_begin_registers_run_and_tasks(self):
+        with ResultStore() as store:
+            spec, tasks = begin(store)
+            assert store.run_ids() == ["run-1"]
+            assert store.run_info("run-1")["name"] == "store-test"
+            assert store.run_info("run-1")["status"] == "running"
+            assert [row.key for row in store.task_rows("run-1")] == [t.key for t in tasks]
+            assert store.status_counts("run-1") == {"pending": 3}
+
+    def test_duplicate_run_without_resume_rejected(self):
+        with ResultStore() as store:
+            begin(store)
+            with pytest.raises(ValueError, match="already exists"):
+                begin(store)
+
+    def test_resume_is_idempotent_and_preserves_results(self):
+        with ResultStore() as store:
+            spec, tasks = begin(store)
+            store.mark_running("run-1", tasks[0].key)
+            store.mark_done("run-1", tasks[0].key, '{"x":1}', 0.1)
+            begin(store, resume=True)
+            assert store.keys_with_status("run-1", "done") == {tasks[0].key}
+            assert store.results("run-1") == {tasks[0].key: {"x": 1}}
+
+    def test_resume_requeues_stale_running_tasks(self):
+        with ResultStore() as store:
+            spec, tasks = begin(store)
+            store.mark_running("run-1", tasks[1].key)
+            # Simulate an interruption: the process died mid-task.
+            begin(store, resume=True)
+            assert store.status_counts("run-1") == {"pending": 3}
+            # The attempt made before the interruption is still counted.
+            assert store.attempts("run-1", tasks[1].key) == 1
+
+    def test_spec_round_trips_through_the_run_row(self):
+        with ResultStore() as store:
+            spec, _ = begin(store)
+            assert store.spec_for("run-1").expand() == spec.expand()
+
+    def test_finish_run_sets_terminal_status(self):
+        with ResultStore() as store:
+            begin(store)
+            store.finish_run("run-1", "complete")
+            assert store.run_info("run-1")["status"] == "complete"
+
+    def test_missing_run_raises(self):
+        with ResultStore() as store:
+            with pytest.raises(KeyError):
+                store.run_info("nope")
+
+
+class TestTaskState:
+    def test_done_lifecycle(self):
+        with ResultStore() as store:
+            _, tasks = begin(store)
+            key = tasks[0].key
+            store.mark_running("run-1", key)
+            store.mark_done("run-1", key, '{"v":2}', 1.5)
+            row = {r.key: r for r in store.task_rows("run-1")}[key]
+            assert row.status == "done"
+            assert row.attempts == 1
+            assert row.duration_s == 1.5
+            assert store.result_json("run-1", key) == '{"v":2}'
+
+    def test_failed_lifecycle_keeps_error(self):
+        with ResultStore() as store:
+            _, tasks = begin(store)
+            key = tasks[0].key
+            store.mark_running("run-1", key)
+            store.mark_failed("run-1", key, "boom", 0.2)
+            row = {r.key: r for r in store.task_rows("run-1")}[key]
+            assert row.status == "failed"
+            assert row.error == "boom"
+
+    def test_requeue_preserves_attempts(self):
+        with ResultStore() as store:
+            _, tasks = begin(store)
+            key = tasks[0].key
+            store.mark_running("run-1", key)
+            store.mark_pending("run-1", key, error="worker crashed")
+            store.mark_running("run-1", key)
+            assert store.attempts("run-1", key) == 2
+
+    def test_stored_result_bytes_are_exact(self):
+        # The store must never re-serialise: byte identity between serial
+        # and pooled execution depends on it.
+        payload = '{"a":0.30000000000000004,"b":[1,2]}'
+        with ResultStore() as store:
+            _, tasks = begin(store)
+            store.mark_done("run-1", tasks[0].key, payload, 0.0)
+            assert store.result_json("run-1", tasks[0].key) == payload
+
+
+class TestExportAndPersistence:
+    def test_export_rows_cover_every_task(self):
+        with ResultStore() as store:
+            _, tasks = begin(store)
+            store.mark_running("run-1", tasks[0].key)
+            store.mark_done("run-1", tasks[0].key, '{"x":1}', 0.1)
+            records = store.export_rows("run-1")
+            assert len(records) == 3
+            by_key = {r["key"]: r for r in records}
+            assert by_key[tasks[0].key]["result"] == {"x": 1}
+            assert by_key[tasks[1].key]["result"] is None
+            assert by_key[tasks[1].key]["status"] == "pending"
+            assert by_key[tasks[0].key]["params"] == dict(tasks[0].params)
+
+    def test_state_survives_reopening_the_file(self, tmp_path):
+        path = str(tmp_path / "sweep.sqlite")
+        with ResultStore(path) as store:
+            _, tasks = begin(store)
+            store.mark_running("run-1", tasks[0].key)
+            store.mark_done("run-1", tasks[0].key, '{"x":1}', 0.1)
+        with ResultStore(path) as store:
+            assert store.run_ids() == ["run-1"]
+            assert store.keys_with_status("run-1", "done") == {tasks[0].key}
+            assert store.results("run-1") == {tasks[0].key: {"x": 1}}
+
+    def test_two_runs_do_not_interfere(self):
+        with ResultStore() as store:
+            _, tasks = begin(store, run_id="a")
+            begin(store, run_id="b")
+            store.mark_running("a", tasks[0].key)
+            store.mark_done("a", tasks[0].key, '{"x":1}', 0.1)
+            assert store.status_counts("a")["done"] == 1
+            assert store.status_counts("b") == {"pending": 3}

@@ -1,0 +1,122 @@
+"""The sweep CLI: run / status / export, end to end on real stores."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.sweep.cli import main
+from repro.sweep.spec import SweepSpec
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    spec = SweepSpec(name="cli-grid", runner="debug", axes={"value": [0, 1, 2, 3]})
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_json_dict()))
+    return str(path)
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestRun:
+    def test_run_spec_file_serial(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "s.sqlite")
+        assert run_cli("run", spec_file, "--store", store, "--no-progress") == 0
+        out = capsys.readouterr().out
+        assert "sweep cli-grid" in out
+        assert "completed" in out
+
+    def test_run_builtin_name_resolves(self, tmp_path, capsys):
+        store = str(tmp_path / "s.sqlite")
+        code = run_cli(
+            "run", "mini", "--store", store, "--limit", "1", "--no-progress"
+        )
+        assert code == 0
+        assert "sweep mini" in capsys.readouterr().out
+
+    def test_run_pooled(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "s.sqlite")
+        assert (
+            run_cli("run", spec_file, "--store", store, "--workers", "2", "--no-progress")
+            == 0
+        )
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "no-such-spec", "--no-progress")
+
+    def test_failed_cells_set_exit_code(self, tmp_path, capsys):
+        spec = SweepSpec(
+            name="failing", runner="debug", cells=[{"label": "bad", "fail": True}]
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_json_dict()))
+        assert run_cli("run", str(path), "--no-progress") == 1
+        assert "failed cells:" in capsys.readouterr().out
+
+
+class TestStatusAndResume:
+    def test_interrupt_then_resume_completes(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "s.sqlite")
+        assert (
+            run_cli("run", spec_file, "--store", store, "--limit", "2", "--no-progress")
+            == 0
+        )
+        # Not every cell is done yet: check-complete fails.
+        assert run_cli("status", "--store", store, "--check-complete") == 1
+        capsys.readouterr()
+        assert (
+            run_cli("run", spec_file, "--store", store, "--resume", "--no-progress") == 0
+        )
+        out = capsys.readouterr().out
+        assert "skipped (resume)" in out
+        assert run_cli("status", "--store", store, "--check-complete") == 0
+
+    def test_status_lists_tasks(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "s.sqlite")
+        run_cli("run", spec_file, "--store", store, "--no-progress")
+        capsys.readouterr()
+        assert run_cli("status", "--store", store, "--tasks") == 0
+        out = capsys.readouterr().out
+        assert "value=0" in out
+        assert "done" in out
+
+    def test_status_on_empty_store(self, tmp_path, capsys):
+        store = str(tmp_path / "empty.sqlite")
+        assert run_cli("status", "--store", store) == 0
+        assert run_cli("status", "--store", store, "--check-complete") == 1
+
+
+class TestExport:
+    def test_json_export(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "s.sqlite")
+        run_cli("run", spec_file, "--store", store, "--no-progress")
+        capsys.readouterr()
+        assert run_cli("export", "--store", store, "--format", "json") == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["name"] == "cli-grid"
+        assert len(record["cells"]) == 4
+        assert all(cell["status"] == "done" for cell in record["cells"])
+
+    def test_csv_export_to_file(self, spec_file, tmp_path):
+        store = str(tmp_path / "s.sqlite")
+        out_path = tmp_path / "cells.csv"
+        run_cli("run", spec_file, "--store", store, "--no-progress")
+        assert (
+            run_cli(
+                "export", "--store", store, "--format", "csv", "--output", str(out_path)
+            )
+            == 0
+        )
+        rows = list(csv.DictReader(io.StringIO(out_path.read_text())))
+        assert len(rows) == 4
+        assert {"key", "status", "params.value", "result.value"} <= set(rows[0])
+        assert {row["params.value"] for row in rows} == {"0", "1", "2", "3"}
+
+    def test_export_empty_store_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("export", "--store", str(tmp_path / "empty.sqlite"))
