@@ -21,18 +21,38 @@ setting of the convergence proof).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
+
+import numpy as np
 
 from repro.core.classification import Classification
 from repro.core.collection import Collection
 from repro.core.mixture import MixtureVector
+from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme, validate_partition
 from repro.core.weights import Quantization
 from repro.obs.context import current_sink
 from repro.obs.events import Event, EventSink
+from repro.obs.profiling import current_registry, span
 
-__all__ = ["ClassifierNode", "NodeStats"]
+__all__ = ["ClassifierNode", "NodeStats", "packed_default"]
+
+
+def packed_default() -> bool:
+    """Whether nodes run the packed (array-native) hot path by default.
+
+    On unless ``REPRO_PACKED`` is set to ``0``/``false``/``no``/``off``.
+    The parity suite flips this to pin the packed path against the
+    object-path conformance reference.
+    """
+    return os.environ.get("REPRO_PACKED", "1").strip().lower() not in {
+        "0",
+        "false",
+        "no",
+        "off",
+    }
 
 
 @dataclass(slots=True)
@@ -45,6 +65,8 @@ class NodeStats:
     batches_received: int = 0
     collections_received: int = 0
     partition_calls: int = 0
+    fastpath_hits: int = 0
+    fastpath_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -54,6 +76,8 @@ class NodeStats:
             "batches_received": self.batches_received,
             "collections_received": self.collections_received,
             "partition_calls": self.partition_calls,
+            "fastpath_hits": self.fastpath_hits,
+            "fastpath_misses": self.fastpath_misses,
         }
 
 
@@ -86,6 +110,14 @@ class ClassifierNode:
         When true, every partition returned by the scheme is checked
         against Algorithm 1's structural rules.  On by default in tests,
         off in large benchmarks.
+    packed:
+        When true and the scheme declares ``supports_packed``, the node
+        carries a structure-of-arrays :class:`~repro.core.packed.PackedState`
+        alongside its collection list and routes ``partition`` / ``merge_set``
+        through the scheme's array-native entry points.  ``None`` (the
+        default) defers to :func:`packed_default` (the ``REPRO_PACKED``
+        environment variable).  Classifications are byte-identical either
+        way; see ``docs/performance.md``.
     event_sink:
         Destination for this node's ``split``/``merge``
         :class:`~repro.obs.events.Event` records; defaults to the
@@ -103,6 +135,7 @@ class ClassifierNode:
         track_aux: bool = False,
         n_inputs: Optional[int] = None,
         validate: bool = False,
+        packed: Optional[bool] = None,
         event_sink: Optional[EventSink] = None,
     ) -> None:
         if k < 1:
@@ -114,6 +147,9 @@ class ClassifierNode:
         self.validate = validate
         self.stats = NodeStats()
         self.event_sink = event_sink if event_sink is not None else current_sink()
+        if packed is None:
+            packed = packed_default()
+        self.packed = bool(packed) and scheme.supports_packed
 
         aux = None
         if track_aux:
@@ -126,6 +162,21 @@ class ClassifierNode:
             aux=aux,
         )
         self._collections: list[Collection] = [initial]
+        self._packed: Optional[PackedState] = (
+            self._pack(self._collections) if self.packed else None
+        )
+
+    def _pack(self, collections: Sequence[Collection]) -> PackedState:
+        """Build the structure-of-arrays view of ``collections``."""
+        quanta = np.fromiter(
+            (collection.quanta for collection in collections),
+            dtype=np.int64,
+            count=len(collections),
+        )
+        columns = self.scheme.pack_summaries(
+            [collection.summary for collection in collections]
+        )
+        return PackedState(quanta=quanta, columns=columns)
 
     # ------------------------------------------------------------------
     # Observation
@@ -158,6 +209,14 @@ class ClassifierNode:
             if sent_share is not None:
                 sent.append(sent_share)
         self._collections = kept
+        if self._packed is not None:
+            # Splitting halves weights but leaves summaries untouched, so
+            # only the quanta column changes: kept = q - q // 2 (identity
+            # at one quantum, matching Collection.split).
+            quanta = self._packed.quanta
+            self._packed = PackedState(
+                quanta=quanta - quanta // 2, columns=self._packed.columns
+            )
         self.stats.splits += 1
         if sent:
             self.stats.messages_made += 1
@@ -182,22 +241,86 @@ class ClassifierNode:
         if not incoming:
             return
         big_set = self._collections + list(incoming)
-        groups = self.scheme.partition(big_set, self.k, self.quantization)
+        packed_set: Optional[PackedState] = None
+        if self._packed is not None:
+            packed_set = PackedState.concat(self._packed, self._pack(incoming))
+        if self._try_fastpath(big_set, packed_set):
+            return
+        self.stats.fastpath_misses += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("partition.fastpath_miss")
+        if packed_set is not None:
+            groups = self.scheme.partition_packed(packed_set, self.k, self.quantization)
+        else:
+            groups = self.scheme.partition(big_set, self.k, self.quantization)
         self.stats.partition_calls += 1
         if self.validate:
             validate_partition(groups, big_set, self.k, self.quantization)
-        self._collections = [self._merge_group(big_set, group) for group in groups]
+        self._collections = [
+            self._merge_group(big_set, packed_set, group) for group in groups
+        ]
+        if self.packed:
+            self._packed = self._pack(self._collections)
 
-    def _merge_group(self, big_set: list[Collection], group: Sequence[int]) -> Collection:
+    def _try_fastpath(
+        self, big_set: list[Collection], packed_set: Optional[PackedState]
+    ) -> bool:
+        """Adopt the pooled set unpartitioned when that is provably correct.
+
+        When the pooled set has at most ``k`` collections and the scheme
+        declares :attr:`~repro.core.scheme.SummaryScheme.identity_below_k`,
+        ``partition`` would return singleton groups in index order — so the
+        partition/merge machinery can be skipped outright.  The identity
+        claim only holds when conformance rule 2 cannot fire, i.e. when no
+        minimum-weight collection is present (or the set is a single
+        collection); otherwise we fall through to the real partition.
+        """
+        size = len(big_set)
+        if size > self.k or not self.scheme.identity_below_k:
+            return False
+        if size > 1:
+            if packed_set is not None:
+                min_quanta = int(packed_set.quanta.min())
+            else:
+                min_quanta = min(collection.quanta for collection in big_set)
+            if self.quantization.is_minimum(min_quanta):
+                return False
+        if self.validate:
+            groups = [[index] for index in range(size)]
+            validate_partition(groups, big_set, self.k, self.quantization)
+        self._collections = big_set
+        if packed_set is not None:
+            self._packed = packed_set
+        self.stats.fastpath_hits += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("partition.fastpath_hit")
+        if self.event_sink is not None:
+            self.event_sink.emit(
+                Event(kind="fastpath", node=self.node_id, items=size)
+            )
+        return True
+
+    def _merge_group(
+        self,
+        big_set: list[Collection],
+        packed_set: Optional[PackedState],
+        group: Sequence[int],
+    ) -> Collection:
         """Merge one partition group into a single collection (line 11)."""
         if len(group) == 1:
             # Merging a singleton is the identity under R4; skip the
             # arithmetic so repeated gossip cannot accumulate float churn.
             return big_set[group[0]]
         members = [big_set[index] for index in group]
-        summary = self.scheme.merge_set(
-            [(member.summary, float(member.quanta)) for member in members]
-        )
+        with span("scheme.merge_set"):
+            if packed_set is not None:
+                summary = self.scheme.merge_set_packed(packed_set, group)
+            else:
+                summary = self.scheme.merge_set(
+                    [(member.summary, float(member.quanta)) for member in members]
+                )
         quanta = sum(member.quanta for member in members)
         aux = None
         if members[0].aux is not None:

@@ -1,0 +1,82 @@
+"""Packed classification state: a structure-of-arrays view of collections.
+
+The merge pipeline (``ClassifierNode.receive`` -> ``scheme.partition`` ->
+``scheme.merge_set``) is the per-step cost that dominates the paper's
+Section 5.3 simulations.  The object representation pays for it twice:
+every ``partition`` call re-stacks numpy arrays out of Python summary
+objects, and every ``merge_set`` call re-reads the same objects per group.
+
+A :class:`PackedState` carries the scheme-relevant arrays *alongside* the
+node's ``Collection`` list — ``quanta`` as one integer vector plus
+scheme-specific columns (for the Gaussian schemes ``mean (l, d)`` and
+``cov (l, d, d)``; for centroids/histograms one ``(l, d)`` position
+matrix).  Nodes keep it in sync incrementally: splits only rescale the
+quanta vector, receipts concatenate the packed increment, merges write
+fresh rows.  Schemes consume it through their array-native entry points
+(``partition_packed`` / ``merge_set_packed``); the object path remains as
+the conformance reference, and the parity suite pins both paths to
+byte-identical classifications.
+
+Quanta are stored as ``int64``.  That is exact (no float rounding) and
+covers the default lattice (2**40 quanta per unit value) aggregated over
+millions of nodes; the wire format's unsigned-64 bound is reached long
+after int64 would matter for any simulation this repository runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["PackedState"]
+
+
+@dataclass(slots=True)
+class PackedState:
+    """Structure-of-arrays mirror of a list of collections.
+
+    Attributes
+    ----------
+    quanta:
+        Integer quanta counts, shape ``(l,)``, dtype ``int64``.  Always
+        mirrors ``collection.quanta`` of the corresponding objects.
+    columns:
+        Scheme-specific summary arrays; every value has leading
+        dimension ``l`` and row ``i`` describes collection ``i``.  The
+        owning scheme defines the keys (see ``pack_summaries``).
+    """
+
+    quanta: np.ndarray
+    columns: Dict[str, np.ndarray]
+
+    def __len__(self) -> int:
+        return int(self.quanta.shape[0])
+
+    @staticmethod
+    def concat(first: "PackedState", second: "PackedState") -> "PackedState":
+        """Row-wise concatenation (pooling local state with a receipt)."""
+        if first.columns.keys() != second.columns.keys():
+            raise ValueError(
+                f"packed column mismatch: {sorted(first.columns)} vs {sorted(second.columns)}"
+            )
+        return PackedState(
+            quanta=np.concatenate([first.quanta, second.quanta]),
+            columns={
+                name: np.concatenate([first.columns[name], second.columns[name]])
+                for name in first.columns
+            },
+        )
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "PackedState":
+        """A new packed state holding only the given rows, in order."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return PackedState(
+            quanta=self.quanta[idx],
+            columns={name: column[idx] for name, column in self.columns.items()},
+        )
+
+    def weights(self) -> np.ndarray:
+        """Quanta as float weights (the scale partition math runs in)."""
+        return self.quanta.astype(float)

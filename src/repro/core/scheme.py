@@ -29,6 +29,7 @@ import abc
 from typing import Any, Generic, Sequence, TypeVar
 
 from repro.core.collection import Collection
+from repro.core.packed import PackedState
 from repro.core.weights import Quantization
 
 __all__ = ["SummaryScheme", "PartitionError", "validate_partition"]
@@ -46,7 +47,29 @@ class SummaryScheme(abc.ABC, Generic[S]):
     Implementations must satisfy requirements R1-R4 above for the
     convergence theorem (Section 6) to apply; the repository ships
     machine checks for all four in the test suite.
+
+    Besides the object-level contract, a scheme may opt into the packed
+    hot path (``supports_packed``) by implementing the array-native
+    entry points ``pack_summaries`` / ``partition_packed`` /
+    ``merge_set_packed``, and may declare ``identity_below_k`` so nodes
+    can skip ``partition`` outright on small pooled sets (see
+    ``docs/performance.md`` for both contracts).
     """
+
+    #: Fast-path contract: when true, ``partition(collections, k, q)``
+    #: is guaranteed to return the identity partition — singleton groups
+    #: in index order — whenever ``len(collections) <= k`` and either a
+    #: single collection is given or no collection has minimum weight
+    #: (conformance rule 2 never fires).  Nodes then skip the partition
+    #: call entirely.  The shipped schemes all satisfy this: the EM
+    #: reduction returns singletons at ``l <= k`` and the greedy
+    #: closest-pair merge loop never runs below the bound.
+    identity_below_k: bool = False
+
+    #: True when the scheme implements the packed (array-native) entry
+    #: points below; nodes then maintain a :class:`PackedState` mirror
+    #: of their collections and route partition/merge through it.
+    supports_packed: bool = False
 
     @abc.abstractmethod
     def val_to_summary(self, value: Any) -> S:
@@ -85,6 +108,46 @@ class SummaryScheme(abc.ABC, Generic[S]):
             return len(summary)  # type: ignore[arg-type]
         except TypeError:
             return 1
+
+    # ------------------------------------------------------------------
+    # Packed (array-native) entry points — optional, see supports_packed
+    # ------------------------------------------------------------------
+    def pack_summaries(self, summaries: Sequence[S]) -> dict[str, Any]:
+        """Stack summaries into the scheme's packed column arrays.
+
+        Every returned array must have leading dimension
+        ``len(summaries)`` with row ``i`` encoding ``summaries[i]``
+        exactly (same float values the object path would stack).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the packed hot path"
+        )
+
+    def partition_packed(
+        self,
+        packed: PackedState,
+        k: int,
+        quantization: Quantization,
+    ) -> list[list[int]]:
+        """Array-native ``partition``: same contract, packed input.
+
+        Must return exactly the groups ``partition`` would return for
+        the equivalent collection list — the parity suite enforces this
+        byte for byte.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the packed hot path"
+        )
+
+    def merge_set_packed(self, packed: PackedState, group: Sequence[int]) -> S:
+        """Array-native ``merge_set`` over the packed rows in ``group``.
+
+        Must reproduce ``merge_set`` on the corresponding
+        ``(summary, float(quanta))`` pairs bit for bit.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the packed hot path"
+        )
 
 
 def validate_partition(

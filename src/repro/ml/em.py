@@ -14,7 +14,6 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import logsumexp
 
-from repro.ml import gaussian as mvn
 from repro.ml.gmm import GaussianMixtureModel
 from repro.ml.kmeans import weighted_kmeans
 from repro.ml.linalg import regularize_covariance, symmetrize

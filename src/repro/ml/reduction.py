@@ -22,9 +22,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Optional
+
 from repro.ml.gaussian import pool_moments
 from repro.ml.gmm import GaussianMixtureModel
-from repro.ml.linalg import regularize_covariance
+from repro.ml.linalg import (
+    cholesky_log_det_batch,
+    regularize_covariance,
+    symmetrize,
+    triangular_inverse_batch,
+)
 from repro.obs.profiling import span
 
 __all__ = ["ReductionResult", "reduce_mixture"]
@@ -33,13 +40,19 @@ __all__ = ["ReductionResult", "reduce_mixture"]
 #: moment-matched covariances are exact.
 _SCORING_RIDGE = 1e-6
 
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
 
 @dataclass(frozen=True)
 class ReductionResult:
-    """Outcome of an l-GM -> k-GM reduction."""
+    """Outcome of an l-GM -> k-GM reduction.
+
+    ``model`` is ``None`` when the caller requested ``build_model=False``
+    (the schemes' partition hot path only consumes ``groups``).
+    """
 
     groups: tuple[tuple[int, ...], ...]
-    model: GaussianMixtureModel
+    model: Optional[GaussianMixtureModel]
     score: float
     iterations: int
     converged: bool
@@ -63,10 +76,49 @@ def _group_moments(
     return group_weights, group_means, group_covs
 
 
-def _score_matrix(
+def _moments_from_assignment(
+    compact: np.ndarray,
+    k_occupied: int,
     weights: np.ndarray,
     means: np.ndarray,
     covs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segment-sum moment match over a compact hard assignment.
+
+    ``compact`` holds group labels in ``0..k_occupied-1`` with every label
+    occupied.  One pass of ``np.bincount``/``np.add.at`` replaces the
+    Python loop over groups: this is the M-step for *all* groups at once.
+    """
+    d = means.shape[1]
+    group_weights = np.bincount(compact, weights=weights, minlength=k_occupied)
+    group_means = np.zeros((k_occupied, d))
+    np.add.at(group_means, compact, weights[:, None] * means)
+    group_means /= group_weights[:, None]
+    centered = means - group_means[compact]
+    spread = covs + centered[:, :, None] * centered[:, None, :]
+    group_covs = np.zeros((k_occupied, d, d))
+    np.add.at(group_covs, compact, weights[:, None, None] * spread)
+    group_covs /= group_weights[:, None, None]
+    return group_weights, group_means, symmetrize(group_covs)
+
+
+def _score_features(means: np.ndarray, covs: np.ndarray) -> np.ndarray:
+    """Per-component feature rows ``[vec(C_i + mu_i mu_i^T), mu_i, 1]``.
+
+    The expected log-density of component ``i`` under any group Gaussian
+    is *linear* in these features (see :func:`_score_matrix`), so they are
+    computed once per reduction and reused by every EM iteration.
+    """
+    l, d = means.shape
+    spread = covs + means[:, :, None] * means[:, None, :]
+    return np.concatenate(
+        [spread.reshape(l, d * d), means, np.ones((l, 1))], axis=1
+    )
+
+
+def _score_matrix(
+    features: np.ndarray,
+    d: int,
     group_weights: np.ndarray,
     group_means: np.ndarray,
     group_covs: np.ndarray,
@@ -74,27 +126,35 @@ def _score_matrix(
     """Expected complete-data log-likelihood of component i under group j.
 
     Vectorised form of :func:`repro.ml.gaussian.expected_log_density`
-    over all components per group: for group covariance ``S`` and
-    component ``(mu_i, C_i)``::
+    over all components and groups at once: for group covariance ``S``,
+    precision ``P = S^-1`` and component ``(mu_i, C_i)``::
 
-        log pi_j - 1/2 (d log 2pi + log|S| + tr(S^-1 C_i) + (mu_i-m_j)^T S^-1 (mu_i-m_j))
+        log pi_j - 1/2 (d log 2pi + log|S| + tr(P C_i) + (mu_i-m_j)^T P (mu_i-m_j))
+
+    One batched Cholesky factorisation covers every group (log-determinant
+    off the factor diagonals, precisions from triangular inverses), and
+    the score decomposes linearly over the per-component features
+    ``[vec(C_i + mu_i mu_i^T), mu_i, 1]`` with per-group coefficients
+    ``[-1/2 vec(P_j), P_j m_j, const_j]``: both ``tr(P C)`` and the
+    quadratic form are Frobenius inner products against ``P_j``.  The
+    whole E-step is then a single ``(l, d^2+d+1) @ (d^2+d+1, k)`` matrix
+    product — no per-group ``inv``/``slogdet`` calls, no ``(l, k, d)``
+    intermediates.
     """
-    l, d = means.shape
-    k = group_means.shape[0]
+    k = group_weights.shape[0]
     log_pi = np.log(group_weights / group_weights.sum())
-    scores = np.empty((l, k))
-    log_2pi = np.log(2.0 * np.pi)
-    for j in range(k):
-        cov = regularize_covariance(group_covs[j], _SCORING_RIDGE)
-        sign, log_det = np.linalg.slogdet(cov)
-        if sign <= 0:  # pragma: no cover - regularisation prevents this
-            raise np.linalg.LinAlgError("group covariance not positive definite")
-        inverse = np.linalg.inv(cov)
-        diffs = means - group_means[j]
-        quad = np.einsum("ia,ab,ib->i", diffs, inverse, diffs)
-        traces = np.einsum("ab,iba->i", inverse, covs)
-        scores[:, j] = log_pi[j] - 0.5 * (d * log_2pi + log_det + traces + quad)
-    return scores
+    regularized = regularize_covariance(group_covs, _SCORING_RIDGE)
+    lowers, log_dets = cholesky_log_det_batch(regularized, _SCORING_RIDGE)
+    lower_invs = triangular_inverse_batch(lowers)
+    precisions = np.matmul(np.swapaxes(lower_invs, -2, -1), lower_invs)
+    scaled_means = np.einsum("jab,jb->ja", precisions, group_means)
+    mean_quads = np.einsum("ja,ja->j", scaled_means, group_means)
+    consts = log_pi - 0.5 * (d * _LOG_2PI + log_dets + mean_quads)
+    coefficients = np.concatenate(
+        [-0.5 * precisions.reshape(k, d * d), scaled_means, consts[:, None]],
+        axis=1,
+    )
+    return features @ coefficients.T
 
 
 def _maximin_seeds(weights: np.ndarray, means: np.ndarray, k: int) -> np.ndarray:
@@ -125,6 +185,7 @@ def reduce_mixture(
     k: int,
     rng: np.random.Generator,
     max_iterations: int = 50,
+    build_model: bool = True,
 ) -> ReductionResult:
     """Group ``l`` weighted Gaussians into at most ``k`` groups by hard EM.
 
@@ -140,6 +201,11 @@ def reduce_mixture(
     max_iterations:
         Hard cap on EM iterations; hard-assignment EM either cycles or
         reaches a fixed point, and the fixed point is detected exactly.
+    build_model:
+        When false, skip constructing the moment-matched output mixture
+        (``result.model`` is ``None``).  The scheme partition hot path
+        only needs ``groups``, so it opts out of the extra k moment
+        matches per call.
 
     Returns
     -------
@@ -161,8 +227,12 @@ def reduce_mixture(
 
     if l <= k:
         groups = [[i] for i in range(l)]
-        group_weights, group_means, group_covs = _group_moments(groups, weights, means, covs)
-        model = GaussianMixtureModel(group_weights, group_means, group_covs)
+        model = None
+        if build_model:
+            group_weights, group_means, group_covs = _group_moments(
+                groups, weights, means, covs
+            )
+            model = GaussianMixtureModel(group_weights, group_means, group_covs)
         return ReductionResult(
             groups=tuple(tuple(group) for group in groups),
             model=model,
@@ -184,30 +254,36 @@ def reduce_mixture(
     converged = False
     iteration = 0
     score = 0.0
+    component_range = np.arange(l)
+    features = _score_features(means, covs)
     with span("ml.reduce_mixture"):
         for iteration in range(1, max_iterations + 1):
-            groups = [[int(i) for i in np.where(assignment == j)[0]] for j in range(k)]
-            occupied = [group for group in groups if group]
-            group_weights, group_means, group_covs = _group_moments(
-                occupied, weights, means, covs
+            # Relabel occupied groups compactly (np.unique is sorted, so
+            # the occupied ordering matches the old group-list scan) and
+            # moment-match them all in one segment-sum pass.
+            labels = np.unique(assignment)
+            compact = np.searchsorted(labels, assignment)
+            occupied_count = labels.shape[0]
+            group_weights, group_means, group_covs = _moments_from_assignment(
+                compact, occupied_count, weights, means, covs
             )
             scores = _score_matrix(
-                weights, means, covs, group_weights, group_means, group_covs
+                features, means.shape[1], group_weights, group_means, group_covs
             )
             new_assignment = np.argmax(scores, axis=1)
-            best = scores[np.arange(l), new_assignment]
+            best = scores[component_range, new_assignment]
             score = float(np.sum(weights * best))
 
             # Repair empty groups (possible when k seeds collapse): move the
             # worst-explained component into its own group.
             used = set(new_assignment.tolist())
-            free = [j for j in range(len(occupied)) if j not in used]
+            free = [j for j in range(occupied_count) if j not in used]
             if free:
                 order = np.argsort(best)  # worst fit first
                 for j, i in zip(free, order):
                     new_assignment[int(i)] = j
 
-            if np.array_equal(new_assignment, assignment):
+            if np.array_equal(new_assignment, compact):
                 converged = True
                 break
             assignment = new_assignment
@@ -217,8 +293,12 @@ def reduce_mixture(
         for j in range(int(assignment.max()) + 1)
     ]
     groups = [group for group in groups if group]
-    group_weights, group_means, group_covs = _group_moments(groups, weights, means, covs)
-    model = GaussianMixtureModel(group_weights, group_means, group_covs)
+    model = None
+    if build_model:
+        group_weights, group_means, group_covs = _group_moments(
+            groups, weights, means, covs
+        )
+        model = GaussianMixtureModel(group_weights, group_means, group_covs)
     return ReductionResult(
         groups=tuple(tuple(group) for group in groups),
         model=model,

@@ -34,7 +34,9 @@ __all__ = [
 #: from the round engine; ``split``/``merge`` from Algorithm 1's two
 #: atomic blocks inside :class:`~repro.core.node.ClassifierNode`;
 #: ``em_step`` from the centralised EM comparator; ``probe`` from
-#: :class:`~repro.network.trace.RunTracer`; ``span`` from profiling timers.
+#: :class:`~repro.network.trace.RunTracer`; ``span`` from profiling timers;
+#: ``fastpath`` marks a receipt where the node adopted the pooled set
+#: without running the scheme's partition (see ``docs/performance.md``).
 EVENT_KINDS = frozenset(
     {
         "send",
@@ -47,6 +49,7 @@ EVENT_KINDS = frozenset(
         "em_step",
         "probe",
         "span",
+        "fastpath",
     }
 )
 

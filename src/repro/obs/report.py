@@ -16,6 +16,8 @@ with :mod:`repro.analysis.reporting`:
   against the engine's own :class:`~repro.network.metrics.NetworkMetrics`;
 - convergence curves from ``probe`` events (one column per probe name)
   and EM likelihood traces from ``em_step`` events;
+- the partition fast-path summary (``fastpath`` events: how often nodes
+  adopted the pooled set without running the scheme's partition);
 - the crash timeline;
 - per-node activity timelines (sends, receipts, drops, splits, merges,
   crash stamp);
@@ -147,6 +149,21 @@ def _em_section(events: list[dict[str, Any]]) -> Optional[str]:
     return f"{banner(title)}\n{format_table(['#', 'iteration', 'log_likelihood'], shown)}"
 
 
+def _fastpath_section(events: list[dict[str, Any]]) -> Optional[str]:
+    """Partition fast-path hit rate (``fastpath`` events vs merges run)."""
+    hits = [event for event in events if event["kind"] == "fastpath"]
+    if not hits:
+        return None
+    partitions = sum(1 for event in events if event["kind"] == "merge")
+    pooled = sum(event.get("items", 0) or 0 for event in hits)
+    rows = [
+        ["fastpath_hits", len(hits)],
+        ["pooled_collections_adopted", pooled],
+        ["merge_events", partitions],
+    ]
+    return f"{banner('Partition fast path')}\n{format_table(['metric', 'value'], rows)}"
+
+
 def _crash_section(events: list[dict[str, Any]]) -> Optional[str]:
     crashes = [event for event in events if event["kind"] == "crash"]
     if not crashes:
@@ -240,6 +257,7 @@ def render_report(events: list[dict[str, Any]], top: int = 10, nodes: int = 10) 
         _message_section(events),
         _convergence_section(events),
         _em_section(events),
+        _fastpath_section(events),
         _crash_section(events),
         _node_section(events, nodes),
         _span_section(events, top),

@@ -14,8 +14,10 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
+from repro.obs.profiling import span
 
 __all__ = ["CentroidScheme", "greedy_closest_pair_partition"]
 
@@ -37,6 +39,13 @@ def greedy_closest_pair_partition(
     Two conformance rules are enforced: minimum-weight (one-quantum)
     collections are first merged with their nearest group, and merging
     continues until at most ``k`` groups remain.
+
+    The closest pair is tracked through a squared-distance matrix that is
+    updated incrementally per merge (one recomputed row/column), instead
+    of rescanning all pairs with per-pair norm calls — the rescan made
+    this O(l^3) Python-level work per partition.  Squared distances order
+    pairs exactly like distances, so the greedy choices are unchanged up
+    to exact-tie rounding of ``sqrt``.
     """
     positions = np.atleast_2d(np.asarray(positions, dtype=float))
     weights = np.asarray(weights, dtype=float)
@@ -44,53 +53,57 @@ def greedy_closest_pair_partition(
     if n == 0:
         raise ValueError("cannot partition zero collections")
 
-    group_indices: list[list[int]] = [[i] for i in range(n)]
-    group_positions = [positions[i].copy() for i in range(n)]
-    group_weights = [float(weights[i]) for i in range(n)]
-    group_has_heavy = [not quantization.is_minimum(quanta[i]) for i in range(n)]
+    with span("schemes.greedy_partition"):
+        groups: list[list[int]] = [[i] for i in range(n)]
+        points = positions.copy()
+        masses = weights.astype(float, copy=True)
+        has_heavy = np.fromiter(
+            (not quantization.is_minimum(int(q)) for q in quanta), dtype=bool, count=n
+        )
+        deltas = points[:, None, :] - points[None, :, :]
+        distances_sq = np.einsum("abd,abd->ab", deltas, deltas)
+        np.fill_diagonal(distances_sq, np.inf)
 
-    def merge(a: int, b: int) -> None:
-        """Fold group ``b`` into group ``a``."""
-        total = group_weights[a] + group_weights[b]
-        group_positions[a] = (
-            group_weights[a] * group_positions[a] + group_weights[b] * group_positions[b]
-        ) / total
-        group_weights[a] = total
-        group_indices[a].extend(group_indices[b])
-        group_has_heavy[a] = True  # merged groups always have >= 2 members
-        del group_indices[b], group_positions[b], group_weights[b], group_has_heavy[b]
+        def merge(a: int, b: int) -> None:
+            """Fold group ``b`` into group ``a`` (requires ``a < b``)."""
+            nonlocal points, masses, has_heavy, distances_sq
+            total = masses[a] + masses[b]
+            points[a] = (masses[a] * points[a] + masses[b] * points[b]) / total
+            masses[a] = total
+            groups[a].extend(groups[b])
+            has_heavy[a] = True  # merged groups always have >= 2 members
+            del groups[b]
+            keep = np.arange(points.shape[0]) != b
+            points = points[keep]
+            masses = masses[keep]
+            has_heavy = has_heavy[keep]
+            distances_sq = distances_sq[np.ix_(keep, keep)]
+            row = ((points - points[a]) ** 2).sum(axis=1)
+            distances_sq[a, :] = row
+            distances_sq[:, a] = row
+            distances_sq[a, a] = np.inf
 
-    def nearest_pair(candidates_a: range | list[int]) -> tuple[int, int]:
-        """Closest pair (a, b) with a from candidates and b any other group."""
-        best = (np.inf, -1, -1)
-        for a in candidates_a:
-            for b in range(len(group_indices)):
-                if a == b:
-                    continue
-                distance = float(np.linalg.norm(group_positions[a] - group_positions[b]))
-                if distance < best[0]:
-                    best = (distance, a, b)
-        _, a, b = best
-        return a, b
+        # Rule 2: merge every minimum-weight singleton with its nearest group.
+        while len(groups) > 1:
+            lonely = next(
+                (
+                    g
+                    for g in range(len(groups))
+                    if len(groups[g]) == 1 and not has_heavy[g]
+                ),
+                None,
+            )
+            if lonely is None:
+                break
+            other = int(np.argmin(distances_sq[lonely]))
+            merge(min(lonely, other), max(lonely, other))
 
-    # Rule 2: merge every minimum-weight singleton with its nearest group.
-    while len(group_indices) > 1:
-        lonely = [
-            g
-            for g in range(len(group_indices))
-            if len(group_indices[g]) == 1 and not group_has_heavy[g]
-        ]
-        if not lonely:
-            break
-        a, b = nearest_pair([lonely[0]])
-        merge(min(a, b), max(a, b))
+        # Rule 1: enforce the k bound by merging closest pairs.
+        while len(groups) > k:
+            a, b = divmod(int(np.argmin(distances_sq)), len(groups))
+            merge(min(a, b), max(a, b))
 
-    # Rule 1: enforce the k bound by merging closest pairs.
-    while len(group_indices) > k:
-        a, b = nearest_pair(range(len(group_indices)))
-        merge(min(a, b), max(a, b))
-
-    return group_indices
+    return groups
 
 
 class CentroidScheme(SummaryScheme):
@@ -101,6 +114,12 @@ class CentroidScheme(SummaryScheme):
     exactly (the weighted average of centroids *is* the centroid of the
     union), which the property tests verify.
     """
+
+    # Below the k bound the greedy merge loops never fire (rule 2 only
+    # triggers on minimum-weight collections, which the node fast path
+    # excludes), so partition is the identity there.
+    identity_below_k = True
+    supports_packed = True
 
     def val_to_summary(self, value: Any) -> np.ndarray:
         summary = np.atleast_1d(np.asarray(value, dtype=float))
@@ -127,6 +146,31 @@ class CentroidScheme(SummaryScheme):
         weights = np.array([float(collection.quanta) for collection in collections])
         quanta = [collection.quanta for collection in collections]
         return greedy_closest_pair_partition(positions, weights, quanta, k, quantization)
+
+    # ------------------------------------------------------------------
+    # Packed hot path
+    # ------------------------------------------------------------------
+    def pack_summaries(self, summaries: Sequence[np.ndarray]) -> dict[str, np.ndarray]:
+        return {"position": np.stack([np.asarray(s, dtype=float) for s in summaries])}
+
+    def partition_packed(
+        self,
+        packed: PackedState,
+        k: int,
+        quantization: Quantization,
+    ) -> list[list[int]]:
+        return greedy_closest_pair_partition(
+            packed.columns["position"], packed.weights(), packed.quanta, k, quantization
+        )
+
+    def merge_set_packed(self, packed: PackedState, group: Sequence[int]) -> np.ndarray:
+        # Mirrors merge_set's sequential weighted average exactly (same
+        # accumulation order), so both paths round identically.
+        positions = packed.columns["position"]
+        quanta = packed.quanta
+        total = sum(float(quanta[i]) for i in group)
+        merged = sum(float(quanta[i]) * positions[i] for i in group) / total
+        return np.asarray(merged, dtype=float)
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))

@@ -25,9 +25,9 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
-from repro.ml.reduction import reduce_mixture
 from repro.schemes.gaussian import GaussianSummary
 from repro.schemes.gm import GaussianMixtureScheme
 
@@ -36,7 +36,7 @@ __all__ = ["DiagonalGaussianScheme", "diagonalize"]
 
 def diagonalize(summary: GaussianSummary) -> GaussianSummary:
     """Project a Gaussian summary onto its diagonal covariance."""
-    return GaussianSummary(mean=summary.mean, cov=np.diag(np.diag(summary.cov)))
+    return GaussianSummary.trusted(summary.mean, np.diag(np.diag(summary.cov)))
 
 
 class DiagonalGaussianScheme(SummaryScheme):
@@ -46,6 +46,9 @@ class DiagonalGaussianScheme(SummaryScheme):
     on axis-aligned data; loses the correlation information (the tilt of
     Figure 2's fire-side ellipse) in exchange for O(d) summaries.
     """
+
+    identity_below_k = True  # same reduce_mixture singleton behaviour at l <= k
+    supports_packed = True
 
     def __init__(self, seed: int = 0, reduction_iterations: int = 25) -> None:
         self._rng = np.random.default_rng(seed)
@@ -73,13 +76,25 @@ class DiagonalGaussianScheme(SummaryScheme):
         k: int,
         quantization: Quantization,
     ) -> list[list[int]]:
-        weights = np.array([float(collection.quanta) for collection in collections])
-        means = np.stack([collection.summary.mean for collection in collections])
-        covs = np.stack([collection.summary.cov for collection in collections])
-        result = reduce_mixture(
-            weights, means, covs, k, self._rng, max_iterations=self.reduction_iterations
-        )
-        groups = [list(group) for group in result.groups]
-        return GaussianMixtureScheme._enforce_minimum_weight_rule(
-            groups, collections, means, quantization
-        )
+        # The reduction is deterministic (maximin seeding), so delegating
+        # to the full scheme's array core cannot diverge on RNG state.
+        return self._full.partition(collections, k, quantization)
+
+    # ------------------------------------------------------------------
+    # Packed hot path (same columns as the full scheme)
+    # ------------------------------------------------------------------
+    def pack_summaries(self, summaries: Sequence[GaussianSummary]) -> dict[str, np.ndarray]:
+        return self._full.pack_summaries(summaries)
+
+    def partition_packed(
+        self,
+        packed: PackedState,
+        k: int,
+        quantization: Quantization,
+    ) -> list[list[int]]:
+        return self._full.partition_packed(packed, k, quantization)
+
+    def merge_set_packed(
+        self, packed: PackedState, group: Sequence[int]
+    ) -> GaussianSummary:
+        return diagonalize(self._full.merge_set_packed(packed, group))

@@ -44,6 +44,25 @@ class GaussianSummary:
                 f"covariance shape {self.cov.shape} does not match mean dimension {d}"
             )
 
+    @classmethod
+    def trusted(cls, mean: np.ndarray, cov: np.ndarray) -> "GaussianSummary":
+        """Construct without re-running conversion and shape validation.
+
+        The split/merge hot loops build summaries exclusively from
+        arrays that are already float64 and correctly shaped (outputs of
+        :func:`~repro.ml.gaussian.pool_moments` or fields of previously
+        validated summaries), so the ``__post_init__`` ``asarray`` /
+        ``atleast_*`` churn is pure overhead there.  Callers own the
+        precondition: ``mean`` is ``(d,)`` float64, ``cov`` is
+        ``(d, d)`` float64, and neither is mutated afterwards.  All
+        other construction sites (wire decoding, user code) must go
+        through the validating constructor.
+        """
+        summary = object.__new__(cls)
+        object.__setattr__(summary, "mean", mean)
+        object.__setattr__(summary, "cov", cov)
+        return summary
+
     @property
     def dimension(self) -> int:
         return int(self.mean.shape[0])
@@ -80,7 +99,9 @@ def merge_gaussian_summaries(
     means = np.stack([summary.mean for summary, _ in items])
     covs = np.stack([summary.cov for summary, _ in items])
     mean, cov = pool_moments(weights, means, covs)
-    return GaussianSummary(mean=mean, cov=cov)
+    # pool_moments returns fresh, correctly shaped float64 arrays, so the
+    # validating constructor would only repeat work in the merge hot loop.
+    return GaussianSummary.trusted(mean, cov)
 
 
 def classification_to_gmm(classification: Classification) -> GaussianMixtureModel:

@@ -18,8 +18,10 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
+from repro.ml.gaussian import pool_moments
 from repro.ml.reduction import reduce_mixture
 from repro.schemes.gaussian import (
     GaussianSummary,
@@ -45,6 +47,9 @@ class GaussianMixtureScheme(SummaryScheme):
         "run EM once for the entire set" per receipt; a small cap keeps
         per-message work bounded without hurting quality measurably.
     """
+
+    identity_below_k = True  # reduce_mixture returns singletons at l <= k
+    supports_packed = True
 
     def __init__(self, seed: int = 0, reduction_iterations: int = 25) -> None:
         self._rng = np.random.default_rng(seed)
@@ -75,6 +80,19 @@ class GaussianMixtureScheme(SummaryScheme):
         weights = np.array([float(collection.quanta) for collection in collections])
         means = np.stack([collection.summary.mean for collection in collections])
         covs = np.stack([collection.summary.cov for collection in collections])
+        quanta = [collection.quanta for collection in collections]
+        return self._partition_arrays(weights, means, covs, quanta, k, quantization)
+
+    def _partition_arrays(
+        self,
+        weights: np.ndarray,
+        means: np.ndarray,
+        covs: np.ndarray,
+        quanta: Sequence[int],
+        k: int,
+        quantization: Quantization,
+    ) -> list[list[int]]:
+        """Shared array-native core of the object and packed paths."""
         result = reduce_mixture(
             weights,
             means,
@@ -82,14 +100,50 @@ class GaussianMixtureScheme(SummaryScheme):
             k,
             self._rng,
             max_iterations=self.reduction_iterations,
+            build_model=False,
         )
         groups = [list(group) for group in result.groups]
-        return self._enforce_minimum_weight_rule(groups, collections, means, quantization)
+        return self._enforce_minimum_weight_rule(groups, quanta, means, quantization)
+
+    # ------------------------------------------------------------------
+    # Packed hot path
+    # ------------------------------------------------------------------
+    def pack_summaries(self, summaries: Sequence[GaussianSummary]) -> dict[str, np.ndarray]:
+        return {
+            "mean": np.stack([summary.mean for summary in summaries]),
+            "cov": np.stack([summary.cov for summary in summaries]),
+        }
+
+    def partition_packed(
+        self,
+        packed: PackedState,
+        k: int,
+        quantization: Quantization,
+    ) -> list[list[int]]:
+        return self._partition_arrays(
+            packed.weights(),
+            packed.columns["mean"],
+            packed.columns["cov"],
+            packed.quanta,
+            k,
+            quantization,
+        )
+
+    def merge_set_packed(
+        self, packed: PackedState, group: Sequence[int]
+    ) -> GaussianSummary:
+        idx = np.asarray(group, dtype=np.intp)
+        mean, cov = pool_moments(
+            packed.quanta[idx].astype(float),
+            packed.columns["mean"][idx],
+            packed.columns["cov"][idx],
+        )
+        return GaussianSummary.trusted(mean, cov)
 
     @staticmethod
     def _enforce_minimum_weight_rule(
         groups: list[list[int]],
-        collections: Sequence[Collection],
+        quanta: Sequence[int],
         means: np.ndarray,
         quantization: Quantization,
     ) -> list[list[int]]:
@@ -101,14 +155,14 @@ class GaussianMixtureScheme(SummaryScheme):
         mean, which is also what the likelihood objective would prefer
         among the feasible repairs.
         """
-        if len(collections) <= 1:
+        if len(quanta) <= 1:
             return groups
         repaired = True
         while repaired and len(groups) > 1:
             repaired = False
             for g, group in enumerate(groups):
                 is_lone_minimum = len(group) == 1 and quantization.is_minimum(
-                    collections[group[0]].quanta
+                    int(quanta[group[0]])
                 )
                 if not is_lone_minimum:
                     continue

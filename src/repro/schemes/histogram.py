@@ -21,6 +21,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
 from repro.schemes.centroid import greedy_closest_pair_partition
@@ -39,6 +40,11 @@ class HistogramScheme(SummaryScheme):
     bins:
         Number of equal-width bins.
     """
+
+    # Same greedy partition as the centroids scheme: no merge loop fires
+    # below the k bound once minimum-weight collections are excluded.
+    identity_below_k = True
+    supports_packed = True
 
     def __init__(self, low: float, high: float, bins: int = 32) -> None:
         if not high > low:
@@ -79,6 +85,30 @@ class HistogramScheme(SummaryScheme):
         weights = np.array([float(collection.quanta) for collection in collections])
         quanta = [collection.quanta for collection in collections]
         return greedy_closest_pair_partition(positions, weights, quanta, k, quantization)
+
+    # ------------------------------------------------------------------
+    # Packed hot path (bin-mass vectors as one (l, bins) matrix)
+    # ------------------------------------------------------------------
+    def pack_summaries(self, summaries: Sequence[np.ndarray]) -> dict[str, np.ndarray]:
+        return {"mass": np.stack([np.asarray(s, dtype=float) for s in summaries])}
+
+    def partition_packed(
+        self,
+        packed: PackedState,
+        k: int,
+        quantization: Quantization,
+    ) -> list[list[int]]:
+        return greedy_closest_pair_partition(
+            packed.columns["mass"], packed.weights(), packed.quanta, k, quantization
+        )
+
+    def merge_set_packed(self, packed: PackedState, group: Sequence[int]) -> np.ndarray:
+        # Mirrors merge_set's sequential weighted average exactly.
+        masses = packed.columns["mass"]
+        quanta = packed.quanta
+        total = sum(float(quanta[i]) for i in group)
+        merged = sum(float(quanta[i]) * masses[i] for i in group) / total
+        return np.asarray(merged, dtype=float)
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         """Total-variation distance between the two bin-mass vectors."""

@@ -19,6 +19,8 @@ class TestNodeStats:
             "batches_received",
             "collections_received",
             "partition_calls",
+            "fastpath_hits",
+            "fastpath_misses",
         }
         assert all(value == 0 for value in snapshot.values())
 
@@ -54,7 +56,29 @@ class TestNodeStats:
         node.receive([Collection(summary=np.array([1.0]), quanta=16)])
         assert node.stats.batches_received == 2
         assert node.stats.collections_received == 1
-        # The empty batch must not call partition.
+        # Two heavy collections below k=2: the identity fast path fires
+        # instead of a partition call; the empty batch counts as neither.
+        assert node.stats.partition_calls == 0
+        assert node.stats.fastpath_hits == 1
+        assert node.stats.fastpath_misses == 0
+
+    def test_fastpath_miss_counted_when_partition_runs(self):
+        node = ClassifierNode(
+            0, np.array([0.0]), CentroidScheme(), k=1, quantization=Quantization(16)
+        )
+        node.receive([Collection(summary=np.array([1.0]), quanta=16)])
+        assert node.stats.fastpath_misses == 1
+        assert node.stats.fastpath_hits == 0
+        assert node.stats.partition_calls == 1
+
+    def test_fastpath_declined_on_minimum_weight_collection(self):
+        # A one-quantum collection may trigger conformance rule 2, so the
+        # identity short-circuit must not fire even below the k bound.
+        node = ClassifierNode(
+            0, np.array([0.0]), CentroidScheme(), k=4, quantization=Quantization(16)
+        )
+        node.receive([Collection(summary=np.array([50.0]), quanta=1)])
+        assert node.stats.fastpath_hits == 0
         assert node.stats.partition_calls == 1
 
 

@@ -68,7 +68,12 @@ class TestProtocol:
         payload_1 = ClassificationProtocol(nodes[1]).make_payload()
         payload_2 = ClassificationProtocol(nodes[2]).make_payload()
         receiver.receive_batch([payload_1, payload_2])
-        assert nodes[0].stats.partition_calls == 1
+        # Both payloads were pooled into ONE receive: the pooled set of 3
+        # heavy collections sits at the k bound, so the identity fast path
+        # handles it in a single pass (no partition call, one hit).
+        assert nodes[0].stats.batches_received == 1
+        assert nodes[0].stats.fastpath_hits == 1
+        assert nodes[0].stats.partition_calls == 0
         assert len(nodes[0].classification) == 3
 
     def test_convenience_accessors(self):

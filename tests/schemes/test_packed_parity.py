@@ -1,0 +1,224 @@
+"""Packed hot path vs object path: byte-identical classifications.
+
+The packed structure-of-arrays path (``docs/performance.md``) is a pure
+representation change: a node routed through ``partition_packed`` /
+``merge_set_packed`` must produce *bit-for-bit* the same classifications
+as the object-path conformance reference, because both feed identical
+float values through the same shared numeric kernels and replicate the
+same accumulation order.  These tests pin that contract per scheme, and
+pin the ``identity_below_k`` fast-path declaration against the scheme's
+actual ``partition``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.node import ClassifierNode, packed_default
+from repro.core.scheme import validate_partition
+from repro.core.weights import Quantization
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.diagonal import DiagonalGaussianScheme
+from repro.schemes.gaussian import GaussianSummary
+from repro.schemes.gm import GaussianMixtureScheme
+from repro.schemes.histogram import HistogramScheme
+
+QUANT = Quantization(16)
+
+
+def _make_scheme(name: str):
+    if name == "centroid":
+        return CentroidScheme()
+    if name == "gm":
+        return GaussianMixtureScheme(seed=0)
+    if name == "diagonal":
+        return DiagonalGaussianScheme(seed=0)
+    if name == "histogram":
+        return HistogramScheme(low=-10.0, high=10.0, bins=16)
+    raise AssertionError(name)
+
+
+def _make_value(name: str, rng: np.random.Generator):
+    if name == "histogram":
+        return float(rng.normal(0.0, 3.0))
+    return rng.normal(0.0, 3.0, size=2)
+
+
+SCHEME_NAMES = ["centroid", "gm", "diagonal", "histogram"]
+
+
+def _summary_bytes(summary) -> bytes:
+    if isinstance(summary, GaussianSummary):
+        return summary.mean.tobytes() + summary.cov.tobytes()
+    return np.asarray(summary, dtype=float).tobytes()
+
+
+def _classification_bytes(node: ClassifierNode) -> list[tuple[int, bytes]]:
+    return [
+        (collection.quanta, _summary_bytes(collection.summary))
+        for collection in node.classification
+    ]
+
+
+def _ping_pong(name: str, packed: bool, rounds: int = 8, k: int = 3):
+    """A deterministic two-node gossip; returns per-round classifications."""
+    rng = np.random.default_rng(42)
+    scheme = _make_scheme(name)
+    nodes = [
+        ClassifierNode(
+            i,
+            _make_value(name, rng),
+            scheme,
+            k=k,
+            quantization=QUANT,
+            validate=True,
+            packed=packed,
+        )
+        for i in range(2)
+    ]
+    history = []
+    for _ in range(rounds):
+        payload = nodes[0].make_message()
+        if payload:
+            nodes[1].receive(payload)
+        payload = nodes[1].make_message()
+        if payload:
+            nodes[0].receive(payload)
+        history.append([_classification_bytes(node) for node in nodes])
+    return history, nodes
+
+
+class TestPackedObjectParity:
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_ping_pong_classifications_byte_identical(self, name):
+        packed_history, packed_nodes = _ping_pong(name, packed=True)
+        object_history, object_nodes = _ping_pong(name, packed=False)
+        assert packed_history == object_history
+        # The representation flag is the only difference between the runs.
+        assert all(node.packed for node in packed_nodes)
+        assert not any(node.packed for node in object_nodes)
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_stats_counters_identical(self, name):
+        _, packed_nodes = _ping_pong(name, packed=True)
+        _, object_nodes = _ping_pong(name, packed=False)
+        for packed_node, object_node in zip(packed_nodes, object_nodes):
+            assert packed_node.stats.as_dict() == object_node.stats.as_dict()
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_packed_state_mirrors_collections(self, name):
+        """After arbitrary receive/split traffic the cached PackedState
+        must equal a fresh packing of the collection list."""
+        _, nodes = _ping_pong(name, packed=True)
+        for node in nodes:
+            fresh = node._pack(node._collections)
+            assert np.array_equal(fresh.quanta, node._packed.quanta)
+            assert set(fresh.columns) == set(node._packed.columns)
+            for key, column in fresh.columns.items():
+                assert column.tobytes() == node._packed.columns[key].tobytes()
+
+
+class TestIdentityBelowK:
+    """The fast-path declaration must match the scheme's real partition."""
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    @pytest.mark.parametrize("size", [1, 2, 4])
+    def test_partition_is_identity_without_minimums(self, name, size):
+        rng = np.random.default_rng(size)
+        scheme = _make_scheme(name)
+        assert scheme.identity_below_k
+        collections = [
+            Collection(
+                summary=scheme.val_to_summary(_make_value(name, rng)),
+                quanta=int(rng.integers(2, QUANT.unit + 1)),
+            )
+            for _ in range(size)
+        ]
+        groups = scheme.partition(collections, k=size, quantization=QUANT)
+        assert groups == [[index] for index in range(size)]
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_fastpath_result_passes_validation(self, name):
+        rng = np.random.default_rng(7)
+        scheme = _make_scheme(name)
+        node = ClassifierNode(
+            0,
+            _make_value(name, rng),
+            scheme,
+            k=4,
+            quantization=QUANT,
+            validate=True,  # validate_partition runs on the identity groups
+            packed=True,
+        )
+        incoming = [
+            Collection(summary=scheme.val_to_summary(_make_value(name, rng)), quanta=8)
+            for _ in range(2)
+        ]
+        node.receive(incoming)
+        assert node.stats.fastpath_hits == 1
+        assert node.stats.partition_calls == 0
+        # The pooled set is adopted unchanged, in index order.
+        assert len(node.classification) == 3
+        assert node.classification[1].summary is incoming[0].summary
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_minimum_weight_forces_real_partition(self, name):
+        """With a lone one-quantum collection the identity partition could
+        violate conformance rule 2, so the fast path must decline and the
+        scheme's own partition must still return a valid grouping."""
+        rng = np.random.default_rng(11)
+        scheme = _make_scheme(name)
+        node = ClassifierNode(
+            0,
+            _make_value(name, rng),
+            scheme,
+            k=4,
+            quantization=QUANT,
+            validate=True,
+            packed=True,
+        )
+        node.receive(
+            [Collection(summary=scheme.val_to_summary(_make_value(name, rng)), quanta=1)]
+        )
+        assert node.stats.fastpath_hits == 0
+        assert node.stats.partition_calls == 1
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_partition_with_minimums_stays_conformant(self, name):
+        rng = np.random.default_rng(13)
+        scheme = _make_scheme(name)
+        collections = [
+            Collection(
+                summary=scheme.val_to_summary(_make_value(name, rng)),
+                quanta=1 if index % 2 else QUANT.unit,
+            )
+            for index in range(4)
+        ]
+        groups = scheme.partition(collections, k=4, quantization=QUANT)
+        validate_partition(groups, collections, 4, QUANT)
+
+
+class TestPackedDefault:
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PACKED", raising=False)
+        assert packed_default() is True
+        monkeypatch.setenv("REPRO_PACKED", "0")
+        assert packed_default() is False
+        monkeypatch.setenv("REPRO_PACKED", "off")
+        assert packed_default() is False
+        monkeypatch.setenv("REPRO_PACKED", "1")
+        assert packed_default() is True
+
+    def test_unsupported_scheme_falls_back(self):
+        class ObjectOnly(CentroidScheme):
+            supports_packed = False
+
+        node = ClassifierNode(
+            0, np.zeros(2), ObjectOnly(), k=2, quantization=QUANT, packed=True
+        )
+        assert not node.packed
+        assert node._packed is None
+        node.receive([Collection(summary=np.ones(2), quanta=8)])
+        assert len(node.classification) == 2
