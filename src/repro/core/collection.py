@@ -34,11 +34,19 @@ class Collection:
     aux:
         Optional auxiliary mixture vector.  ``None`` unless provenance
         tracking was requested at node construction.
+    digest:
+        Optional content digest of ``summary`` (see
+        :mod:`repro.core.fingerprint`), stamped by the producing node so
+        receivers need not re-hash.  Valid for the object's lifetime
+        because summaries are never mutated in place; not serialised —
+        decoded collections start with ``None`` and are re-hashed on
+        first use.
     """
 
     summary: Any
     quanta: int
     aux: Optional[MixtureVector] = None
+    digest: Optional[bytes] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.quanta, int) or self.quanta <= 0:
@@ -64,8 +72,12 @@ class Collection:
         if self.aux is not None:
             kept_aux = self.aux.scaled(kept_quanta, self.quanta)
             sent_aux = self.aux.scaled(sent_quanta, self.quanta)
-        kept = Collection(summary=self.summary, quanta=kept_quanta, aux=kept_aux)
-        sent = Collection(summary=self.summary, quanta=sent_quanta, aux=sent_aux)
+        kept = Collection(
+            summary=self.summary, quanta=kept_quanta, aux=kept_aux, digest=self.digest
+        )
+        sent = Collection(
+            summary=self.summary, quanta=sent_quanta, aux=sent_aux, digest=self.digest
+        )
         return kept, sent
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -167,6 +167,11 @@ class ConvergenceDetector:
     :func:`classification_distance` and reports convergence once the
     maximum movement has stayed below ``tolerance`` for ``patience``
     consecutive rounds.
+
+    Nodes whose state fingerprint (see :mod:`repro.core.fingerprint`)
+    is unchanged since the previous round have movement exactly ``0.0``
+    by construction, so the transportation LP is skipped for them — in
+    a converged tail this short-circuits the whole O(n·k²) sweep.
     """
 
     def __init__(
@@ -181,6 +186,7 @@ class ConvergenceDetector:
         self.tolerance = tolerance
         self.patience = patience
         self._previous: dict[int, Classification] = {}
+        self._previous_fp: dict[int, bytes] = {}
         self._quiet_rounds = 0
         self.last_movement: float = float("inf")
 
@@ -188,18 +194,29 @@ class ConvergenceDetector:
         """Record a round; return True once converged."""
         movement = 0.0
         current: dict[int, Classification] = {}
+        current_fp: dict[int, bytes] = {}
         for node in nodes:
             classification = node.classification
             current[node.node_id] = classification
+            fingerprint = node.state_fingerprint()
+            if fingerprint is not None:
+                current_fp[node.node_id] = fingerprint
             previous = self._previous.get(node.node_id)
-            if previous is not None:
+            if previous is None:
+                movement = float("inf")
+            elif (
+                fingerprint is not None
+                and self._previous_fp.get(node.node_id) == fingerprint
+            ):
+                # Identical bytes: distance is zero, no LP needed.
+                continue
+            else:
                 movement = max(
                     movement,
                     classification_distance(classification, previous, self.scheme),
                 )
-            else:
-                movement = float("inf")
         self._previous = current
+        self._previous_fp = current_fp
         self.last_movement = movement
         if movement <= self.tolerance:
             self._quiet_rounds += 1

@@ -1,0 +1,437 @@
+"""Content-addressed classification fingerprints and the merge cache.
+
+Gossip runs spend their tails recomputing work whose inputs the run has
+already seen: past the convergence knee, almost every receipt pools
+byte-identical summaries and produces byte-identical output.  This module
+makes that redundancy *addressable*:
+
+- :func:`digest_arrays` hashes a summary's packed arrays into a stable
+  16-byte content digest (schemes expose it via
+  :meth:`~repro.core.scheme.SummaryScheme.summary_digest`);
+- :func:`combine_digests` / :func:`state_fingerprint_of` fold per-collection
+  digests order-insensitively into one classification fingerprint —
+  summary-level (what classes a node holds) or state-level (classes plus
+  quanta);
+- :class:`MergeCache` is the run-scoped cache shared by every node of a
+  :class:`~repro.network.kernel.SimulationKernel`.  It has two layers:
+
+  1. **Exact receive memoisation** — an LRU table keyed by the receiver's
+     *ordered* ``(digest, quanta)`` state and the ordered incoming
+     digests.  The partition pipeline is a deterministic pure function of
+     that key (the EM reduction never consults its RNG; the greedy
+     partition is deterministic), so replaying a stored outcome is
+     byte-identical to recomputing it.  Order matters in the key — EM
+     breaks ties by index — which is why the memo key is *stricter* than
+     the order-insensitive fingerprint used for quiescence.
+  2. **Identity certificates** — per location-set proofs that a receipt
+     whose incoming digests are a subset of the local ones is a *no-op*
+     up to quanta bookkeeping.  The certificate pins the weight-independent
+     geometry (pairwise-distinct locations, maximin seed orders, E-step
+     score margins); a cheap pure-Python check per receipt then verifies
+     the weight-dependent remainder.  See ``docs/performance.md`` for the
+     soundness argument.
+
+Both layers are only consulted when the scheme declares
+``supports_fingerprints``; both default on (the ``REPRO_MERGE_CACHE``
+environment toggle turns them off, ``REPRO_MERGE_CACHE_SIZE`` bounds the
+memo table).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.scheme import SummaryScheme
+
+__all__ = [
+    "digest_arrays",
+    "combine_digests",
+    "state_fingerprint_of",
+    "CachedReceive",
+    "IdentityCertificate",
+    "MergeCache",
+    "merge_cache_default",
+    "merge_cache_size_default",
+]
+
+#: Digest width in bytes; 128 bits makes accidental collisions across a
+#: run's summary population (thousands of distinct summaries at most)
+#: astronomically unlikely.
+DIGEST_SIZE = 16
+
+#: Relative / absolute slack subtracted from certified score margins to
+#: absorb the float dust between the certificate's exact per-location
+#: moments and the EM M-step's segment-sum moments (relative error
+#: ~1e-12; the slack is four orders of magnitude more conservative).
+_MARGIN_SLACK_REL = 1e-6
+_MARGIN_SLACK_ABS = 1e-9
+
+
+def merge_cache_default() -> bool:
+    """Whether networks build a merge cache by default.
+
+    On unless ``REPRO_MERGE_CACHE`` is set to ``0``/``false``/``no``/``off``
+    (mirroring ``REPRO_PACKED``).  The determinism gate flips this to pin
+    cache-on traces against the cache-off reference.
+    """
+    return os.environ.get("REPRO_MERGE_CACHE", "1").strip().lower() not in {
+        "0",
+        "false",
+        "no",
+        "off",
+    }
+
+
+def merge_cache_size_default() -> int:
+    """Memo-table bound; the ``REPRO_MERGE_CACHE_SIZE`` knob (default 4096)."""
+    return int(os.environ.get("REPRO_MERGE_CACHE_SIZE", "4096"))
+
+
+def digest_arrays(*arrays: np.ndarray) -> bytes:
+    """Stable content digest of one or more float arrays.
+
+    Hashes shape and raw bytes, so two summaries collide only when their
+    packed representations are byte-identical — exactly the equivalence
+    the merge cache needs (byte-equal inputs give byte-equal outputs).
+    """
+    hasher = blake2b(digest_size=DIGEST_SIZE)
+    for array in arrays:
+        contiguous = np.ascontiguousarray(array, dtype=float)
+        hasher.update(repr(contiguous.shape).encode())
+        hasher.update(contiguous.tobytes())
+    return hasher.digest()
+
+
+def combine_digests(digests: Iterable[bytes]) -> bytes:
+    """Order-insensitive fold of per-collection digests (sorted, not XORed,
+    so duplicate digests cannot cancel)."""
+    hasher = blake2b(digest_size=DIGEST_SIZE)
+    for digest in sorted(digests):
+        hasher.update(digest)
+    return hasher.digest()
+
+
+def state_fingerprint_of(pairs: Iterable[Tuple[bytes, int]]) -> bytes:
+    """Order-insensitive fingerprint of ``(summary digest, quanta)`` pairs."""
+    hasher = blake2b(digest_size=DIGEST_SIZE)
+    for digest, quanta in sorted(pairs):
+        hasher.update(digest)
+        hasher.update(int(quanta).to_bytes(16, "big"))
+    return hasher.digest()
+
+
+@dataclass(frozen=True)
+class CachedReceive:
+    """One memoised receive outcome, in output order.
+
+    ``summaries`` are the immutable summary objects of the resulting
+    collections (shared freely — nothing in the pipeline mutates a
+    summary); ``columns`` are the producing node's packed column arrays
+    for the same rows, or ``None`` when the producer ran the object path.
+    ``group_sizes`` replays the ``merge`` events and stats deltas: one
+    merge per group of size > 1.
+    """
+
+    summaries: Tuple[Any, ...]
+    digests: Tuple[bytes, ...]
+    quanta: Tuple[int, ...]
+    group_sizes: Tuple[int, ...]
+    columns: Optional[Dict[str, np.ndarray]]
+
+
+class IdentityCertificate:
+    """Weight-independent proof obligations for one set of locations.
+
+    A *location* is a distinct summary byte-pattern.  Built once per
+    distinct local digest set and cached on the :class:`MergeCache`, the
+    certificate answers, for any receipt whose pooled multiset lives on
+    these locations: would the scheme's partition group the pooled
+    components exactly by location, and in which output order?
+
+    For EM-style schemes it stores the pairwise E-step score margins
+    ``margins[a][b] = score(a under a) - score(a under b)`` at uniform
+    group weights (the geometry; mixing-weight terms cancel) plus the
+    location means for the maximin seed walk.  For greedy-style schemes
+    pairwise distinctness is the whole geometric content — the output
+    order is first-occurrence, checked by the caller.
+    """
+
+    __slots__ = (
+        "locations",
+        "index_of",
+        "summaries",
+        "style",
+        "valid",
+        "_means",
+        "_margins",
+        "_slack",
+        "_seed_orders",
+        "_columns",
+    )
+
+    def __init__(
+        self,
+        locations: Tuple[bytes, ...],
+        summaries: Tuple[Any, ...],
+        style: str,
+        valid: bool,
+        means: Optional[np.ndarray] = None,
+        margins: Optional[np.ndarray] = None,
+    ) -> None:
+        self.locations = locations
+        self.index_of = {digest: i for i, digest in enumerate(locations)}
+        self.summaries = summaries
+        self.style = style
+        self.valid = valid
+        self._means = means
+        self._margins: Optional[list[list[float]]] = None
+        self._slack: Optional[list[list[float]]] = None
+        if margins is not None:
+            self._margins = margins.tolist()
+            self._slack = (
+                _MARGIN_SLACK_REL * (1.0 + np.abs(margins)) + _MARGIN_SLACK_ABS
+            ).tolist()
+        self._seed_orders: Dict[
+            Tuple[int, Tuple[int, ...]], Optional[Tuple[int, ...]]
+        ] = {}
+        self._columns: Dict[Tuple[bytes, ...], Dict[str, np.ndarray]] = {}
+
+    def seed_order(
+        self, first: int, ranks: Tuple[int, ...]
+    ) -> Optional[Tuple[int, ...]]:
+        """Maximin seed order starting from location ``first``.
+
+        Replicates :func:`repro.ml.reduction._maximin_seeds` on the
+        distinct location means.  Because every pooled component is
+        byte-identical to its location, the per-row squared distances the
+        real walk computes coincide bitwise with the per-location ones
+        here.  The real walk breaks cross-location argmax ties by lowest
+        *pooled* index; under the certified preconditions (local digests
+        distinct, incoming a subset of local, locals pooled first) the
+        lowest pooled index of a location is its position in the local
+        collection order, which the caller passes as ``ranks[j]`` for
+        location ``j`` — so ties resolve to the tied location with the
+        smallest rank, exactly as ``np.argmax`` would.
+        """
+        key = (first, ranks)
+        if key in self._seed_orders:
+            return self._seed_orders[key]
+        means = self._means
+        assert means is not None
+        m = means.shape[0]
+        chosen = [first]
+        closest_sq = np.sum((means - means[first]) ** 2, axis=1)
+        order: Optional[Tuple[int, ...]] = None
+        while len(chosen) < m:
+            top = closest_sq.max()
+            if top <= 0.0:  # pragma: no cover - distances certified positive
+                break
+            candidate = min(
+                (int(i) for i in np.flatnonzero(closest_sq == top)),
+                key=lambda i: ranks[i],
+            )
+            chosen.append(candidate)
+            closest_sq = np.minimum(
+                closest_sq, np.sum((means - means[candidate]) ** 2, axis=1)
+            )
+        if len(chosen) == m:
+            order = tuple(chosen)
+        self._seed_orders[key] = order
+        return order
+
+    def margin_ok(self, log_totals: Sequence[float]) -> bool:
+        """Do the actual mixing weights keep every certified margin?
+
+        ``log_totals[j]`` is ``log`` of location ``j``'s pooled quanta
+        total.  Identity grouping survives the E-step iff for every
+        ordered pair ``a != b``::
+
+            log pi_b - log pi_a < margins[a][b]
+
+        (the shared ``- log W`` cancels in the difference).  The slack
+        absorbs segment-sum dust in the EM's group moments and log
+        rounding; a failed check is always safe — the receipt just runs
+        the real pipeline.
+        """
+        m = len(log_totals)
+        if m == 1:
+            return True  # a single location is one group regardless of weight
+        margins = self._margins
+        slack = self._slack
+        assert margins is not None and slack is not None
+        for a in range(m):
+            log_a = log_totals[a]
+            margin_row = margins[a]
+            slack_row = slack[a]
+            for b in range(m):
+                if b == a:
+                    continue
+                if log_totals[b] - log_a >= margin_row[b] - slack_row[b]:
+                    return False
+        return True
+
+    def columns_for(
+        self, order: Tuple[bytes, ...], scheme: "SummaryScheme"
+    ) -> Dict[str, np.ndarray]:
+        """Packed column arrays for the locations in ``order`` (cached).
+
+        The arrays are shared across every receive that lands on the same
+        output order — safe because packed columns are never mutated in
+        place (splits rebuild only the quanta vector; merges re-pack).
+        """
+        columns = self._columns.get(order)
+        if columns is None:
+            columns = scheme.pack_summaries(
+                [self.summaries[self.index_of[digest]] for digest in order]
+            )
+            if len(self._columns) >= 32:  # pathological order churn guard
+                self._columns.clear()
+            self._columns[order] = columns
+        return columns
+
+
+def _pairwise_distances_positive(rows: np.ndarray) -> bool:
+    """Whether every off-diagonal pairwise squared distance is > 0."""
+    deltas = rows[:, None, :] - rows[None, :, :]
+    distances_sq = np.einsum("abd,abd->ab", deltas, deltas)
+    np.fill_diagonal(distances_sq, np.inf)
+    return bool(distances_sq.min() > 0.0) if rows.shape[0] > 1 else True
+
+
+def _build_certificate(
+    scheme: "SummaryScheme",
+    locations: Tuple[bytes, ...],
+    summaries: Tuple[Any, ...],
+) -> IdentityCertificate:
+    """Construct (and validate) the certificate for one location set."""
+    style = scheme.identity_partition_style
+    if style not in ("em", "greedy"):
+        return IdentityCertificate(locations, summaries, style or "none", valid=False)
+    columns = scheme.pack_summaries(list(summaries))
+    if style == "greedy":
+        matrix = next(iter(columns.values()))
+        positions = np.atleast_2d(np.asarray(matrix, dtype=float))
+        # The greedy argument needs strictly positive cross-location
+        # distances (zero-distance duplicate pairs must be the unique
+        # minimum), so check computed distances rather than byte
+        # inequality — distinct rows can still underflow to distance 0.
+        if not _pairwise_distances_positive(positions):
+            return IdentityCertificate(locations, summaries, style, valid=False)
+        return IdentityCertificate(locations, summaries, style, valid=True)
+
+    # EM style: needs mean/cov columns (the Gaussian schemes' packing).
+    if "mean" not in columns or "cov" not in columns:
+        return IdentityCertificate(locations, summaries, style, valid=False)
+    means = np.atleast_2d(np.asarray(columns["mean"], dtype=float))
+    covs = np.asarray(columns["cov"], dtype=float)
+    if covs.ndim == 2:
+        covs = covs[None, :, :]
+    m = means.shape[0]
+    # Seed-distance and initial-assignment uniqueness need strictly
+    # positive pairwise mean distances as *computed* (not merely
+    # byte-distinct means, which can underflow to distance zero).
+    if not _pairwise_distances_positive(means):
+        return IdentityCertificate(locations, summaries, style, valid=False)
+    if m == 1:
+        return IdentityCertificate(locations, summaries, style, valid=True, means=means)
+    # Score margins at uniform group weights: the mixing-weight term is
+    # constant across groups there, so scores[a, a] - scores[a, b] is the
+    # pure geometry of "component at location a under group b" — computed
+    # with the same regularised-Cholesky scoring the EM E-step runs.
+    from repro.ml.reduction import _score_features, _score_matrix  # noqa: PLC0415
+
+    scores = _score_matrix(
+        _score_features(means, covs), means.shape[1], np.ones(m), means, covs
+    )
+    margins = scores.diagonal()[:, None] - scores
+    return IdentityCertificate(
+        locations, summaries, style, valid=True, means=means, margins=margins
+    )
+
+
+class MergeCache:
+    """Run-scoped, node-shared cache of receive outcomes and certificates.
+
+    Owned by the :class:`~repro.network.kernel.SimulationKernel` (which
+    folds its counters into :class:`~repro.network.metrics.NetworkMetrics`)
+    and consulted by every :class:`~repro.core.node.ClassifierNode` of the
+    run from inside ``receive``.  Byte-identity contract: a cache hit —
+    memo replay or certified no-op — produces exactly the collections,
+    packed state, stats deltas and ``merge`` events the uncached pipeline
+    would have produced.  The parity and determinism suites pin this with
+    the cache on (the default).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is None:
+            max_entries = merge_cache_size_default()
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._memo: "OrderedDict[Any, CachedReceive]" = OrderedDict()
+        self._certificates: "OrderedDict[Tuple[bytes, ...], IdentityCertificate]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.noop_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def lookup(self, key: Any) -> Optional[CachedReceive]:
+        """Memo lookup; bumps the hit counter and LRU recency on success."""
+        entry = self._memo.get(key)
+        if entry is None:
+            return None
+        self._memo.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: Any, entry: CachedReceive) -> None:
+        """Record a slow-path outcome; evicts the LRU entry at capacity."""
+        self.misses += 1
+        if key in self._memo:
+            self._memo.move_to_end(key)
+            return
+        if len(self._memo) >= self.max_entries:
+            self._memo.popitem(last=False)
+            self.evictions += 1
+        self._memo[key] = entry
+
+    def record_noop(self) -> None:
+        self.noop_hits += 1
+
+    def certificate_for(
+        self,
+        scheme: "SummaryScheme",
+        locations: Tuple[bytes, ...],
+        summaries: Tuple[Any, ...],
+    ) -> IdentityCertificate:
+        """The (possibly invalid) certificate for a sorted location set."""
+        certificate = self._certificates.get(locations)
+        if certificate is None:
+            certificate = _build_certificate(scheme, locations, summaries)
+            if len(self._certificates) >= 512:
+                self._certificates.popitem(last=False)
+            self._certificates[locations] = certificate
+        else:
+            self._certificates.move_to_end(locations)
+        return certificate
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot for metrics/report plumbing."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_noop_hits": self.noop_hits,
+        }

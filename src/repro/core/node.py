@@ -21,6 +21,7 @@ setting of the convergence proof).
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
@@ -29,6 +30,12 @@ import numpy as np
 
 from repro.core.classification import Classification
 from repro.core.collection import Collection
+from repro.core.fingerprint import (
+    CachedReceive,
+    MergeCache,
+    combine_digests,
+    state_fingerprint_of,
+)
 from repro.core.mixture import MixtureVector
 from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme, validate_partition
@@ -67,6 +74,9 @@ class NodeStats:
     partition_calls: int = 0
     fastpath_hits: int = 0
     fastpath_misses: int = 0
+    cache_memo_hits: int = 0
+    cache_noop_hits: int = 0
+    cache_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -78,6 +88,9 @@ class NodeStats:
             "partition_calls": self.partition_calls,
             "fastpath_hits": self.fastpath_hits,
             "fastpath_misses": self.fastpath_misses,
+            "cache_memo_hits": self.cache_memo_hits,
+            "cache_noop_hits": self.cache_noop_hits,
+            "cache_misses": self.cache_misses,
         }
 
 
@@ -123,6 +136,13 @@ class ClassifierNode:
         :class:`~repro.obs.events.Event` records; defaults to the
         ambient tracing sink (``None`` unless a
         :func:`repro.obs.context.tracing` block is active).
+    merge_cache:
+        The run-scoped :class:`~repro.core.fingerprint.MergeCache`
+        shared by every node of a network, or ``None`` to disable
+        receive memoisation and the certified no-op short-circuit for
+        this node.  Only consulted when the scheme declares
+        ``supports_fingerprints``; cache hits are byte-identical to the
+        uncached pipeline (see ``docs/performance.md``).
     """
 
     def __init__(
@@ -137,6 +157,7 @@ class ClassifierNode:
         validate: bool = False,
         packed: Optional[bool] = None,
         event_sink: Optional[EventSink] = None,
+        merge_cache: Optional[MergeCache] = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
@@ -150,6 +171,15 @@ class ClassifierNode:
         if packed is None:
             packed = packed_default()
         self.packed = bool(packed) and scheme.supports_packed
+        self.merge_cache = (
+            merge_cache if scheme.supports_fingerprints else None
+        )
+        self._track_aux = bool(track_aux)
+        # Content-address caches: per-collection digests plus the two
+        # derived fingerprints, all lazy and invalidated on state change.
+        self._digests: Optional[list[bytes]] = None
+        self._summary_fp: Optional[bytes] = None
+        self._state_fp: Optional[bytes] = None
 
         aux = None
         if track_aux:
@@ -191,6 +221,60 @@ class ClassifierNode:
         return sum(collection.quanta for collection in self._collections)
 
     # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def _set_digests(self, digests: Optional[list[bytes]]) -> None:
+        self._digests = digests
+        self._summary_fp = None
+        self._state_fp = None
+        if digests is not None:
+            # Stamp each collection so downstream receivers (split shares
+            # carry the digest along) can skip re-hashing the summary.
+            for collection, digest in zip(self._collections, digests):
+                collection.digest = digest
+
+    def _ensure_digests(self) -> list[bytes]:
+        if self._digests is None:
+            digest = self.scheme.summary_digest
+            self._digests = [digest(c.summary) for c in self._collections]
+        return self._digests
+
+    def summary_digests(self) -> Optional[tuple[bytes, ...]]:
+        """Per-collection content digests, aligned with the classification.
+
+        ``None`` when the scheme does not support fingerprints.
+        """
+        if not self.scheme.supports_fingerprints:
+            return None
+        return tuple(self._ensure_digests())
+
+    def summary_fingerprint(self) -> Optional[bytes]:
+        """Order-insensitive digest of *which* summaries the node holds.
+
+        Ignores quanta, so splitting leaves it unchanged — this is the
+        fingerprint the kernel's quiescence probe compares, since in a
+        structurally converged run only quanta still move.
+        """
+        if not self.scheme.supports_fingerprints:
+            return None
+        if self._summary_fp is None:
+            self._summary_fp = combine_digests(self._ensure_digests())
+        return self._summary_fp
+
+    def state_fingerprint(self) -> Optional[bytes]:
+        """Order-insensitive digest of the full ``(summary, quanta)`` state."""
+        if not self.scheme.supports_fingerprints:
+            return None
+        if self._state_fp is None:
+            self._state_fp = state_fingerprint_of(
+                zip(
+                    self._ensure_digests(),
+                    (collection.quanta for collection in self._collections),
+                )
+            )
+        return self._state_fp
+
+    # ------------------------------------------------------------------
     # Algorithm 1, lines 3-7: split
     # ------------------------------------------------------------------
     def make_message(self) -> list[Collection]:
@@ -218,6 +302,9 @@ class ClassifierNode:
                 quanta=quanta - quanta // 2, columns=self._packed.columns
             )
         self.stats.splits += 1
+        # Splitting changes quanta only: per-collection digests and the
+        # summary fingerprint survive, the state fingerprint does not.
+        self._state_fp = None
         if sent:
             self.stats.messages_made += 1
         if self.event_sink is not None:
@@ -240,16 +327,63 @@ class ClassifierNode:
         self.stats.collections_received += len(incoming)
         if not incoming:
             return
+        cache = self.merge_cache
+        local_digests: Optional[list[bytes]] = None
+        incoming_digests: Optional[list[bytes]] = None
+        if (
+            cache is not None
+            and not self._track_aux
+            and all(collection.aux is None for collection in incoming)
+        ):
+            summary_digest = self.scheme.summary_digest
+            incoming_digests = [
+                c.digest if c.digest is not None else summary_digest(c.summary)
+                for c in incoming
+            ]
+            local_digests = self._ensure_digests()
         big_set = self._collections + list(incoming)
-        packed_set: Optional[PackedState] = None
-        if self._packed is not None:
-            packed_set = PackedState.concat(self._packed, self._pack(incoming))
-        if self._try_fastpath(big_set, packed_set):
+        if self._try_fastpath(big_set, incoming):
+            if local_digests is not None and incoming_digests is not None:
+                self._set_digests(local_digests + incoming_digests)
+            else:
+                self._set_digests(None)
             return
         self.stats.fastpath_misses += 1
         registry = current_registry()
         if registry is not None:
             registry.inc("partition.fastpath_miss")
+        key = None
+        if incoming_digests is not None:
+            assert cache is not None and local_digests is not None
+            # The memo key is *order-sensitive* on both sides, deliberately
+            # stricter than the order-insensitive fingerprint: the EM
+            # reduction breaks argmax/argmin ties by pooled index, so two
+            # receipts over the same multiset but different collection
+            # orders may legitimately produce differently ordered output.
+            key = (
+                id(self.scheme),
+                self.k,
+                self.quantization.unit,
+                tuple(
+                    (digest, collection.quanta)
+                    for digest, collection in zip(local_digests, self._collections)
+                ),
+                tuple(
+                    (digest, collection.quanta)
+                    for digest, collection in zip(incoming_digests, incoming)
+                ),
+            )
+            entry = cache.lookup(key)
+            if entry is not None:
+                self._apply_cached(entry, len(big_set))
+                return
+            if self._try_certified_noop(incoming, local_digests, incoming_digests):
+                return
+        # The pooled packed state is only needed from here on — building
+        # it above would waste the work on every cache-served receipt.
+        packed_set: Optional[PackedState] = None
+        if self._packed is not None:
+            packed_set = PackedState.concat(self._packed, self._pack(incoming))
         if packed_set is not None:
             groups = self.scheme.partition_packed(packed_set, self.k, self.quantization)
         else:
@@ -262,9 +396,233 @@ class ClassifierNode:
         ]
         if self.packed:
             self._packed = self._pack(self._collections)
+        if key is not None:
+            assert cache is not None
+            summary_digest = self.scheme.summary_digest
+            out_digests = [summary_digest(c.summary) for c in self._collections]
+            self._set_digests(out_digests)
+            if self._packed is not None:
+                self._packed.row_digests = tuple(out_digests)
+            cache.store(
+                key,
+                CachedReceive(
+                    summaries=tuple(c.summary for c in self._collections),
+                    digests=tuple(out_digests),
+                    quanta=tuple(c.quanta for c in self._collections),
+                    group_sizes=tuple(len(group) for group in groups),
+                    columns=(
+                        dict(self._packed.columns)
+                        if self._packed is not None
+                        else None
+                    ),
+                ),
+            )
+            self.stats.cache_misses += 1
+            if registry is not None:
+                registry.inc("merge_cache.miss")
+        else:
+            self._set_digests(None)
+
+    def _apply_cached(self, entry: CachedReceive, pooled_size: int) -> None:
+        """Replay a memoised receive outcome (byte-identical by key design)."""
+        self._collections = [
+            Collection(summary=summary, quanta=quanta)
+            for summary, quanta in zip(entry.summaries, entry.quanta)
+        ]
+        if self.packed:
+            quanta = np.fromiter(
+                entry.quanta, dtype=np.int64, count=len(entry.quanta)
+            )
+            if entry.columns is not None:
+                # Columns are shared, never mutated in place (splits
+                # rebuild only the quanta vector; receipts re-pack).
+                self._packed = PackedState(
+                    quanta=quanta, columns=entry.columns, row_digests=entry.digests
+                )
+            else:
+                self._packed = self._pack(self._collections)
+                self._packed.row_digests = entry.digests
+        self._set_digests(list(entry.digests))
+        # Replay the stats/event deltas the uncached pipeline would produce.
+        self.stats.partition_calls += 1
+        self.stats.cache_memo_hits += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("merge_cache.hit")
+        sink = self.event_sink
+        for size in entry.group_sizes:
+            if size > 1:
+                self.stats.merges += 1
+                if sink is not None:
+                    sink.emit(Event(kind="merge", node=self.node_id, items=size))
+        if sink is not None:
+            sink.emit(
+                Event(
+                    kind="cache",
+                    node=self.node_id,
+                    items=pooled_size,
+                    extra={"path": "memo"},
+                )
+            )
+
+    def _try_certified_noop(
+        self,
+        incoming: Sequence[Collection],
+        local_digests: list[bytes],
+        incoming_digests: list[bytes],
+    ) -> bool:
+        """Absorb a receipt whose collections the node already holds.
+
+        Applies when every incoming digest matches a distinct local
+        collection: the pooled set then consists of ``m`` *locations*
+        (distinct byte patterns) with duplicates, and — under conditions
+        certified per location set by
+        :class:`~repro.core.fingerprint.IdentityCertificate` — the
+        scheme's partition provably groups the pooled components exactly
+        by location, with every merge reproducing the local summary bytes
+        (identical inputs pool exactly; see the scheme-level shortcuts).
+        The receipt then reduces to quanta bookkeeping: bump each
+        location's count, reorder per the certified output order, and
+        skip the partition/merge pipeline entirely.  Any condition that
+        cannot be certified falls through to the real pipeline, so this
+        path is sound by construction, not by testing alone.
+        """
+        cache = self.merge_cache
+        assert cache is not None
+        local = self._collections
+        m = len(local)
+        if len(set(local_digests)) != m or m > self.k:
+            return False
+        local_index = {digest: i for i, digest in enumerate(local_digests)}
+        for digest in incoming_digests:
+            if digest not in local_index:
+                return False
+        pooled_size = m + len(incoming)
+        if pooled_size <= self.k:
+            return False
+        style = self.scheme.identity_partition_style
+        if style is None:
+            return False
+        if style == "greedy" and m != self.k:
+            # The greedy merge loop stops at exactly k groups; with fewer
+            # locations than k it leaves duplicates uncoalesced.
+            return False
+        # Pool per-location quanta and member counts; bail anywhere near
+        # the quantisation floor, where conformance rule 2 (and its
+        # repair passes) could reshape the partition.
+        is_min = self.quantization.is_minimum
+        totals = []
+        for collection in local:
+            if is_min(collection.quanta):
+                return False
+            totals.append(collection.quanta)
+        counts = [1] * m
+        for digest, collection in zip(incoming_digests, incoming):
+            if is_min(collection.quanta):
+                return False
+            index = local_index[digest]
+            totals[index] += collection.quanta
+            counts[index] += 1
+        sorted_digests = tuple(sorted(local_digests))
+        certificate = cache.certificate_for(
+            self.scheme,
+            sorted_digests,
+            tuple(local[local_index[digest]].summary for digest in sorted_digests),
+        )
+        if not certificate.valid:
+            return False
+        if style == "em":
+            # Replicate the seeding: heaviest pooled component first
+            # (strict first-index argmax over locals-then-incoming, the
+            # pooled order partition_packed would see), then the maximin
+            # walk over locations; then check the E-step margins at the
+            # actual mixing weights.  Exact integer quanta (< 2**53)
+            # make the argmax and the log-weights exact.
+            best_quanta = -1
+            best_digest = local_digests[0]
+            for digest, collection in zip(local_digests, local):
+                if collection.quanta > best_quanta:
+                    best_quanta = collection.quanta
+                    best_digest = digest
+            for digest, collection in zip(incoming_digests, incoming):
+                if collection.quanta > best_quanta:
+                    best_quanta = collection.quanta
+                    best_digest = digest
+            ranks = tuple(
+                local_index[digest] for digest in certificate.locations
+            )
+            seed_order = certificate.seed_order(
+                certificate.index_of[best_digest], ranks
+            )
+            if seed_order is None:
+                return False
+            log_totals = [0.0] * m
+            for digest, index in local_index.items():
+                log_totals[certificate.index_of[digest]] = math.log(totals[index])
+            if not certificate.margin_ok(log_totals):
+                return False
+            order_digests = tuple(
+                certificate.locations[index] for index in seed_order
+            )
+        else:
+            # Greedy: duplicates coalesce first (zero distance is the
+            # strict minimum), the loop stops at exactly k = m groups,
+            # and surviving group leaders keep first-occurrence order —
+            # the local collection order, since incoming ⊆ local.
+            order_digests = tuple(local_digests)
+        new_collections = []
+        for digest in order_digests:
+            index = local_index[digest]
+            if counts[index] == 1:
+                new_collections.append(local[index])
+            else:
+                new_collections.append(
+                    Collection(summary=local[index].summary, quanta=totals[index])
+                )
+        self._collections = new_collections
+        if self.packed:
+            self._packed = PackedState(
+                quanta=np.fromiter(
+                    (collection.quanta for collection in new_collections),
+                    dtype=np.int64,
+                    count=m,
+                ),
+                columns=certificate.columns_for(order_digests, self.scheme),
+                row_digests=order_digests,
+            )
+        self._set_digests(list(order_digests))
+        # Replay the stats/event deltas of the pipeline this receipt skipped.
+        self.stats.partition_calls += 1
+        self.stats.cache_noop_hits += 1
+        cache.record_noop()
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("merge_cache.noop")
+        sink = self.event_sink
+        for digest in order_digests:
+            if counts[local_index[digest]] > 1:
+                self.stats.merges += 1
+                if sink is not None:
+                    sink.emit(
+                        Event(
+                            kind="merge",
+                            node=self.node_id,
+                            items=counts[local_index[digest]],
+                        )
+                    )
+        if sink is not None:
+            sink.emit(
+                Event(
+                    kind="cache",
+                    node=self.node_id,
+                    items=pooled_size,
+                    extra={"path": "noop"},
+                )
+            )
+        return True
 
     def _try_fastpath(
-        self, big_set: list[Collection], packed_set: Optional[PackedState]
+        self, big_set: list[Collection], incoming: Sequence[Collection]
     ) -> bool:
         """Adopt the pooled set unpartitioned when that is provably correct.
 
@@ -280,18 +638,15 @@ class ClassifierNode:
         if size > self.k or not self.scheme.identity_below_k:
             return False
         if size > 1:
-            if packed_set is not None:
-                min_quanta = int(packed_set.quanta.min())
-            else:
-                min_quanta = min(collection.quanta for collection in big_set)
+            min_quanta = min(collection.quanta for collection in big_set)
             if self.quantization.is_minimum(min_quanta):
                 return False
         if self.validate:
             groups = [[index] for index in range(size)]
             validate_partition(groups, big_set, self.k, self.quantization)
         self._collections = big_set
-        if packed_set is not None:
-            self._packed = packed_set
+        if self._packed is not None:
+            self._packed = PackedState.concat(self._packed, self._pack(incoming))
         self.stats.fastpath_hits += 1
         registry = current_registry()
         if registry is not None:

@@ -26,7 +26,7 @@ after int64 would matter for any simulation this repository runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,10 +46,17 @@ class PackedState:
         Scheme-specific summary arrays; every value has leading
         dimension ``l`` and row ``i`` describes collection ``i``.  The
         owning scheme defines the keys (see ``pack_summaries``).
+    row_digests:
+        Optional per-row content digests (``supports_fingerprints``
+        schemes only): ``row_digests[i]`` addresses the summary behind
+        row ``i``.  ``None`` means "not computed"; structural operations
+        propagate digests when every input carries them and fall back to
+        ``None`` otherwise — digests are a cache, never a requirement.
     """
 
     quanta: np.ndarray
     columns: Dict[str, np.ndarray]
+    row_digests: Optional[Tuple[bytes, ...]] = None
 
     def __len__(self) -> int:
         return int(self.quanta.shape[0])
@@ -61,20 +68,28 @@ class PackedState:
             raise ValueError(
                 f"packed column mismatch: {sorted(first.columns)} vs {sorted(second.columns)}"
             )
+        digests = None
+        if first.row_digests is not None and second.row_digests is not None:
+            digests = first.row_digests + second.row_digests
         return PackedState(
             quanta=np.concatenate([first.quanta, second.quanta]),
             columns={
                 name: np.concatenate([first.columns[name], second.columns[name]])
                 for name in first.columns
             },
+            row_digests=digests,
         )
 
     def take(self, indices: Sequence[int] | np.ndarray) -> "PackedState":
         """A new packed state holding only the given rows, in order."""
         idx = np.asarray(indices, dtype=np.intp)
+        digests = None
+        if self.row_digests is not None:
+            digests = tuple(self.row_digests[int(i)] for i in idx)
         return PackedState(
             quanta=self.quanta[idx],
             columns={name: column[idx] for name, column in self.columns.items()},
+            row_digests=digests,
         )
 
     def weights(self) -> np.ndarray:

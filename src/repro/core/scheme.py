@@ -71,6 +71,21 @@ class SummaryScheme(abc.ABC, Generic[S]):
     #: of their collections and route partition/merge through it.
     supports_packed: bool = False
 
+    #: True when the scheme implements :meth:`summary_digest`, making its
+    #: summaries content-addressable.  Nodes then maintain per-collection
+    #: digests and participate in the run's merge cache and the kernel's
+    #: quiescence probe (see :mod:`repro.core.fingerprint`).
+    supports_fingerprints: bool = False
+
+    #: How the scheme's ``partition`` groups a pooled set whose members
+    #: are byte-identical copies of a few distinct "locations": ``"em"``
+    #: (EM reduction: groups = locations in maximin seed order, subject
+    #: to the certificate's margin check) or ``"greedy"`` (closest-pair
+    #: merging: groups = locations in first-occurrence order, when the
+    #: location count equals ``k``).  ``None`` disables the certified
+    #: no-op receive path for the scheme.
+    identity_partition_style: str | None = None
+
     @abc.abstractmethod
     def val_to_summary(self, value: Any) -> S:
         """Summarise a single whole input value (Algorithm 1 line 2)."""
@@ -147,6 +162,22 @@ class SummaryScheme(abc.ABC, Generic[S]):
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement the packed hot path"
+        )
+
+    # ------------------------------------------------------------------
+    # Content addressing — optional, see supports_fingerprints
+    # ------------------------------------------------------------------
+    def summary_digest(self, summary: S) -> bytes:
+        """Stable content digest of one summary.
+
+        Two summaries must share a digest iff their packed rows are
+        byte-identical — i.e. iff substituting one for the other leaves
+        every downstream partition/merge bit-for-bit unchanged.  Schemes
+        typically hash their packed column arrays via
+        :func:`repro.core.fingerprint.digest_arrays`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support content-addressed summaries"
         )
 
 

@@ -11,7 +11,7 @@ without multi-minute runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import Optional
 
 import networkx as nx
 import numpy as np

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.analysis.accuracy import average_error
 from repro.analysis.outliers import robust_mean
 from repro.data.generators import OutlierScenario, outlier_scenario

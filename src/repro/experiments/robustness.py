@@ -24,8 +24,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.analysis.accuracy import average_error
 from repro.analysis.outliers import robust_mean
 from repro.data.generators import outlier_scenario

@@ -19,7 +19,6 @@ asserts but does not plot:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

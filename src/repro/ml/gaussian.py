@@ -138,6 +138,12 @@ def pool_moments(
         raise ValueError("weights and means must align")
     if np.any(weights < 0) or weights.sum() <= 0:
         raise ValueError("weights must be non-negative with positive total")
+    if (means == means[0]).all() and (covs == covs[0]).all():
+        # Pooling byte-identical components is the identity.  Computing it
+        # exactly (instead of through the weighted sums below, which pick
+        # up float dust) keeps converged gossip states byte-stable, which
+        # the content-addressed merge cache depends on.
+        return means[0].copy(), symmetrize(covs[0])
     total = weights.sum()
     mean = (weights[:, None] * means).sum(axis=0) / total
     centered = means - mean

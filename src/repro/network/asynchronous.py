@@ -29,6 +29,7 @@ from typing import Callable, Mapping, Optional
 
 import networkx as nx
 
+from repro.core.fingerprint import MergeCache
 from repro.network.failures import FailureModel
 from repro.network.kernel import SimulationKernel
 from repro.network.links import LinkSchedule
@@ -79,6 +80,9 @@ class AsyncEngine(SimulationKernel):
         variant: str = "push",
         failure_model: Optional[FailureModel] = None,
         link_schedule: Optional[LinkSchedule] = None,
+        merge_cache: Optional[MergeCache] = None,
+        stop_on_quiescence: bool = False,
+        quiescence_patience: int = 3,
     ) -> None:
         super().__init__(
             graph,
@@ -94,6 +98,9 @@ class AsyncEngine(SimulationKernel):
             link_schedule=link_schedule,
             fifo=fifo,
             event_sink=event_sink,
+            merge_cache=merge_cache,
+            stop_on_quiescence=stop_on_quiescence,
+            quiescence_patience=quiescence_patience,
         )
 
     @property

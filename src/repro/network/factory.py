@@ -15,6 +15,7 @@ from typing import Mapping, Optional
 
 import networkx as nx
 
+from repro.core.fingerprint import MergeCache
 from repro.network.asynchronous import AsyncEngine
 from repro.network.failures import FailureModel
 from repro.network.kernel import SimulationKernel
@@ -43,12 +44,18 @@ def make_engine(
     mean_interval: float = 1.0,
     delay_range: tuple[float, float] = (0.05, 2.0),
     fifo: bool = False,
+    merge_cache: Optional[MergeCache] = None,
+    stop_on_quiescence: bool = False,
+    quiescence_patience: int = 3,
 ) -> SimulationKernel:
     """Construct the named engine over a protocol map.
 
     ``mean_interval``, ``delay_range`` and ``fifo`` only apply to the
     asynchronous engine; they are accepted (and ignored) for ``"rounds"``
     so callers can thread one configuration through either schedule.
+    ``merge_cache`` / ``stop_on_quiescence`` / ``quiescence_patience``
+    (the convergence-aware knobs — see ``docs/performance.md``) apply to
+    both.
     """
     if engine == "rounds":
         return RoundEngine(
@@ -60,6 +67,9 @@ def make_engine(
             failure_model=failure_model,
             link_schedule=link_schedule,
             event_sink=event_sink,
+            merge_cache=merge_cache,
+            stop_on_quiescence=stop_on_quiescence,
+            quiescence_patience=quiescence_patience,
         )
     if engine == "async":
         return AsyncEngine(
@@ -74,5 +84,8 @@ def make_engine(
             mean_interval=mean_interval,
             delay_range=delay_range,
             fifo=fifo,
+            merge_cache=merge_cache,
+            stop_on_quiescence=stop_on_quiescence,
+            quiescence_patience=quiescence_patience,
         )
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")

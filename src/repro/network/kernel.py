@@ -39,6 +39,7 @@ from typing import Any, Callable, Mapping, Optional, Union
 
 import networkx as nx
 
+from repro.core.fingerprint import MergeCache
 from repro.network.channel import Channel, InFlightMessage
 from repro.network.events import EventQueue
 from repro.network.failures import FailureModel, NoFailures
@@ -151,6 +152,24 @@ class SimulationKernel(Network):
     fifo:
         Enforce per-channel FIFO delivery (only observable under delayed
         schedules; used by tests to build deterministic orderings).
+    merge_cache:
+        The run-scoped :class:`~repro.core.fingerprint.MergeCache` the
+        network's nodes share (``None`` when caching is disabled).  The
+        kernel does not consult it; owning it here lets the metrics
+        layer fold its counters into :attr:`metrics` at every round
+        close, and gives tests one handle on the whole run's cache.
+    stop_on_quiescence:
+        When true, :meth:`run` probes after every round-equivalent
+        whether all live nodes share one summary fingerprint *and* every
+        in-flight payload's collections are already part of it; after
+        ``quiescence_patience`` consecutive such probes the run stops
+        early.  Off by default — figure reproduction runs full length —
+        and opt-in for sweeps.  Past this point the class *structure* is
+        frozen; only quanta keep moving between byte-identical
+        summaries.
+    quiescence_patience:
+        Consecutive quiescent round-equivalents required before the
+        early exit fires.
     """
 
     def __init__(
@@ -164,6 +183,9 @@ class SimulationKernel(Network):
         link_schedule: Optional[LinkSchedule] = None,
         fifo: bool = False,
         event_sink: Optional[EventSink] = None,
+        merge_cache: Optional[MergeCache] = None,
+        stop_on_quiescence: bool = False,
+        quiescence_patience: int = 3,
     ) -> None:
         super().__init__(
             graph,
@@ -180,6 +202,17 @@ class SimulationKernel(Network):
         #: a 1,000-node complete graph has ~10^6 directed edges, most of
         #: which a short run never exercises.
         self.channels: dict[tuple[int, int], Channel] = {}
+        self.merge_cache = merge_cache
+        if quiescence_patience < 1:
+            raise ValueError(
+                f"quiescence_patience must be at least 1, got {quiescence_patience}"
+            )
+        self.stop_on_quiescence = stop_on_quiescence
+        self.quiescence_patience = quiescence_patience
+        self._quiescent_streak = 0
+        #: Round-equivalent count at which the early exit fired (``None``
+        #: while the run has not quiesced).
+        self.quiescent_at: Optional[int] = None
         self.scheduler = scheduler
         scheduler.attach(self)
 
@@ -195,6 +228,8 @@ class SimulationKernel(Network):
 
     def emit_round_close(self, round_index: int, messages: int) -> None:
         """Record the end of one round (or round-equivalent epoch)."""
+        if self.merge_cache is not None:
+            self.metrics.sync_cache(self.merge_cache)
         if self.event_sink is not None:
             stamp = self._stamp()
             self.event_sink.emit(
@@ -342,6 +377,65 @@ class SimulationKernel(Network):
         return payloads
 
     # ------------------------------------------------------------------
+    # Quiescence detection
+    # ------------------------------------------------------------------
+    def _probe_quiescence(self) -> bool:
+        """Do all live nodes (and all in-flight payloads) agree right now?
+
+        Quiescence is *structural*: every live node's summary-level
+        fingerprint (which summaries it holds, ignoring quanta — so
+        splitting does not disturb it) is identical, and every collection
+        still travelling inside a channel carries a summary the shared
+        fingerprint already contains.  Once that holds, no future receipt
+        can introduce a new summary: the classes are final, only weight
+        keeps circulating.  Returns ``False`` whenever the protocol or
+        scheme cannot answer (no ``node`` attribute, no fingerprint
+        support) — quiescence then never fires, it does not guess.
+        """
+        reference_fp: Optional[bytes] = None
+        reference_digests: Optional[frozenset[bytes]] = None
+        scheme = None
+        for node_id in self.live:
+            node = getattr(self.protocols[node_id], "node", None)
+            if node is None:
+                return False
+            fingerprint = node.summary_fingerprint()
+            if fingerprint is None:
+                return False
+            if reference_fp is None:
+                reference_fp = fingerprint
+                reference_digests = frozenset(node.summary_digests())
+                scheme = node.scheme
+            elif fingerprint != reference_fp:
+                return False
+        if reference_digests is None or scheme is None:
+            return False
+        for payload in self.in_flight_payloads():
+            for collection in payload:
+                if scheme.summary_digest(collection.summary) not in reference_digests:
+                    return False
+        return True
+
+    def _check_quiescence(self, executed: int) -> bool:
+        """Advance the streak; returns ``True`` when the early exit fires."""
+        if not self._probe_quiescence():
+            self._quiescent_streak = 0
+            return False
+        self._quiescent_streak += 1
+        self.metrics.quiescent_rounds += 1
+        if self._quiescent_streak < self.quiescence_patience:
+            return False
+        if self.quiescent_at is None:
+            self.quiescent_at = executed
+            self._emit("cache", extra={"path": "quiescent", "streak": self._quiescent_streak})
+        return True
+
+    @property
+    def quiescent(self) -> bool:
+        """Whether a :meth:`run` ended early on quiescence."""
+        return self.quiescent_at is not None
+
+    # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
     def run(
@@ -367,8 +461,12 @@ class SimulationKernel(Network):
             executed += 1
             if per_round is not None:
                 per_round(self)
+            if self.stop_on_quiescence and self._check_quiescence(executed):
+                break
             if stop_condition is not None and stop_condition(self):
                 break
+        if self.merge_cache is not None:
+            self.metrics.sync_cache(self.merge_cache)
         return executed
 
     def run_steps(

@@ -9,6 +9,10 @@ selling points (message size depends on dataset parameters, never on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.fingerprint import MergeCache
 
 __all__ = ["NetworkMetrics"]
 
@@ -24,6 +28,11 @@ class NetworkMetrics:
     messages_dropped: int = 0
     payload_items_sent: int = 0
     crashes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_noop_hits: int = 0
+    quiescent_rounds: int = 0
     per_round_messages: list[int] = field(default_factory=list)
 
     def record_send(self, payload_items: int = 1) -> None:
@@ -39,6 +48,15 @@ class NetworkMetrics:
     def close_round(self, messages_this_round: int) -> None:
         self.rounds += 1
         self.per_round_messages.append(messages_this_round)
+
+    def sync_cache(self, cache: "MergeCache") -> None:
+        """Mirror the run's merge-cache counters (kernel calls this at
+        every round close; the cache is shared, the metrics are the
+        engine-scoped view of it)."""
+        self.cache_hits = cache.hits
+        self.cache_misses = cache.misses
+        self.cache_evictions = cache.evictions
+        self.cache_noop_hits = cache.noop_hits
 
     def as_dict(self) -> dict[str, object]:
         """Full snapshot, including the per-round message series.
@@ -57,6 +75,11 @@ class NetworkMetrics:
             "messages_dropped": self.messages_dropped,
             "payload_items_sent": self.payload_items_sent,
             "crashes": self.crashes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_noop_hits": self.cache_noop_hits,
+            "quiescent_rounds": self.quiescent_rounds,
             "per_round_messages": per_round,
             "mean_messages_per_round": (
                 sum(per_round) / len(per_round) if per_round else 0.0

@@ -25,6 +25,7 @@ from typing import Callable, Mapping, Optional
 
 import networkx as nx
 
+from repro.core.fingerprint import MergeCache
 from repro.network.failures import FailureModel
 from repro.network.kernel import GOSSIP_VARIANTS, SimulationKernel
 from repro.network.links import LinkSchedule
@@ -71,6 +72,9 @@ class RoundEngine(SimulationKernel):
         failure_model: Optional[FailureModel] = None,
         link_schedule: Optional[LinkSchedule] = None,
         event_sink: Optional[EventSink] = None,
+        merge_cache: Optional[MergeCache] = None,
+        stop_on_quiescence: bool = False,
+        quiescence_patience: int = 3,
     ) -> None:
         super().__init__(
             graph,
@@ -81,6 +85,9 @@ class RoundEngine(SimulationKernel):
             failure_model=failure_model,
             link_schedule=link_schedule,
             event_sink=event_sink,
+            merge_cache=merge_cache,
+            stop_on_quiescence=stop_on_quiescence,
+            quiescence_patience=quiescence_patience,
         )
 
     @property

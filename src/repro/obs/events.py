@@ -36,7 +36,10 @@ __all__ = [
 #: ``em_step`` from the centralised EM comparator; ``probe`` from
 #: :class:`~repro.network.trace.RunTracer`; ``span`` from profiling timers;
 #: ``fastpath`` marks a receipt where the node adopted the pooled set
-#: without running the scheme's partition (see ``docs/performance.md``).
+#: without running the scheme's partition (see ``docs/performance.md``);
+#: ``cache`` marks a receipt served by the merge cache (``extra.path``
+#: is ``"memo"`` or ``"noop"``) or, from the kernel, the quiescence
+#: early exit (``extra.path`` ``"quiescent"``).
 EVENT_KINDS = frozenset(
     {
         "send",
@@ -50,6 +53,7 @@ EVENT_KINDS = frozenset(
         "probe",
         "span",
         "fastpath",
+        "cache",
     }
 )
 

@@ -18,6 +18,8 @@ with :mod:`repro.analysis.reporting`:
   and EM likelihood traces from ``em_step`` events;
 - the partition fast-path summary (``fastpath`` events: how often nodes
   adopted the pooled set without running the scheme's partition);
+- the merge-cache summary (``cache`` events: memoised receives,
+  certified no-op receives, and the kernel's quiescence early exit);
 - the crash timeline;
 - per-node activity timelines (sends, receipts, drops, splits, merges,
   crash stamp);
@@ -164,6 +166,24 @@ def _fastpath_section(events: list[dict[str, Any]]) -> Optional[str]:
     return f"{banner('Partition fast path')}\n{format_table(['metric', 'value'], rows)}"
 
 
+def _cache_section(events: list[dict[str, Any]]) -> Optional[str]:
+    """Merge-cache activity (``cache`` events, by path)."""
+    cached = [event for event in events if event["kind"] == "cache"]
+    if not cached:
+        return None
+    paths = Counter(str((event.get("extra") or {}).get("path", "?")) for event in cached)
+    receives = sum(1 for event in events if event["kind"] in ("fastpath", "merge"))
+    rows = [
+        ["memoised_receives", paths.get("memo", 0)],
+        ["certified_noop_receives", paths.get("noop", 0)],
+        ["merge_events", receives],
+    ]
+    quiescent = [event for event in cached if (event.get("extra") or {}).get("path") == "quiescent"]
+    if quiescent:
+        rows.append(["quiescence_detected_at", _stamp(quiescent[0])])
+    return f"{banner('Merge cache')}\n{format_table(['metric', 'value'], rows)}"
+
+
 def _crash_section(events: list[dict[str, Any]]) -> Optional[str]:
     crashes = [event for event in events if event["kind"] == "crash"]
     if not crashes:
@@ -258,6 +278,7 @@ def render_report(events: list[dict[str, Any]], top: int = 10, nodes: int = 10) 
         _convergence_section(events),
         _em_section(events),
         _fastpath_section(events),
+        _cache_section(events),
         _crash_section(events),
         _node_section(events, nodes),
         _span_section(events, top),

@@ -15,6 +15,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.core.fingerprint import MergeCache, merge_cache_default
 from repro.core.node import ClassifierNode
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
@@ -81,6 +82,9 @@ def build_classification_network(
     engine: str = "rounds",
     mean_interval: float = 1.0,
     delay_range: tuple[float, float] = (0.05, 2.0),
+    merge_cache: Optional[bool] = None,
+    stop_on_quiescence: bool = False,
+    quiescence_patience: int = 3,
 ) -> tuple[SimulationKernel, list[ClassifierNode]]:
     """Construct an engine running Algorithm 1 over ``values``.
 
@@ -94,6 +98,15 @@ def build_classification_network(
     Poisson model; ``mean_interval`` / ``delay_range`` then apply).
     Every other knob means the same thing on either schedule.
 
+    ``merge_cache`` enables the run-scoped receive memoisation cache
+    shared by all nodes (``None`` defers to
+    :func:`repro.core.fingerprint.merge_cache_default`, i.e. the
+    ``REPRO_MERGE_CACHE`` environment toggle — on by default).  Cached
+    receipts are byte-identical to uncached ones; see
+    ``docs/performance.md``.  ``stop_on_quiescence`` /
+    ``quiescence_patience`` configure the kernel's structural early
+    exit (off by default, opt-in for sweeps).
+
     ``event_sink`` (or the ambient :func:`repro.obs.context.tracing`
     sink) is wired to both the engine (transport events) and every node
     (split/merge events), giving one coherent trace per run.
@@ -104,6 +117,11 @@ def build_classification_network(
             f"topology has {graph.number_of_nodes()} nodes but {n} values were given"
         )
     quantization = quantization or Quantization()
+    if merge_cache is None:
+        merge_cache = merge_cache_default()
+    cache = (
+        MergeCache() if merge_cache and scheme.supports_fingerprints else None
+    )
     nodes = [
         ClassifierNode(
             node_id=i,
@@ -115,6 +133,7 @@ def build_classification_network(
             n_inputs=n if track_aux else None,
             validate=validate,
             event_sink=event_sink,
+            merge_cache=cache,
         )
         for i in range(n)
     ]
@@ -131,5 +150,8 @@ def build_classification_network(
         event_sink=event_sink,
         mean_interval=mean_interval,
         delay_range=delay_range,
+        merge_cache=cache,
+        stop_on_quiescence=stop_on_quiescence,
+        quiescence_patience=quiescence_patience,
     )
     return built, nodes

@@ -14,6 +14,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.core.fingerprint import digest_arrays
 from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
@@ -68,7 +69,11 @@ def greedy_closest_pair_partition(
             """Fold group ``b`` into group ``a`` (requires ``a < b``)."""
             nonlocal points, masses, has_heavy, distances_sq
             total = masses[a] + masses[b]
-            points[a] = (masses[a] * points[a] + masses[b] * points[b]) / total
+            if not np.array_equal(points[a], points[b]):
+                # Coincident points average to themselves; skipping the
+                # arithmetic keeps the result byte-exact (no float dust),
+                # which converged states rely on for content addressing.
+                points[a] = (masses[a] * points[a] + masses[b] * points[b]) / total
             masses[a] = total
             groups[a].extend(groups[b])
             has_heavy[a] = True  # merged groups always have >= 2 members
@@ -120,6 +125,8 @@ class CentroidScheme(SummaryScheme):
     # excludes), so partition is the identity there.
     identity_below_k = True
     supports_packed = True
+    supports_fingerprints = True
+    identity_partition_style = "greedy"
 
     def val_to_summary(self, value: Any) -> np.ndarray:
         summary = np.atleast_1d(np.asarray(value, dtype=float))
@@ -133,6 +140,11 @@ class CentroidScheme(SummaryScheme):
         total = sum(weight for _, weight in items)
         if total <= 0:
             raise ValueError("merged weight must be positive")
+        first = np.asarray(items[0][0], dtype=float)
+        if all(np.array_equal(first, summary) for summary, _ in items[1:]):
+            # Identical summaries merge to themselves, exactly (see the
+            # greedy merge guard above — same byte-stability argument).
+            return first.copy()
         merged = sum(weight * summary for summary, weight in items) / total
         return np.asarray(merged, dtype=float)
 
@@ -168,9 +180,15 @@ class CentroidScheme(SummaryScheme):
         # accumulation order), so both paths round identically.
         positions = packed.columns["position"]
         quanta = packed.quanta
+        first = positions[group[0]]
+        if all(np.array_equal(first, positions[i]) for i in group[1:]):
+            return np.asarray(first, dtype=float).copy()
         total = sum(float(quanta[i]) for i in group)
         merged = sum(float(quanta[i]) * positions[i] for i in group) / total
         return np.asarray(merged, dtype=float)
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))
+
+    def summary_digest(self, summary: np.ndarray) -> bytes:
+        return digest_arrays(np.asarray(summary, dtype=float))

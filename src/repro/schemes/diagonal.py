@@ -49,6 +49,8 @@ class DiagonalGaussianScheme(SummaryScheme):
 
     identity_below_k = True  # same reduce_mixture singleton behaviour at l <= k
     supports_packed = True
+    supports_fingerprints = True
+    identity_partition_style = "em"
 
     def __init__(self, seed: int = 0, reduction_iterations: int = 25) -> None:
         self._rng = np.random.default_rng(seed)
@@ -69,6 +71,9 @@ class DiagonalGaussianScheme(SummaryScheme):
 
     def distance(self, a: GaussianSummary, b: GaussianSummary) -> float:
         return self._full.distance(a, b)
+
+    def summary_digest(self, summary: GaussianSummary) -> bytes:
+        return self._full.summary_digest(summary)
 
     def partition(
         self,

@@ -18,6 +18,7 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.core.fingerprint import digest_arrays
 from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
@@ -50,6 +51,8 @@ class GaussianMixtureScheme(SummaryScheme):
 
     identity_below_k = True  # reduce_mixture returns singletons at l <= k
     supports_packed = True
+    supports_fingerprints = True
+    identity_partition_style = "em"
 
     def __init__(self, seed: int = 0, reduction_iterations: int = 25) -> None:
         self._rng = np.random.default_rng(seed)
@@ -67,6 +70,9 @@ class GaussianMixtureScheme(SummaryScheme):
     def distance(self, a: GaussianSummary, b: GaussianSummary) -> float:
         """``d_S`` "as in the centroids algorithm": L2 between means."""
         return float(np.linalg.norm(a.mean - b.mean))
+
+    def summary_digest(self, summary: GaussianSummary) -> bytes:
+        return digest_arrays(summary.mean, summary.cov)
 
     # ------------------------------------------------------------------
     # Expectation Maximization partitioning (Section 5.2)

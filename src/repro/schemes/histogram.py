@@ -21,6 +21,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.core.fingerprint import digest_arrays
 from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
@@ -45,6 +46,8 @@ class HistogramScheme(SummaryScheme):
     # below the k bound once minimum-weight collections are excluded.
     identity_below_k = True
     supports_packed = True
+    supports_fingerprints = True
+    identity_partition_style = "greedy"
 
     def __init__(self, low: float, high: float, bins: int = 32) -> None:
         if not high > low:
@@ -72,6 +75,11 @@ class HistogramScheme(SummaryScheme):
         total = sum(weight for _, weight in items)
         if total <= 0:
             raise ValueError("merged weight must be positive")
+        first = np.asarray(items[0][0], dtype=float)
+        if all(np.array_equal(first, histogram) for histogram, _ in items[1:]):
+            # Identical proportion vectors pool to themselves, exactly —
+            # keeps converged states byte-stable for content addressing.
+            return first.copy()
         merged = sum(weight * histogram for histogram, weight in items) / total
         return np.asarray(merged, dtype=float)
 
@@ -106,6 +114,9 @@ class HistogramScheme(SummaryScheme):
         # Mirrors merge_set's sequential weighted average exactly.
         masses = packed.columns["mass"]
         quanta = packed.quanta
+        first = masses[group[0]]
+        if all(np.array_equal(first, masses[i]) for i in group[1:]):
+            return np.asarray(first, dtype=float).copy()
         total = sum(float(quanta[i]) for i in group)
         merged = sum(float(quanta[i]) * masses[i] for i in group) / total
         return np.asarray(merged, dtype=float)
@@ -113,6 +124,9 @@ class HistogramScheme(SummaryScheme):
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         """Total-variation distance between the two bin-mass vectors."""
         return 0.5 * float(np.sum(np.abs(np.asarray(a) - np.asarray(b))))
+
+    def summary_digest(self, summary: np.ndarray) -> bytes:
+        return digest_arrays(np.asarray(summary, dtype=float))
 
     def mean_estimate(self, histogram: np.ndarray) -> float:
         """Midpoint-weighted mean implied by a histogram summary."""

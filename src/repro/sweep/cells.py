@@ -170,7 +170,9 @@ def classification_cell(params: Mapping[str, Any]) -> dict[str, Any]:
     ``dataset`` ("outlier"; also "two_cluster", "fence_fire"),
     ``delta`` / ``outlier_fraction`` / ``separation`` (dataset shape),
     ``crash_rate`` / ``min_survivors`` (failure injection),
-    ``quanta_per_unit`` (weight lattice).
+    ``quanta_per_unit`` (weight lattice), ``early_exit`` (stop once the
+    kernel detects structural quiescence — see ``docs/performance.md``)
+    with ``quiescence_patience`` (3).
     """
     seed = int(params["seed"])
     values, true_mean = _build_dataset(params, seed)
@@ -181,6 +183,7 @@ def classification_cell(params: Mapping[str, Any]) -> dict[str, Any]:
         n = len(values)
     scheme = _build_scheme(str(params.get("scheme", "gm")), seed, params)
     quanta = params.get("quanta_per_unit")
+    early_exit = bool(params.get("early_exit", False))
     engine, nodes = build_classification_network(
         values,
         scheme,
@@ -191,8 +194,11 @@ def classification_cell(params: Mapping[str, Any]) -> dict[str, Any]:
         variant=str(params.get("variant", "push")),
         failure_model=_failure_model(params),
         engine=str(params.get("engine", "rounds")),
+        stop_on_quiescence=early_exit,
+        quiescence_patience=int(params.get("quiescence_patience", 3)),
     )
-    rounds_run = engine.run(int(params.get("rounds", 15)))
+    rounds = int(params.get("rounds", 15))
+    rounds_run = engine.run(rounds)
 
     live = [nodes[node_id] for node_id in engine.live_nodes]
     result: dict[str, Any] = {
@@ -204,6 +210,9 @@ def classification_cell(params: Mapping[str, Any]) -> dict[str, Any]:
         "survivors": int(len(live)),
         "disagreement": float(disagreement([nodes[i] for i in engine.live_nodes], scheme)),
     }
+    if early_exit:
+        result["quiescent"] = bool(engine.quiescent)
+        result["rounds_saved"] = int(rounds - rounds_run)
     if true_mean is not None and live:
         result["robust_error"] = float(
             average_error((robust_mean(node.classification) for node in live), true_mean)

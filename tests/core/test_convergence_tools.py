@@ -155,3 +155,37 @@ class TestConvergenceDetector:
         node.receive([Collection(summary=np.array([50.0]), quanta=16)])
         assert not detector.update([node])
         assert detector.last_movement > 0
+
+    def test_unchanged_fingerprint_skips_distance_lp(self, monkeypatch):
+        # A node whose state fingerprint is unchanged has moved exactly
+        # zero; the transportation LP must not run for it.
+        import repro.core.convergence as convergence
+
+        scheme = CentroidScheme()
+        nodes = [
+            ClassifierNode(i, np.array([float(i)]), scheme, k=2, quantization=Quantization(16))
+            for i in range(3)
+        ]
+        detector = ConvergenceDetector(scheme, tolerance=1e-9, patience=2)
+        detector.update(nodes)
+        calls = []
+        real = convergence.classification_distance
+        monkeypatch.setattr(
+            convergence,
+            "classification_distance",
+            lambda *args: calls.append(1) or real(*args),
+        )
+        assert not detector.update(nodes)
+        assert detector.update(nodes)
+        assert calls == []  # every comparison short-circuited
+        assert detector.last_movement == 0.0
+
+    def test_changed_state_still_measured_after_short_circuit(self):
+        scheme = CentroidScheme()
+        node = ClassifierNode(0, np.array([0.0]), scheme, k=2, quantization=Quantization(1 << 10))
+        detector = ConvergenceDetector(scheme, tolerance=1e-9, patience=1)
+        detector.update([node])
+        assert detector.update([node])  # fingerprint path: zero movement
+        node.receive([Collection(summary=np.array([50.0]), quanta=16)])
+        assert not detector.update([node])  # new fingerprint: LP measured it
+        assert detector.last_movement > 0

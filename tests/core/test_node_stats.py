@@ -21,6 +21,9 @@ class TestNodeStats:
             "partition_calls",
             "fastpath_hits",
             "fastpath_misses",
+            "cache_memo_hits",
+            "cache_noop_hits",
+            "cache_misses",
         }
         assert all(value == 0 for value in snapshot.values())
 

@@ -37,6 +37,37 @@ class TestCounters:
         snapshot = NetworkMetrics().as_dict()
         assert {"rounds", "messages_sent", "messages_dropped", "crashes"} <= set(snapshot)
 
+    def test_as_dict_carries_cache_counters(self):
+        snapshot = NetworkMetrics().as_dict()
+        assert {
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cache_noop_hits",
+            "quiescent_rounds",
+        } <= set(snapshot)
+        assert all(
+            snapshot[key] == 0
+            for key in (
+                "cache_hits",
+                "cache_misses",
+                "cache_evictions",
+                "cache_noop_hits",
+                "quiescent_rounds",
+            )
+        )
+
+    def test_sync_cache_mirrors_cache_counters(self):
+        from repro.core.fingerprint import MergeCache
+
+        cache = MergeCache(max_entries=4)
+        cache.record_noop()
+        cache.record_noop()
+        metrics = NetworkMetrics()
+        metrics.sync_cache(cache)
+        assert metrics.cache_noop_hits == 2
+        assert metrics.as_dict()["cache_noop_hits"] == 2
+
 
 class TestAsDictDerivedStats:
     """as_dict used to omit per_round_messages entirely; it now carries the

@@ -102,6 +102,24 @@ class TestRenderReport:
         assert "Convergence curves" in text
         assert "max_error" in text
 
+    def test_cache_section_from_cache_events(self):
+        events = [
+            {"kind": "cache", "node": 1, "extra": {"path": "memo"}},
+            {"kind": "cache", "node": 2, "extra": {"path": "noop"}},
+            {"kind": "cache", "node": 5, "extra": {"path": "noop"}},
+            {"kind": "cache", "round": 12, "extra": {"path": "quiescent", "streak": 3}},
+            {"kind": "merge", "node": 1},
+        ]
+        text = render_report(events)
+        assert "Merge cache" in text
+        assert "memoised_receives" in text
+        assert "certified_noop_receives" in text
+        assert "quiescence_detected_at" in text
+        assert "round 12" in text
+
+    def test_cache_section_absent_without_cache_events(self):
+        assert "Merge cache" not in render_report([{"kind": "send"}])
+
     def test_span_section_lists_slowest(self, tmp_path):
         path = tmp_path / "spans.jsonl"
         records = [
