@@ -1,0 +1,122 @@
+"""Telemetry overhead benchmark: sampling must be close to free.
+
+A 1,000-node GM round-engine run (the ``BENCH_cache.json`` workload) is
+timed three ways in the same process:
+
+- ``off`` — no recorder attached (the default; the kernel's telemetry
+  hook is a single ``None`` check per round);
+- ``sampled`` — a :class:`TimeSeriesRecorder` with stride 10, the
+  configuration sweeps are expected to run with;
+- ``full`` — stride 1, every round sampled, recorded for the curve.
+
+The acceptance floor: the sampled configuration costs at most 5% over
+the telemetry-off baseline, and the final node states are byte-identical
+across all three (telemetry is a pure observer).  Results land in
+``benchmarks/results/BENCH_obs.json``.
+
+Run with::
+
+    python -m pytest benchmarks/test_obs_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.network.topology import complete
+from repro.obs import TelemetryConfig, TimeSeriesRecorder
+from repro.protocols.classification import build_classification_network
+from repro.schemes.gm import GaussianMixtureScheme
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
+
+N = 1000
+K = 3
+ROUNDS = 30
+CENTERS = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0]])
+
+#: Acceptance ceiling for the sampled configuration, as a ratio.
+MAX_SAMPLED_OVERHEAD = 1.05
+
+
+def _values() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return CENTERS[rng.integers(0, 3, size=N)]
+
+
+def _build(recorder):
+    return build_classification_network(
+        _values(),
+        GaussianMixtureScheme(seed=0),
+        k=K,
+        graph=complete(N),
+        seed=11,
+        telemetry=recorder,
+    )
+
+
+def _state(nodes, scheme):
+    return [
+        [(c.quanta, scheme.summary_digest(c.summary)) for c in node.classification]
+        for node in nodes
+    ]
+
+
+def test_sampled_telemetry_overhead():
+    configs = {
+        "off": lambda: None,
+        "sampled": lambda: TimeSeriesRecorder(TelemetryConfig(stride=10)),
+        "full": lambda: TimeSeriesRecorder(TelemetryConfig(stride=1)),
+    }
+    # Warm-up: JIT-free Python, but the first run pays allocator and
+    # cache warmup; a short throwaway run levels the field.
+    warmup, _ = _build(None)
+    warmup.run(3)
+
+    timings: dict[str, float] = {}
+    states: dict[str, list] = {}
+    samples: dict[str, int] = {}
+    for label, make_recorder in configs.items():
+        recorder = make_recorder()
+        kernel, nodes = _build(recorder)
+        start = time.perf_counter()
+        kernel.run(ROUNDS)
+        timings[label] = time.perf_counter() - start
+        states[label] = _state(nodes, nodes[0].scheme)
+        samples[label] = len(recorder) if recorder is not None else 0
+
+    # Telemetry is a pure observer: byte-identical states, always.
+    assert states["off"] == states["sampled"] == states["full"]
+    assert samples["sampled"] == ROUNDS // 10
+    assert samples["full"] == ROUNDS
+
+    sampled_ratio = timings["sampled"] / timings["off"]
+    full_ratio = timings["full"] / timings["off"]
+    records = {
+        "gm_n1000_telemetry_overhead": {
+            "workload": (
+                f"GM scheme, {N} nodes, complete graph, {ROUNDS} rounds, "
+                "telemetry off vs stride-10 sampled vs stride-1 full"
+            ),
+            "off_s": timings["off"],
+            "sampled_s": timings["sampled"],
+            "full_s": timings["full"],
+            "sampled_overhead_ratio": sampled_ratio,
+            "full_overhead_ratio": full_ratio,
+            "sampled_samples": samples["sampled"],
+            "full_samples": samples["full"],
+            "max_sampled_overhead": MAX_SAMPLED_OVERHEAD,
+        },
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+
+    assert sampled_ratio <= MAX_SAMPLED_OVERHEAD, (
+        f"stride-10 telemetry costs {(sampled_ratio - 1) * 100:.1f}% "
+        f"over baseline (allowed {(MAX_SAMPLED_OVERHEAD - 1) * 100:.0f}%): "
+        f"{timings['sampled']:.3f}s vs {timings['off']:.3f}s"
+    )

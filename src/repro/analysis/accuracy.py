@@ -10,7 +10,7 @@ via an optimal component matching.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment

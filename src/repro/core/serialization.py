@@ -30,6 +30,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.collection import Collection
+from repro.obs.profiling import span
 
 __all__ = [
     "SummaryCodec",
@@ -210,11 +211,12 @@ def encode_payload(payload: Sequence[Collection], codec: SummaryCodec) -> bytes:
     """
     if len(payload) > 0xFFFF:
         raise ValueError("payload too large for the wire format")
-    chunks = [_HEADER.pack(_WIRE_VERSION, codec.codec_id, len(payload))]
-    for collection in payload:
-        chunks.append(_WEIGHT.pack(collection.quanta))
-        chunks.append(codec.encode_summary(collection.summary))
-    return b"".join(chunks)
+    with span("wire.serialize"):
+        chunks = [_HEADER.pack(_WIRE_VERSION, codec.codec_id, len(payload))]
+        for collection in payload:
+            chunks.append(_WEIGHT.pack(collection.quanta))
+            chunks.append(codec.encode_summary(collection.summary))
+        return b"".join(chunks)
 
 
 def decode_payload(blob: bytes, codec: SummaryCodec) -> list[Collection]:

@@ -13,7 +13,11 @@ Prints the same fixed-width series the benchmark suite emits.  With
 ``--trace PATH``, every engine the experiment constructs writes its
 structured event log (sends, deliveries, drops, crashes, round closes,
 EM steps, profiled spans) to ``PATH`` as JSONL; summarise it afterwards
-with ``python -m repro.obs.report PATH``.
+with ``python -m repro.obs.report PATH``.  Adding ``--telemetry
+[STRIDE]`` samples each engine's per-round convergence gauges (distinct
+classifications, weight conservation, message/byte windows, cache hit
+ratios) into the same trace — follow it live with ``python -m
+repro.obs.monitor PATH``.
 """
 
 from __future__ import annotations
@@ -203,6 +207,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write a JSONL event trace of the run (see repro.obs.report)",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="STRIDE",
+        type=int,
+        nargs="?",
+        const=1,
+        default=None,
+        help="sample per-round convergence telemetry every STRIDE-th round "
+        "(default stride 1 when the flag is given bare); telemetry events "
+        "land in the --trace file when one is set",
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error("--workers must be >= 0")
@@ -218,6 +233,15 @@ def main(argv: list[str] | None = None) -> int:
             COMMANDS[name](scale)
             print()
 
+    def execute_with_telemetry() -> None:
+        if args.telemetry is None:
+            execute()
+            return
+        from repro.obs import TelemetryConfig, telemetry
+
+        with telemetry(TelemetryConfig(stride=args.telemetry)):
+            execute()
+
     if args.trace:
         from repro.obs import JsonlSink, tracing
 
@@ -226,9 +250,9 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             parser.error(f"cannot open trace file: {exc}")
         with tracing(sink):
-            execute()
+            execute_with_telemetry()
     else:
-        execute()
+        execute_with_telemetry()
     return 0
 
 

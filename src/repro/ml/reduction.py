@@ -34,7 +34,18 @@ from repro.ml.linalg import (
 )
 from repro.obs.profiling import span
 
-__all__ = ["ReductionResult", "reduce_mixture"]
+__all__ = ["ReductionResult", "em_iterations_total", "reduce_mixture"]
+
+#: Process-wide count of hard-EM iterations executed by
+#: :func:`reduce_mixture`.  Telemetry reads this as a monotone gauge and
+#: reports per-round deltas; it is observational only and never feeds
+#: back into the algorithm.
+_EM_ITERATIONS_TOTAL = 0
+
+
+def em_iterations_total() -> int:
+    """Cumulative EM iterations run by :func:`reduce_mixture` so far."""
+    return _EM_ITERATIONS_TOTAL
 
 #: Ridge applied to group covariances when *scoring* only; the reported
 #: moment-matched covariances are exact.
@@ -287,6 +298,9 @@ def reduce_mixture(
                 converged = True
                 break
             assignment = new_assignment
+
+    global _EM_ITERATIONS_TOTAL
+    _EM_ITERATIONS_TOTAL += iteration
 
     groups = [
         [int(i) for i in np.where(assignment == j)[0]]

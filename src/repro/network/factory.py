@@ -23,6 +23,7 @@ from repro.network.links import LinkSchedule
 from repro.network.rounds import RoundEngine
 from repro.network.simulator import NeighborSelector
 from repro.obs.events import EventSink
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["ENGINES", "make_engine"]
@@ -47,6 +48,7 @@ def make_engine(
     merge_cache: Optional[MergeCache] = None,
     stop_on_quiescence: bool = False,
     quiescence_patience: int = 3,
+    telemetry: Optional[TimeSeriesRecorder] = None,
 ) -> SimulationKernel:
     """Construct the named engine over a protocol map.
 
@@ -70,6 +72,7 @@ def make_engine(
             merge_cache=merge_cache,
             stop_on_quiescence=stop_on_quiescence,
             quiescence_patience=quiescence_patience,
+            telemetry=telemetry,
         )
     if engine == "async":
         return AsyncEngine(
@@ -87,5 +90,6 @@ def make_engine(
             merge_cache=merge_cache,
             stop_on_quiescence=stop_on_quiescence,
             quiescence_patience=quiescence_patience,
+            telemetry=telemetry,
         )
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")

@@ -46,6 +46,8 @@ from repro.network.failures import FailureModel, NoFailures
 from repro.network.links import AlwaysUp, LinkSchedule
 from repro.network.simulator import NeighborSelector, Network
 from repro.obs.events import Event, EventSink
+from repro.obs.profiling import span
+from repro.obs.timeseries import TimeSeriesRecorder, current_hub
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["GOSSIP_VARIANTS", "Scheduler", "SimulationKernel"]
@@ -170,6 +172,14 @@ class SimulationKernel(Network):
     quiescence_patience:
         Consecutive quiescent round-equivalents required before the
         early exit fires.
+    telemetry:
+        A :class:`~repro.obs.timeseries.TimeSeriesRecorder` fed once per
+        closed round-equivalent with convergence gauges.  ``None`` (the
+        default) attaches a recorder from the ambient
+        :func:`~repro.obs.timeseries.telemetry` scope when one is
+        active, and records nothing otherwise.  Telemetry is strictly
+        observational: it never consults :attr:`rng`, so simulation
+        results are byte-identical with it on or off.
     """
 
     def __init__(
@@ -186,6 +196,7 @@ class SimulationKernel(Network):
         merge_cache: Optional[MergeCache] = None,
         stop_on_quiescence: bool = False,
         quiescence_patience: int = 3,
+        telemetry: Optional[TimeSeriesRecorder] = None,
     ) -> None:
         super().__init__(
             graph,
@@ -213,6 +224,11 @@ class SimulationKernel(Network):
         #: Round-equivalent count at which the early exit fired (``None``
         #: while the run has not quiesced).
         self.quiescent_at: Optional[int] = None
+        if telemetry is None:
+            hub = current_hub()
+            if hub is not None:
+                telemetry = hub.new_recorder()
+        self.telemetry = telemetry
         self.scheduler = scheduler
         scheduler.attach(self)
 
@@ -227,19 +243,40 @@ class SimulationKernel(Network):
             self.event_sink.emit(Event(kind=kind, **fields, **self._stamp()))
 
     def emit_round_close(self, round_index: int, messages: int) -> None:
-        """Record the end of one round (or round-equivalent epoch)."""
+        """Record the end of one round (or round-equivalent epoch).
+
+        ``round_index`` is the unified 0-based round-equivalent counter
+        on *both* schedulers: the synchronous scheduler's round just
+        closed, or the Poisson scheduler's epoch just completed (epoch
+        ``e`` covers simulated time ``[e*mean_interval,
+        (e+1)*mean_interval)``).  The payload carries it again as
+        ``extra.epoch`` so per-round report and telemetry sections line
+        up across engines without scheduler-specific parsing.
+        """
         if self.merge_cache is not None:
             self.metrics.sync_cache(self.merge_cache)
+        t: Optional[float] = None
+        if self.event_sink is not None or self.telemetry is not None:
+            t = self._stamp().get("t")
         if self.event_sink is not None:
-            stamp = self._stamp()
             self.event_sink.emit(
                 Event(
                     kind="round_close",
                     round=round_index,
-                    t=stamp.get("t"),
-                    extra={"messages": messages, "live": len(self.live)},
+                    t=t,
+                    extra={
+                        "messages": messages,
+                        "live": len(self.live),
+                        "epoch": round_index,
+                    },
                 )
             )
+        if self.telemetry is not None:
+            self.telemetry.observe_round(self, round_index, t)
+            if self.event_sink is not None:
+                # Keep the file-backed stream line-complete so a live
+                # monitor tailing it sees every closed round promptly.
+                self.event_sink.flush()
 
     # ------------------------------------------------------------------
     # Transport
@@ -274,23 +311,24 @@ class SimulationKernel(Network):
         thunk; the thunk is only evaluated once a payload exists, so
         random delay draws never happen for skipped transmissions.
         """
-        payload = self.protocols[source].make_payload()
-        if payload is None:
-            return 0
-        send_time = self.scheduler.clock(self)
-        if deliver_time is None:
-            deliver_at = send_time
-        elif callable(deliver_time):
-            deliver_at = float(deliver_time())
-        else:
-            deliver_at = float(deliver_time)
-        channel = self.channel(source, destination)
-        message = channel.send(payload, send_time, deliver_at)
-        self.queue.push(message.deliver_time, _Delivery(channel, message))
-        items = self.payload_size(payload)
-        self.metrics.record_send(items)
-        self._emit("send", node=source, peer=destination, items=items)
-        return 1
+        with span("kernel.transport"):
+            payload = self.protocols[source].make_payload()
+            if payload is None:
+                return 0
+            send_time = self.scheduler.clock(self)
+            if deliver_time is None:
+                deliver_at = send_time
+            elif callable(deliver_time):
+                deliver_at = float(deliver_time())
+            else:
+                deliver_at = float(deliver_time)
+            channel = self.channel(source, destination)
+            message = channel.send(payload, send_time, deliver_at)
+            self.queue.push(message.deliver_time, _Delivery(channel, message))
+            items = self.payload_size(payload)
+            self.metrics.record_send(items)
+            self._emit("send", node=source, peer=destination, items=items)
+            return 1
 
     # ------------------------------------------------------------------
     # Delivery pipeline
@@ -299,18 +337,19 @@ class SimulationKernel(Network):
         self, destination: int, entries: list[tuple[Channel, InFlightMessage]]
     ) -> None:
         """Terminal stage: drop at a crashed node, or batched merge."""
-        payloads = [channel.deliver(message) for channel, message in entries]
-        if not self.is_live(destination):
-            # Reliable channels deliver, but a crashed node never
-            # processes: the payloads' weight leaves the system.
+        with span("kernel.receive"):
+            payloads = [channel.deliver(message) for channel, message in entries]
+            if not self.is_live(destination):
+                # Reliable channels deliver, but a crashed node never
+                # processes: the payloads' weight leaves the system.
+                for channel, _ in entries:
+                    self.metrics.record_drop()
+                    self._emit("drop", node=channel.source, peer=destination)
+                return
             for channel, _ in entries:
-                self.metrics.record_drop()
-                self._emit("drop", node=channel.source, peer=destination)
-            return
-        for channel, _ in entries:
-            self.metrics.record_delivery()
-            self._emit("deliver", node=channel.source, peer=destination)
-        self.protocols[destination].receive_batch(payloads)
+                self.metrics.record_delivery()
+                self._emit("deliver", node=channel.source, peer=destination)
+            self.protocols[destination].receive_batch(payloads)
 
     def flush_deliveries(self) -> None:
         """Deliver *everything* queued, batched per destination.
@@ -455,6 +494,7 @@ class SimulationKernel(Network):
         implement "run until convergence" on either schedule.
         """
         executed = 0
+        quiesced = False
         for _ in range(rounds):
             if not self.scheduler.advance_unit(self):
                 break
@@ -462,11 +502,24 @@ class SimulationKernel(Network):
             if per_round is not None:
                 per_round(self)
             if self.stop_on_quiescence and self._check_quiescence(executed):
+                quiesced = True
                 break
             if stop_condition is not None and stop_condition(self):
                 break
         if self.merge_cache is not None:
             self.metrics.sync_cache(self.merge_cache)
+        if quiesced and self.event_sink is not None:
+            # A truncated run must still leave a complete, valid trace:
+            # close it with a final counter snapshot and push everything
+            # buffered to durable storage.  Cache counters are excluded —
+            # they legitimately differ between cache configurations whose
+            # simulation results are byte-identical, and the trace
+            # determinism gates compare exactly those runs.
+            self._emit(
+                "metrics",
+                extra=self.metrics.scalar_snapshot(include_cache=False),
+            )
+            self.event_sink.flush()
         return executed
 
     def run_steps(

@@ -58,6 +58,34 @@ class NetworkMetrics:
         self.cache_evictions = cache.evictions
         self.cache_noop_hits = cache.noop_hits
 
+    def scalar_snapshot(self, include_cache: bool = True) -> dict[str, int]:
+        """The scalar counters only — no per-round series.
+
+        This is the payload of the kernel's final ``metrics`` event on a
+        quiescence early exit.  ``include_cache=False`` drops the
+        ``cache_*`` mirrors: those counters differ between merge-cache
+        configurations whose simulation results are byte-identical, and
+        the trace determinism gates compare exactly such runs.
+        """
+        snapshot = {
+            "rounds": self.rounds,
+            "events": self.events,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "payload_items_sent": self.payload_items_sent,
+            "crashes": self.crashes,
+            "quiescent_rounds": self.quiescent_rounds,
+        }
+        if include_cache:
+            snapshot.update(
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                cache_evictions=self.cache_evictions,
+                cache_noop_hits=self.cache_noop_hits,
+            )
+        return snapshot
+
     def as_dict(self) -> dict[str, object]:
         """Full snapshot, including the per-round message series.
 

@@ -32,6 +32,7 @@ from repro.network.links import LinkSchedule
 from repro.network.schedulers import SynchronousRoundScheduler
 from repro.network.simulator import NeighborSelector
 from repro.obs.events import EventSink
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["RoundEngine", "GOSSIP_VARIANTS"]
@@ -75,6 +76,7 @@ class RoundEngine(SimulationKernel):
         merge_cache: Optional[MergeCache] = None,
         stop_on_quiescence: bool = False,
         quiescence_patience: int = 3,
+        telemetry: Optional[TimeSeriesRecorder] = None,
     ) -> None:
         super().__init__(
             graph,
@@ -88,6 +90,7 @@ class RoundEngine(SimulationKernel):
             merge_cache=merge_cache,
             stop_on_quiescence=stop_on_quiescence,
             quiescence_patience=quiescence_patience,
+            telemetry=telemetry,
         )
 
     @property

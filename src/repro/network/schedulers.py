@@ -111,6 +111,14 @@ class PoissonScheduler(Scheduler):
     delay_range:
         Message latency is drawn uniformly from this interval; any finite
         positive range satisfies the reliable-asynchronous model.
+
+    Epoch ↔ round mapping: one epoch is this schedule's round-equivalent
+    — the window in which the average node fires once.  Both schedulers
+    report the same unified 0-based counter to
+    :meth:`SimulationKernel.emit_round_close` (epoch ``i`` ends exactly
+    when synchronous round ``i`` would), so ``round_close`` events,
+    telemetry samples, failure models and link schedules all share one
+    round axis across engines; see ``docs/observability.md``.
     """
 
     def __init__(

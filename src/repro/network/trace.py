@@ -10,8 +10,10 @@ hand-rolled bookkeeping loops.
 
 The tracer is engine-agnostic: it needs only ``live_nodes`` and
 ``metrics`` (both provided by :class:`~repro.network.simulator.Network`);
-the round stamp falls back to the processed-event count on engines
-without a ``round_index``.  When the observed engine has an event sink
+on engines without a ``round_index`` the round stamp falls back to the
+closed-round count when rounds are being driven (so probe rounds line up
+with ``round_close`` epochs on the Poisson scheduler), else to the
+processed-event count.  When the observed engine has an event sink
 attached, every sample is also emitted as a ``probe`` event, so JSONL
 traces carry the convergence curve alongside the transport events.
 """
@@ -70,9 +72,18 @@ class RunTracer:
         values = {name: float(probe(engine)) for name, probe in self.probes.items()}
         round_index = getattr(engine, "round_index", None)
         if round_index is None:
-            # Asynchronous engines count processed events, not rounds;
-            # use that as the monotone progress stamp.
-            round_index = int(engine.metrics.events)
+            if engine.metrics.rounds > 0:
+                # Round-equivalent driving (``run(..., per_round=...)``):
+                # the closed-round count is 1-based at every sample, the
+                # same axis the synchronous engine's ``round_index``
+                # reports, so probe rounds line up with ``round_close``
+                # epochs across schedulers.
+                round_index = int(engine.metrics.rounds)
+            else:
+                # Event driving (``run_events(..., per_event=...)``):
+                # no rounds close, so the processed-event count is the
+                # only monotone progress stamp available.
+                round_index = int(engine.metrics.events)
         self.records.append(
             RoundRecord(
                 round_index=round_index,

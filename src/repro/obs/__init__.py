@@ -1,4 +1,4 @@
-"""Observability: structured event traces, profiling, and run reports.
+"""Observability: event traces, telemetry time series, profiling, reports.
 
 The paper's entire evaluation is about *observing* a distributed run —
 error versus rounds, message complexity independent of ``n``, behaviour
@@ -7,23 +7,35 @@ shared by both gossip engines:
 
 - :mod:`repro.obs.events` — typed, stamped event records (``send``,
   ``deliver``, ``drop``, ``merge``, ``split``, ``crash``,
-  ``round_close``, ``em_step``, ``probe``, ``span``) and pluggable
-  sinks (in-memory ring buffer, JSONL file, composite fan-out);
+  ``round_close``, ``em_step``, ``probe``, ``span``, ``telemetry``,
+  ``metrics``) and pluggable sinks (in-memory ring buffer, JSONL file,
+  composite fan-out);
 - :mod:`repro.obs.context` — the process-wide tracing context that lets
   ``python -m repro.experiments.run <exp> --trace out.jsonl`` capture
   every engine an experiment constructs without threading a sink
   through each call site;
+- :mod:`repro.obs.timeseries` — the per-round convergence telemetry
+  pipeline: a memory-bounded :class:`TimeSeriesRecorder` the kernel
+  feeds at every closed round-equivalent, plus the ambient
+  :func:`telemetry` scope mirroring :func:`tracing`;
+- :mod:`repro.obs.exporters` — the recorded curves as JSONL, Prometheus
+  text, or rows in the sweep store's ``timeseries`` table;
+- :mod:`repro.obs.monitor` — ``python -m repro.obs.monitor trace.jsonl``
+  tails a telemetry stream from a running experiment and renders live
+  per-round convergence/health lines;
 - :mod:`repro.obs.profiling` — near-zero-cost timer spans around the
   hot paths (EM fits, mixture reduction, protocol split/merge, engine
-  rounds) accumulated into a histogram-capable :class:`MetricsRegistry`;
+  rounds, transport) accumulated into a histogram-capable
+  :class:`MetricsRegistry`, with stack-aware exclusive-time attribution
+  and a collapsed-stack export for flamegraph tools;
 - :mod:`repro.obs.report` — the CLI (``python -m repro.obs.report
   trace.jsonl``) that replays an event log into per-node timelines,
-  message-complexity summaries, convergence curves and top-k slowest
-  spans.
+  message-complexity summaries, convergence series and the span phase
+  breakdown.
 
-Everything is off by default: with no sink installed and profiling
-disabled, the instrumentation reduces to a handful of ``None`` checks
-per round.
+Everything is off by default: with no sink installed, no telemetry scope
+and profiling disabled, the instrumentation reduces to a handful of
+``None`` checks per round.
 """
 
 from repro.obs.context import current_sink, set_sink, tracing
@@ -44,6 +56,13 @@ from repro.obs.profiling import (
     profiling,
     span,
 )
+from repro.obs.timeseries import (
+    TelemetryConfig,
+    TelemetryHub,
+    TimeSeriesRecorder,
+    current_hub,
+    telemetry,
+)
 
 __all__ = [
     "CompositeSink",
@@ -53,7 +72,11 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "RingBufferSink",
+    "TelemetryConfig",
+    "TelemetryHub",
+    "TimeSeriesRecorder",
     "TimerStats",
+    "current_hub",
     "current_registry",
     "current_sink",
     "disable_profiling",
@@ -61,5 +84,6 @@ __all__ = [
     "profiling",
     "set_sink",
     "span",
+    "telemetry",
     "tracing",
 ]

@@ -39,7 +39,11 @@ __all__ = [
 #: without running the scheme's partition (see ``docs/performance.md``);
 #: ``cache`` marks a receipt served by the merge cache (``extra.path``
 #: is ``"memo"`` or ``"noop"``) or, from the kernel, the quiescence
-#: early exit (``extra.path`` ``"quiescent"``).
+#: early exit (``extra.path`` ``"quiescent"``); ``telemetry`` carries one
+#: per-round convergence sample from a
+#: :class:`~repro.obs.timeseries.TimeSeriesRecorder`; ``metrics`` is a
+#: final counter snapshot the kernel emits when a run ends early (the
+#: quiescence exit), so truncated traces close with a complete summary.
 EVENT_KINDS = frozenset(
     {
         "send",
@@ -54,6 +58,8 @@ EVENT_KINDS = frozenset(
         "span",
         "fastpath",
         "cache",
+        "telemetry",
+        "metrics",
     }
 )
 
@@ -130,6 +136,14 @@ class EventSink(abc.ABC):
     def emit(self, event: Event) -> None:
         """Record one event."""
 
+    def flush(self) -> None:
+        """Push buffered events to durable storage; no-op by default.
+
+        Engines call this at run boundaries (including early exits) so a
+        reader tailing a file-backed sink — e.g. ``repro.obs.monitor`` —
+        sees complete lines even while the run is still alive.
+        """
+
     def close(self) -> None:
         """Flush and release resources; idempotent."""
 
@@ -191,6 +205,10 @@ class JsonlSink(EventSink):
         self._file.write("\n")
         self.emitted += 1
 
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
     def close(self) -> None:
         if self._file is not None:
             self._file.close()
@@ -208,6 +226,10 @@ class CompositeSink(EventSink):
     def emit(self, event: Event) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
 
     def close(self) -> None:
         for sink in self.sinks:

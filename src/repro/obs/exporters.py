@@ -1,0 +1,124 @@
+"""Exporters for telemetry time series.
+
+One telemetry run produces flat sample rows (see
+:mod:`repro.obs.timeseries`); this module ships them in three shapes:
+
+- :func:`write_jsonl` / :func:`to_jsonl_lines` — one compact JSON object
+  per sample, the same stream format the live monitor tails;
+- :func:`to_prometheus_text` / :func:`write_prometheus` — the Prometheus
+  text exposition format (``# TYPE`` headers, one ``repro_<gauge>``
+  sample per row with ``round``/``engine`` labels), so the curves drop
+  into any Prometheus-compatible scraper or ``promtool`` check;
+- :func:`export_to_store` — rows into the ``timeseries`` table of a
+  :class:`repro.sweep.store.ResultStore`, which is how sweep cells
+  persist their convergence curves next to their results.
+
+All exporters consume the same ``list[dict]`` rows, so anything that can
+produce such rows (a recorder, a hub, a parsed JSONL stream) can use any
+of them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sweep.store import ResultStore
+
+__all__ = [
+    "to_jsonl_lines",
+    "write_jsonl",
+    "to_prometheus_text",
+    "write_prometheus",
+    "export_to_store",
+]
+
+#: Prefix applied to every exported Prometheus metric name.
+_PROM_PREFIX = "repro_"
+
+#: Row keys that identify a sample rather than carry a gauge value.
+_IDENTITY_KEYS = frozenset({"round", "t", "engine"})
+
+
+def to_jsonl_lines(rows: Iterable[Mapping[str, Any]]) -> list[str]:
+    """One compact JSON object per sample row, NaNs encoded as ``null``."""
+    lines = []
+    for row in rows:
+        clean = {
+            key: (None if isinstance(value, float) and math.isnan(value) else value)
+            for key, value in row.items()
+        }
+        lines.append(json.dumps(clean, separators=(",", ":"), sort_keys=True))
+    return lines
+
+
+def write_jsonl(rows: Iterable[Mapping[str, Any]], path: str) -> int:
+    """Write the JSONL export; returns the number of rows written."""
+    lines = to_jsonl_lines(rows)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def _prom_name(key: str) -> str:
+    """A row key as a Prometheus metric name (lowercase, word chars only)."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in key.lower())
+    return _PROM_PREFIX + cleaned
+
+
+def to_prometheus_text(rows: Sequence[Mapping[str, Any]]) -> str:
+    """The rows in the Prometheus text exposition format.
+
+    Every non-identity column becomes one untyped gauge family named
+    ``repro_<column>``; each sample carries ``round`` (and ``engine``,
+    when present) as labels.  NaN values are skipped — Prometheus has no
+    notion of "gauge not applicable".
+    """
+    families: dict[str, list[str]] = {}
+    for row in rows:
+        labels = []
+        if "engine" in row:
+            labels.append(f'engine="{row["engine"]}"')
+        if "round" in row:
+            labels.append(f'round="{row["round"]}"')
+        label_text = "{" + ",".join(labels) + "}" if labels else ""
+        for key, value in row.items():
+            if key in _IDENTITY_KEYS or value is None:
+                continue
+            if isinstance(value, float) and math.isnan(value):
+                continue
+            name = _prom_name(key)
+            samples = families.setdefault(name, [])
+            samples.append(f"{name}{label_text} {value}")
+    chunks = []
+    for name in sorted(families):
+        chunks.append(f"# TYPE {name} gauge")
+        chunks.extend(families[name])
+    return "\n".join(chunks) + ("\n" if chunks else "")
+
+
+def write_prometheus(rows: Sequence[Mapping[str, Any]], path: str) -> int:
+    """Write the Prometheus text export; returns the sample-line count."""
+    text = to_prometheus_text(rows)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return sum(1 for line in text.splitlines() if line and not line.startswith("#"))
+
+
+def export_to_store(
+    store: "ResultStore",
+    run_id: str,
+    key: str,
+    rows: Iterable[Mapping[str, Any]],
+    engine: Optional[int] = None,
+) -> int:
+    """Persist sample rows into the store's ``timeseries`` table.
+
+    Thin convenience over :meth:`repro.sweep.store.ResultStore.add_timeseries`
+    so callers holding exporter-shaped rows need not know the table
+    layout; returns the number of (row, gauge) points written.
+    """
+    return store.add_timeseries(run_id, key, rows, engine=engine)

@@ -1,0 +1,243 @@
+"""Live run monitor: tail a JSONL telemetry stream in the terminal.
+
+``python -m repro.obs.monitor trace.jsonl`` follows a trace file that a
+running experiment or sweep is writing (the kernel flushes its sink at
+every sampled round when telemetry is on, so lines appear promptly) and
+renders one human-readable line per telemetry sample plus health lines
+for crashes, quiescence and the final metrics snapshot::
+
+    round     42 | live  997 | classes   3 | agree  86.2% | msgs  997 | 51.8 KiB | cache 71%
+    !! crash node=17 (round 43)
+    == quiescent at round 57 (streak 3)
+    == final: rounds=57 sent=56829 delivered=56829 dropped=0 crashes=1
+
+Two modes:
+
+- follow (default): poll the file for new complete lines every
+  ``--interval`` seconds until interrupted or ``--max-idle`` seconds pass
+  with no new data;
+- ``--once``: render everything currently in the file and exit — the
+  non-tailing mode CI smoke-tests use.
+
+The reader is incremental and line-atomic: it remembers its byte offset
+and never consumes a partial trailing line, so tailing a file mid-write
+cannot misparse half a record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+__all__ = ["StreamFollower", "render_event", "follow", "main"]
+
+
+class StreamFollower:
+    """Incrementally read complete JSONL lines from a growing file.
+
+    Each :meth:`poll` returns the records appended since the last poll.
+    A trailing line without a newline is left for the next poll;
+    malformed complete lines are counted in :attr:`skipped` and skipped —
+    a live monitor must survive a writer crashing mid-stream.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._offset = 0
+        self._partial = ""
+        self.skipped = 0
+
+    def poll(self) -> list[dict[str, Any]]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+                self._offset = handle.tell()
+        except FileNotFoundError:
+            return []
+        if not chunk:
+            return []
+        text = self._partial + chunk
+        lines = text.split("\n")
+        # The last element is either "" (chunk ended on a newline) or an
+        # incomplete line still being written; hold it back either way.
+        self._partial = lines.pop()
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped += 1
+                continue
+            if isinstance(record, dict) and "kind" in record:
+                records.append(record)
+            else:
+                self.skipped += 1
+        return records
+
+
+def _format_bytes(count: float) -> str:
+    if count >= 1024 * 1024:
+        return f"{count / (1024 * 1024):.1f} MiB"
+    if count >= 1024:
+        return f"{count / 1024:.1f} KiB"
+    return f"{int(count)} B"
+
+
+def _is_number(value: Any) -> bool:
+    """A finite int/float — NaN gauges (e.g. push-sum runs have no
+    summary fingerprints) render as absent, not as a crash."""
+    return isinstance(value, (int, float)) and not (
+        isinstance(value, float) and math.isnan(value)
+    )
+
+
+def _stamp_of(record: dict[str, Any]) -> str:
+    if record.get("round") is not None:
+        return f"round {record['round']}"
+    if record.get("t") is not None:
+        return f"t={record['t']:.2f}"
+    return "?"
+
+
+def render_event(record: dict[str, Any]) -> Optional[str]:
+    """One monitor line for a record, or ``None`` for kinds not shown."""
+    kind = record.get("kind")
+    extra = record.get("extra") or {}
+    if kind == "telemetry":
+        parts = [f"round {extra.get('round', record.get('round', '?')):>6}"]
+        if extra.get("t") is not None:
+            parts.append(f"t {extra['t']:>8.2f}")
+        parts.append(f"live {extra.get('live', '?'):>5}")
+        fingerprints = extra.get("distinct_fingerprints")
+        if _is_number(fingerprints):
+            parts.append(f"classes {int(fingerprints):>4}")
+        fraction = extra.get("quiescent_fraction")
+        if _is_number(fraction):
+            parts.append(f"agree {fraction * 100:5.1f}%")
+        messages = extra.get("messages_window")
+        if _is_number(messages):
+            parts.append(f"msgs {messages:>6}")
+        size = extra.get("bytes_window")
+        if _is_number(size):
+            parts.append(_format_bytes(size))
+        ratio = extra.get("cache_hit_ratio")
+        if _is_number(ratio):
+            parts.append(f"cache {ratio * 100:.0f}%")
+        return " | ".join(parts)
+    if kind == "crash":
+        return f"!! crash node={record.get('node', '?')} ({_stamp_of(record)})"
+    if kind == "cache" and extra.get("path") == "quiescent":
+        return (
+            f"== quiescent at {_stamp_of(record)} (streak {extra.get('streak', '?')})"
+        )
+    if kind == "metrics":
+        fields = " ".join(
+            f"{name}={extra[name]}"
+            for name in (
+                "rounds",
+                "messages_sent",
+                "messages_delivered",
+                "messages_dropped",
+                "crashes",
+            )
+            if name in extra
+        )
+        return f"== final: {fields}"
+    return None
+
+
+def follow(
+    path: str,
+    out: TextIO,
+    once: bool = False,
+    interval: float = 0.5,
+    max_idle: Optional[float] = None,
+) -> int:
+    """Render monitor lines from ``path`` until done; returns rendered count.
+
+    In follow mode the loop ends when ``max_idle`` seconds pass without
+    new records (or on KeyboardInterrupt); ``once`` renders what is
+    there now and returns immediately.
+    """
+    follower = StreamFollower(path)
+    rendered = 0
+    idle_since = time.monotonic()
+    while True:
+        records = follower.poll()
+        for record in records:
+            line = render_event(record)
+            if line is not None:
+                out.write(line + "\n")
+                rendered += 1
+        out.flush()
+        if once:
+            return rendered
+        now = time.monotonic()
+        if records:
+            idle_since = now
+        elif max_idle is not None and now - idle_since >= max_idle:
+            return rendered
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return rendered
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.monitor",
+        description="Tail a JSONL telemetry stream and render live convergence lines.",
+    )
+    parser.add_argument("trace", help="path to the JSONL trace being written")
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render everything currently in the file and exit (no tailing)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between polls in follow mode (default 0.5)",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="stop after this many seconds without new data (default: follow forever)",
+    )
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.trace):
+        if args.once:
+            print(f"error: no trace file at {args.trace}", file=sys.stderr)
+            return 2
+        print(f"waiting for {args.trace} ...", file=sys.stderr)
+    try:
+        rendered = follow(
+            args.trace,
+            sys.stdout,
+            once=args.once,
+            interval=args.interval,
+            max_idle=args.max_idle,
+        )
+    except BrokenPipeError:
+        # Piped into a consumer that stopped reading (head, grep -q).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    if args.once and rendered == 0:
+        print("(no telemetry lines in trace)", file=sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,15 @@ log-scaled histogram per span name) and, when tracing is on, into the
 ambient event sink as a ``span`` event so the report CLI can list the
 top-k slowest executions.
 
+Spans nest: a module-level stack tracks the chain of open spans, so each
+completed span knows its call path and its *exclusive* time (duration
+minus time spent inside child spans).  That is enough to aggregate the
+existing instrumentation into an inclusive/exclusive phase breakdown
+(receive / merge / partition / serialize / transport) and to export a
+collapsed-stack file (``path;to;span <microseconds>`` per line) that
+flamegraph tools consume directly — a sampling-profiler-shaped view with
+no sampling thread, built entirely from the spans already in the code.
+
 The design constraint is the disabled cost.  ``span(name)`` with neither
 profiling nor tracing enabled performs two global reads and returns a
 shared no-op context manager — no allocation, no clock read — so leaving
@@ -104,6 +113,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.timers: dict[str, TimerStats] = {}
+        #: Exclusive (self) time per unique span call path, for the
+        #: phase breakdown and the collapsed-stack export.
+        self.stacks: dict[tuple[str, ...], TimerStats] = {}
 
     # ------------------------------------------------------------------
     # Counters
@@ -137,6 +149,13 @@ class MetricsRegistry:
     def record_span(self, name: str, duration: float) -> None:
         self.timer(name).record(duration)
 
+    def record_stack(self, stack: tuple[str, ...], exclusive: float) -> None:
+        """Fold one span execution's exclusive time into its call path."""
+        stats = self.stacks.get(stack)
+        if stats is None:
+            stats = self.stacks[stack] = TimerStats()
+        stats.record(exclusive)
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -149,10 +168,56 @@ class MetricsRegistry:
         rows.sort(key=lambda row: -row[2])
         return rows
 
+    def phase_rows(self) -> list[list[Any]]:
+        """Per-phase rows ``[name, count, inclusive_s, exclusive_s]``.
+
+        Inclusive time comes from the flat timers; exclusive time sums
+        the self-time of every call path ending in the name.  Sorted by
+        exclusive time, so the top row is where the time *actually*
+        goes, not merely the outermost wrapper.
+        """
+        exclusive: dict[str, float] = {}
+        for stack, stats in self.stacks.items():
+            leaf = stack[-1]
+            exclusive[leaf] = exclusive.get(leaf, 0.0) + stats.total
+        rows = [
+            [name, stats.count, stats.total, exclusive.get(name, stats.total)]
+            for name, stats in self.timers.items()
+        ]
+        rows.sort(key=lambda row: -row[3])
+        return rows
+
+    def collapsed_stacks(self) -> list[str]:
+        """Flamegraph-ready lines: ``root;child;leaf <microseconds>``.
+
+        The value is the call path's total exclusive time in integer
+        microseconds — the same shape ``flamegraph.pl`` and speedscope
+        accept for externally-collected profiles.  Paths whose time
+        rounds to zero microseconds are kept (value 0) so the stack
+        structure survives even for very fast spans.
+        """
+        lines = [
+            f"{';'.join(stack)} {int(stats.total * 1e6)}"
+            for stack, stats in sorted(self.stacks.items())
+        ]
+        return lines
+
+    def write_collapsed(self, path: str) -> int:
+        """Write the collapsed-stack file; returns the line count."""
+        lines = self.collapsed_stacks()
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "counters": dict(self.counters),
             "timers": {name: stats.as_dict() for name, stats in self.timers.items()},
+            "stacks": {
+                ";".join(stack): stats.as_dict()
+                for stack, stats in self.stacks.items()
+            },
         }
 
 
@@ -208,26 +273,54 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+#: The chain of currently-open spans (innermost last).  Spans are context
+#: managers, so entries push and pop strictly LIFO; the stack gives each
+#: completed span its call path and lets parents subtract child time.
+_STACK: list["_Span"] = []
+
+
 class _Span:
     """A live timer: records on exit into the registry and/or sink."""
 
-    __slots__ = ("name", "registry", "sink", "start")
+    __slots__ = ("name", "registry", "sink", "start", "stack", "child_total")
 
     def __init__(self, name: str, registry: Optional[MetricsRegistry], sink: Optional[EventSink]) -> None:
         self.name = name
         self.registry = registry
         self.sink = sink
+        self.child_total = 0.0
 
     def __enter__(self) -> "_Span":
+        if _STACK:
+            self.stack = _STACK[-1].stack + (self.name,)
+        else:
+            self.stack = (self.name,)
+        _STACK.append(self)
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> bool:
         duration = time.perf_counter() - self.start
+        if _STACK and _STACK[-1] is self:
+            _STACK.pop()
+        if _STACK:
+            _STACK[-1].child_total += duration
+        exclusive = max(duration - self.child_total, 0.0)
         if self.registry is not None:
             self.registry.record_span(self.name, duration)
+            self.registry.record_stack(self.stack, exclusive)
         if self.sink is not None:
-            self.sink.emit(Event(kind="span", extra={"name": self.name, "duration": duration}))
+            self.sink.emit(
+                Event(
+                    kind="span",
+                    extra={
+                        "name": self.name,
+                        "duration": duration,
+                        "self": exclusive,
+                        "stack": ";".join(self.stack),
+                    },
+                )
+            )
         return False
 
 

@@ -26,6 +26,7 @@ from repro.network.links import LinkSchedule
 from repro.network.simulator import NeighborSelector
 from repro.obs.events import EventSink
 from repro.obs.profiling import span
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["ClassificationProtocol", "build_classification_network"]
@@ -85,6 +86,7 @@ def build_classification_network(
     merge_cache: Optional[bool] = None,
     stop_on_quiescence: bool = False,
     quiescence_patience: int = 3,
+    telemetry: Optional[TimeSeriesRecorder] = None,
 ) -> tuple[SimulationKernel, list[ClassifierNode]]:
     """Construct an engine running Algorithm 1 over ``values``.
 
@@ -110,6 +112,8 @@ def build_classification_network(
     ``event_sink`` (or the ambient :func:`repro.obs.context.tracing`
     sink) is wired to both the engine (transport events) and every node
     (split/merge events), giving one coherent trace per run.
+    ``telemetry`` (or the ambient :func:`repro.obs.timeseries.telemetry`
+    scope) attaches a per-round convergence recorder to the engine.
     """
     n = len(values)
     if graph.number_of_nodes() != n:
@@ -153,5 +157,6 @@ def build_classification_network(
         merge_cache=cache,
         stop_on_quiescence=stop_on_quiescence,
         quiescence_patience=quiescence_patience,
+        telemetry=telemetry,
     )
     return built, nodes

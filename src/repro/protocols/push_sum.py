@@ -26,6 +26,7 @@ from repro.network.factory import make_engine
 from repro.network.failures import FailureModel
 from repro.network.kernel import SimulationKernel
 from repro.network.simulator import NeighborSelector
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.protocols.base import GossipProtocol
 
 __all__ = ["PushSumProtocol", "build_push_sum_network"]
@@ -72,11 +73,15 @@ def build_push_sum_network(
     engine: str = "rounds",
     mean_interval: float = 1.0,
     delay_range: tuple[float, float] = (0.05, 2.0),
+    telemetry: Optional[TimeSeriesRecorder] = None,
 ) -> tuple[SimulationKernel, list[PushSumProtocol]]:
     """Construct an engine running push-sum over ``values``.
 
     ``engine`` selects the schedule (``"rounds"`` or ``"async"``) exactly
-    as in :func:`repro.protocols.classification.build_classification_network`.
+    as in :func:`repro.protocols.classification.build_classification_network`;
+    ``telemetry`` attaches a per-round recorder (push-sum has no summary
+    fingerprints, so the convergence gauges are NaN but the transport
+    windows are live).
     """
     n = len(values)
     if graph.number_of_nodes() != n:
@@ -95,5 +100,6 @@ def build_push_sum_network(
         failure_model=failure_model,
         mean_interval=mean_interval,
         delay_range=delay_range,
+        telemetry=telemetry,
     )
     return built, protocols_list

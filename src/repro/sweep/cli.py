@@ -11,8 +11,11 @@ Usage::
 ``run`` accepts a built-in spec name (see :mod:`repro.sweep.specs`) or a
 path to a JSON spec file.  ``--trace PATH`` wires the run into the
 :mod:`repro.obs` event pipeline (per-task spans land in the JSONL trace;
-summarise with ``python -m repro.obs.report``).  ``export`` emits JSON or
-CSV records — one flat row per cell — for the analysis layer.
+summarise with ``python -m repro.obs.report``).  ``--telemetry STRIDE``
+records each cell's per-round convergence curve into the store's
+``timeseries`` table (query with :meth:`ResultStore.timeseries`).
+``export`` emits JSON or CSV records — one flat row per cell — for the
+analysis layer.
 """
 
 from __future__ import annotations
@@ -72,6 +75,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             run_id=args.run_id,
             limit=args.limit,
             progress=not args.no_progress,
+            telemetry_stride=args.telemetry,
         )
 
     if args.trace:
@@ -221,6 +225,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                        help="override the spec's per-task timeout (seconds)")
     run_p.add_argument("--trace", metavar="PATH", default=None,
                        help="write a JSONL obs trace of the sweep (see repro.obs.report)")
+    run_p.add_argument("--telemetry", metavar="STRIDE", type=int, default=None,
+                       help="record per-round convergence telemetry every STRIDE-th "
+                            "round into the store's timeseries table")
     run_p.add_argument("--no-progress", action="store_true",
                        help="disable the live progress line")
     run_p.set_defaults(fn=_cmd_run)

@@ -45,6 +45,8 @@ from typing import Any, Optional, Union
 from repro.obs import context as obs_context
 from repro.obs.events import Event
 from repro.obs.profiling import MetricsRegistry, current_registry
+from repro.obs.timeseries import TelemetryConfig
+from repro.obs.timeseries import telemetry as telemetry_scope
 from repro.sweep.cells import resolve_runner
 from repro.sweep.spec import SweepSpec, Task, canonical_json
 from repro.sweep.store import ResultStore
@@ -128,22 +130,43 @@ def _maybe_inject_crash(key: str) -> None:
     os._exit(_CRASH_EXIT)
 
 
+def _execute_cell(
+    runner_ref: str, params: dict[str, Any], seed: int, telemetry_stride: Optional[int]
+) -> tuple[Any, str, Optional[list[dict[str, Any]]]]:
+    """Run one cell; returns (result, canonical result JSON, telemetry rows).
+
+    With a stride, the cell executes inside an ambient telemetry scope:
+    every engine the cell builds records its convergence curve, and the
+    hub's flattened rows come back for the store's ``timeseries`` table.
+    ``emit_events`` is off — sweep cells persist curves, they do not
+    stream them.
+    """
+    fn = resolve_runner(runner_ref)
+    merged = dict(params)
+    merged["seed"] = seed
+    if telemetry_stride is None:
+        result = fn(merged)
+        return result, canonical_json(result), None
+    with telemetry_scope(
+        TelemetryConfig(stride=telemetry_stride, emit_events=False)
+    ) as hub:
+        result = fn(merged)
+    return result, canonical_json(result), hub.rows()
+
+
 def _worker_main(worker_id: int, task_queue: Any, result_queue: Any) -> None:
     """Long-lived worker loop: execute tasks until the ``None`` sentinel."""
     while True:
         item = task_queue.get()
         if item is None:
             return
-        key, runner_ref, params, seed, attempt = item
+        key, runner_ref, params, seed, attempt, telemetry_stride = item
         result_queue.put(("started", worker_id, key, attempt))
         _maybe_inject_crash(key)
         start = time.perf_counter()
         try:
-            fn = resolve_runner(runner_ref)
-            merged = dict(params)
-            merged["seed"] = seed
-            result = fn(merged)
-            payload = canonical_json(result)
+            _, payload, rows = _execute_cell(runner_ref, params, seed, telemetry_stride)
+            rows_json = json.dumps(rows) if rows is not None else None
         except BaseException:
             duration = time.perf_counter() - start
             result_queue.put(
@@ -151,7 +174,7 @@ def _worker_main(worker_id: int, task_queue: Any, result_queue: Any) -> None:
             )
         else:
             duration = time.perf_counter() - start
-            result_queue.put(("done", worker_id, key, payload, duration))
+            result_queue.put(("done", worker_id, key, payload, duration, rows_json))
 
 
 # ----------------------------------------------------------------------
@@ -239,6 +262,7 @@ def run_sweep(
     limit: Optional[int] = None,
     progress: bool = False,
     registry: Optional[MetricsRegistry] = None,
+    telemetry_stride: Optional[int] = None,
 ) -> SweepReport:
     """Execute a sweep spec; never raises for individual cell failures.
 
@@ -269,6 +293,13 @@ def run_sweep(
         Draw a live progress line on stderr (TTY only).
     registry:
         Metrics destination; defaults to the ambient profiling registry.
+    telemetry_stride:
+        When set, every cell runs inside a
+        :func:`repro.obs.timeseries.telemetry` scope sampling each
+        engine's convergence gauges every ``telemetry_stride``-th
+        round-equivalent, and the curves are persisted into the store's
+        ``timeseries`` table keyed by cell.  ``None`` (default) records
+        no telemetry.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -290,10 +321,14 @@ def run_sweep(
         pending = [task for task in tasks if task.key not in done_keys]
         progress_line = _Progress(spec.name, len(tasks), progress)
         if workers == 0:
-            _run_serial(spec, pending, the_store, the_run_id, report, telemetry, limit, progress_line)
+            _run_serial(
+                spec, pending, the_store, the_run_id, report, telemetry, limit,
+                progress_line, telemetry_stride,
+            )
         else:
             _run_pooled(
-                spec, pending, the_store, the_run_id, report, telemetry, limit, progress_line, workers
+                spec, pending, the_store, the_run_id, report, telemetry, limit,
+                progress_line, workers, telemetry_stride,
             )
         progress_line.finish()
         remaining = the_store.status_counts(the_run_id).get("pending", 0)
@@ -318,6 +353,7 @@ def _run_serial(
     telemetry: _Telemetry,
     limit: Optional[int],
     progress_line: _Progress,
+    telemetry_stride: Optional[int],
 ) -> None:
     for task in pending:
         if limit is not None and report.completed >= limit:
@@ -325,9 +361,9 @@ def _run_serial(
         store.mark_running(run_id, task.key)
         start = time.perf_counter()
         try:
-            fn = resolve_runner(task.runner)
-            result = fn(task.runner_params())
-            payload = canonical_json(result)
+            result, payload, rows = _execute_cell(
+                task.runner, dict(task.params), task.seed, telemetry_stride
+            )
         except Exception:
             duration = time.perf_counter() - start
             error = traceback.format_exc(limit=30)
@@ -338,6 +374,8 @@ def _run_serial(
         else:
             duration = time.perf_counter() - start
             store.mark_done(run_id, task.key, payload, duration)
+            if rows is not None:
+                store.add_timeseries(run_id, task.key, rows)
             report.completed += 1
             report.results[task.key] = result
             telemetry.task_span(task.key, duration, "completed")
@@ -365,6 +403,7 @@ def _run_pooled(
     limit: Optional[int],
     progress_line: _Progress,
     workers: int,
+    telemetry_stride: Optional[int],
 ) -> None:
     ctx = _pool_context()
     result_queue = ctx.Queue()
@@ -404,7 +443,10 @@ def _run_pooled(
             time.monotonic() + timeout + _DISPATCH_GRACE_S if timeout is not None else None
         )
         store.mark_running(run_id, task.key)
-        handle.queue.put((task.key, task.runner, dict(task.params), task.seed, handle.attempt))
+        handle.queue.put(
+            (task.key, task.runner, dict(task.params), task.seed, handle.attempt,
+             telemetry_stride)
+        )
         return True
 
     def in_flight_count() -> int:
@@ -466,8 +508,10 @@ def _run_pooled(
                     if handle.task.timeout_s is not None:
                         handle.deadline = time.monotonic() + handle.task.timeout_s
                 elif kind == "done":
-                    payload, duration = message[3], message[4]
+                    payload, duration, rows_json = message[3], message[4], message[5]
                     store.mark_done(run_id, key, payload, duration)
+                    if rows_json is not None:
+                        store.add_timeseries(run_id, key, json.loads(rows_json))
                     report.completed += 1
                     report.results[key] = json.loads(payload)
                     telemetry.task_span(key, duration, "completed")

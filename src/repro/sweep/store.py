@@ -21,15 +21,20 @@ Schema (three tables):
   ``failed``), attempt count, duration, and the last error text;
 - ``results`` — one row per completed cell: the canonical result JSON
   exactly as the worker produced it (byte-identity is preserved
-  end-to-end) plus a completion timestamp.
+  end-to-end) plus a completion timestamp;
+- ``timeseries`` — long-format telemetry points for cells run with
+  telemetry enabled: one row per (cell, engine, round, gauge), which is
+  what lets a sweep persist every cell's convergence curve next to its
+  scalar result (see :mod:`repro.obs.timeseries`).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import sqlite3
 import time
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Mapping, Optional
 
 from repro.sweep.spec import SweepSpec, Task, canonical_json
 
@@ -63,6 +68,16 @@ CREATE TABLE IF NOT EXISTS results (
     result_json  TEXT NOT NULL,
     completed_at REAL NOT NULL,
     PRIMARY KEY (run_id, key)
+);
+CREATE TABLE IF NOT EXISTS timeseries (
+    run_id TEXT NOT NULL,
+    key    TEXT NOT NULL,
+    engine INTEGER NOT NULL DEFAULT 0,
+    round  INTEGER NOT NULL,
+    t      REAL,
+    name   TEXT NOT NULL,
+    value  REAL,
+    PRIMARY KEY (run_id, key, engine, round, name)
 );
 """
 
@@ -262,6 +277,82 @@ class ResultStore:
             (run_id,),
         ).fetchall()
         return {row["key"]: json.loads(row["result_json"]) for row in rows}
+
+    # ------------------------------------------------------------------
+    # Telemetry time series
+    # ------------------------------------------------------------------
+    def add_timeseries(
+        self,
+        run_id: str,
+        key: str,
+        rows: Iterable[Mapping[str, Any]],
+        engine: Optional[int] = None,
+    ) -> int:
+        """Persist telemetry sample rows for one cell; returns points written.
+
+        ``rows`` are the flat sample dicts a
+        :class:`~repro.obs.timeseries.TimeSeriesRecorder` (or
+        ``TelemetryHub.rows()``) produces; each non-identity column lands
+        as one long-format point.  ``engine`` overrides the per-row
+        engine ordinal when given.  NaN gauges store as SQL ``NULL``.
+        Re-inserting a (cell, engine, round, gauge) point replaces it, so
+        resumed cells do not duplicate their curves.
+        """
+        points: list[tuple[Any, ...]] = []
+        for row in rows:
+            row_engine = int(engine) if engine is not None else int(row.get("engine", 0))
+            round_index = int(row.get("round", 0))
+            t = row.get("t")
+            t_value = float(t) if t is not None else None
+            for name, value in row.items():
+                if name in ("round", "t", "engine"):
+                    continue
+                if value is None:
+                    numeric = None
+                else:
+                    numeric = float(value)
+                    if math.isnan(numeric):
+                        numeric = None
+                points.append(
+                    (run_id, key, row_engine, round_index, t_value, name, numeric)
+                )
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO timeseries "
+                "(run_id, key, engine, round, t, name, value) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                points,
+            )
+        return len(points)
+
+    def timeseries(
+        self,
+        run_id: str,
+        key: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> list[dict[str, Any]]:
+        """Long-format telemetry points, optionally filtered by cell/gauge."""
+        query = "SELECT key, engine, round, t, name, value FROM timeseries WHERE run_id = ?"
+        args: list[Any] = [run_id]
+        if key is not None:
+            query += " AND key = ?"
+            args.append(key)
+        if name is not None:
+            query += " AND name = ?"
+            args.append(name)
+        query += " ORDER BY key, engine, round, name"
+        return [dict(row) for row in self._conn.execute(query, args).fetchall()]
+
+    def timeseries_series(
+        self, run_id: str, key: str, name: str, engine: int = 0
+    ) -> list[tuple[int, Optional[float]]]:
+        """One cell's gauge as ``(round, value)`` pairs, round order."""
+        rows = self._conn.execute(
+            "SELECT round, value FROM timeseries "
+            "WHERE run_id = ? AND key = ? AND name = ? AND engine = ? ORDER BY round",
+            (run_id, key, name, engine),
+        ).fetchall()
+        return [(int(row["round"]), row["value"]) for row in rows]
 
     # ------------------------------------------------------------------
     # Export

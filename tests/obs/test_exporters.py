@@ -1,0 +1,128 @@
+"""Telemetry exporters: JSONL, Prometheus text, and the sweep store."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.topology import complete
+from repro.obs import TimeSeriesRecorder
+from repro.obs.exporters import (
+    export_to_store,
+    to_jsonl_lines,
+    to_prometheus_text,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.protocols.classification import build_classification_network
+from repro.schemes.centroid import CentroidScheme
+from repro.sweep.store import ResultStore
+
+ROWS = [
+    {"engine": 0, "round": 0, "live": 8, "distinct_fingerprints": 5,
+     "quiescent_fraction": 0.25, "bytes_window": 416},
+    {"engine": 0, "round": 1, "live": 8, "distinct_fingerprints": 1,
+     "quiescent_fraction": 1.0, "bytes_window": math.nan},
+]
+
+
+@pytest.fixture
+def recorded_rows():
+    """Real recorder rows from a short centroid run."""
+    values = np.arange(8, dtype=float)[:, None]
+    recorder = TimeSeriesRecorder()
+    engine, _ = build_classification_network(
+        values, CentroidScheme(), k=2, graph=complete(8), seed=5,
+        telemetry=recorder,
+    )
+    engine.run(6)
+    return recorder.samples
+
+
+class TestJsonl:
+    def test_one_compact_line_per_row(self):
+        lines = to_jsonl_lines(ROWS)
+        assert len(lines) == 2
+        assert all("\n" not in line and ": " not in line for line in lines)
+
+    def test_nan_becomes_null(self):
+        record = json.loads(to_jsonl_lines(ROWS)[1])
+        assert record["bytes_window"] is None
+        assert record["quiescent_fraction"] == 1.0
+
+    def test_round_trips_through_json(self):
+        records = [json.loads(line) for line in to_jsonl_lines(ROWS)]
+        assert [r["round"] for r in records] == [0, 1]
+
+    def test_write_jsonl(self, tmp_path, recorded_rows):
+        path = tmp_path / "telemetry.jsonl"
+        assert write_jsonl(recorded_rows, str(path)) == 6
+        lines = path.read_text().splitlines()
+        assert len(lines) == 6
+        assert json.loads(lines[-1])["round"] == 5
+
+
+class TestPrometheus:
+    def test_type_headers_and_prefix(self):
+        text = to_prometheus_text(ROWS)
+        assert "# TYPE repro_live gauge" in text
+        assert "# TYPE repro_distinct_fingerprints gauge" in text
+
+    def test_identity_keys_become_labels_not_gauges(self):
+        text = to_prometheus_text(ROWS)
+        assert 'repro_live{engine="0",round="0"} 8' in text
+        assert "# TYPE repro_round" not in text
+        assert "# TYPE repro_engine" not in text
+
+    def test_nan_samples_are_skipped(self):
+        text = to_prometheus_text(ROWS)
+        assert 'repro_bytes_window{engine="0",round="0"} 416' in text
+        assert 'round="1"} nan' not in text
+
+    def test_empty_rows_render_empty(self):
+        assert to_prometheus_text([]) == ""
+
+    def test_write_prometheus_counts_samples(self, tmp_path, recorded_rows):
+        path = tmp_path / "telemetry.prom"
+        written = write_prometheus(recorded_rows, str(path))
+        text = path.read_text()
+        assert written == sum(
+            1 for line in text.splitlines() if line and not line.startswith("#")
+        )
+        assert written > 0
+        assert "# TYPE repro_messages_window gauge" in text
+
+
+class TestStoreExport:
+    def test_rows_land_in_timeseries_table(self, recorded_rows):
+        with ResultStore(":memory:") as store:
+            points = export_to_store(store, "run1", "cell-a", recorded_rows)
+            assert points > 0
+            series = store.timeseries_series(
+                "run1", "cell-a", "distinct_fingerprints"
+            )
+            assert [r for r, _ in series] == [0, 1, 2, 3, 4, 5]
+
+    def test_engine_override_tags_rows(self):
+        with ResultStore(":memory:") as store:
+            export_to_store(store, "run1", "cell-a", ROWS, engine=7)
+            rows = store.timeseries("run1", key="cell-a")
+            assert {row["engine"] for row in rows} == {7}
+
+    def test_nan_stored_as_null(self):
+        with ResultStore(":memory:") as store:
+            export_to_store(store, "run1", "cell-a", ROWS)
+            series = dict(
+                store.timeseries_series("run1", "cell-a", "bytes_window")
+            )
+            assert series[0] == 416
+            assert series[1] is None
+
+    def test_same_rows_reexported_replace_not_duplicate(self):
+        with ResultStore(":memory:") as store:
+            export_to_store(store, "run1", "cell-a", ROWS)
+            export_to_store(store, "run1", "cell-a", ROWS)
+            rows = store.timeseries("run1", key="cell-a")
+            names = [(r["round"], r["name"]) for r in rows]
+            assert len(names) == len(set(names))

@@ -1,0 +1,138 @@
+"""The live run monitor: incremental tailing and line rendering."""
+
+import io
+import json
+import math
+
+from repro.obs.monitor import StreamFollower, follow, main, render_event
+
+
+def write_lines(path, records, mode="a"):
+    with open(path, mode, encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestStreamFollower:
+    def test_reads_complete_lines_incrementally(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_lines(path, [{"kind": "telemetry", "round": 0}])
+        follower = StreamFollower(str(path))
+        assert [r["round"] for r in follower.poll()] == [0]
+        assert follower.poll() == []  # nothing new
+        write_lines(path, [{"kind": "telemetry", "round": 1}])
+        assert [r["round"] for r in follower.poll()] == [1]
+
+    def test_partial_trailing_line_held_back(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"kind":"telemetry","round":0}\n{"kind":"tele')
+        follower = StreamFollower(str(path))
+        assert [r["round"] for r in follower.poll()] == [0]
+        # The writer finishes the line; the two halves reassemble.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('metry","round":1}\n')
+        assert [r["round"] for r in follower.poll()] == [1]
+        assert follower.skipped == 0
+
+    def test_malformed_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('not json\n{"kind":"crash","node":3}\n{"no_kind":1}\n')
+        follower = StreamFollower(str(path))
+        records = follower.poll()
+        assert [r["kind"] for r in records] == ["crash"]
+        assert follower.skipped == 2
+
+    def test_missing_file_returns_empty(self, tmp_path):
+        follower = StreamFollower(str(tmp_path / "absent.jsonl"))
+        assert follower.poll() == []
+
+
+class TestRenderEvent:
+    def test_telemetry_line(self):
+        line = render_event({
+            "kind": "telemetry", "round": 4,
+            "extra": {"round": 4, "live": 96, "distinct_fingerprints": 3,
+                      "quiescent_fraction": 0.875, "messages_window": 96,
+                      "bytes_window": 4992, "cache_hit_ratio": 0.7},
+        })
+        assert "round      4" in line
+        assert "live    96" in line
+        assert "classes    3" in line
+        assert "agree  87.5%" in line
+        assert "4.9 KiB" in line
+        assert "cache 70%" in line
+
+    def test_nan_gauges_are_omitted_not_fatal(self):
+        line = render_event({
+            "kind": "telemetry", "round": 0,
+            "extra": {"round": 0, "live": 8,
+                      "distinct_fingerprints": math.nan,
+                      "quiescent_fraction": math.nan,
+                      "messages_window": 8, "bytes_window": math.nan,
+                      "cache_hit_ratio": math.nan},
+        })
+        assert "classes" not in line
+        assert "msgs      8" in line
+
+    def test_crash_and_quiescence_and_metrics_lines(self):
+        assert "crash node=5" in render_event(
+            {"kind": "crash", "node": 5, "round": 3}
+        )
+        quiescent = render_event({
+            "kind": "cache", "round": 9,
+            "extra": {"path": "quiescent", "streak": 3},
+        })
+        assert "quiescent at round 9" in quiescent
+        final = render_event({
+            "kind": "metrics",
+            "extra": {"rounds": 12, "messages_sent": 96, "crashes": 1},
+        })
+        assert "final:" in final and "rounds=12" in final
+
+    def test_uninteresting_kinds_render_none(self):
+        for kind in ("send", "deliver", "merge", "span", "round_close"):
+            assert render_event({"kind": kind}) is None
+
+
+class TestFollow:
+    def test_once_renders_current_contents(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_lines(path, [
+            {"kind": "telemetry", "round": 0, "extra": {"round": 0, "live": 4}},
+            {"kind": "send", "node": 1},
+            {"kind": "crash", "node": 2, "round": 1},
+        ])
+        out = io.StringIO()
+        assert follow(str(path), out, once=True) == 2
+        lines = out.getvalue().splitlines()
+        assert lines[0].startswith("round")
+        assert "crash" in lines[1]
+
+    def test_max_idle_terminates_follow_mode(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_lines(path, [{"kind": "crash", "node": 0}])
+        out = io.StringIO()
+        rendered = follow(str(path), out, interval=0.01, max_idle=0.05)
+        assert rendered == 1
+
+
+class TestMain:
+    def test_once_mode_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        write_lines(path, [
+            {"kind": "telemetry", "round": 0, "extra": {"round": 0, "live": 4}},
+        ])
+        assert main([str(path), "--once"]) == 0
+        assert "live     4" in capsys.readouterr().out
+
+    def test_once_missing_file_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl"), "--once"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_once_without_telemetry_says_so(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        write_lines(path, [{"kind": "send", "node": 0}])
+        assert main([str(path), "--once"]) == 0
+        assert "no telemetry lines" in capsys.readouterr().out

@@ -125,3 +125,94 @@ class TestSpan:
                 with span("failing"):
                     raise RuntimeError("boom")
         assert registry.timers["failing"].count == 1
+
+
+class TestStackAttribution:
+    """v2 sampling profiler: nested spans, exclusive time, collapsed stacks."""
+
+    def test_nested_spans_build_stacks(self):
+        with profiling() as registry:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        assert ("outer",) in registry.stacks
+        assert ("outer", "inner") in registry.stacks
+
+    def test_exclusive_time_subtracts_children(self):
+        with profiling() as registry:
+            with span("outer"):
+                with span("inner"):
+                    time.sleep(0.01)
+        rows = {row[0]: row for row in registry.phase_rows()}
+        name, count, inclusive, exclusive = rows["outer"]
+        assert count == 1
+        assert inclusive >= 0.01
+        assert exclusive < inclusive  # the child's time is not outer's own
+
+    def test_exclusive_never_negative(self):
+        with profiling() as registry:
+            with span("a"):
+                with span("b"):
+                    pass
+        for stack, stats in registry.stacks.items():
+            assert stats.total >= 0.0
+
+    def test_collapsed_stack_lines(self):
+        with profiling() as registry:
+            with span("a"):
+                with span("b"):
+                    pass
+        lines = registry.collapsed_stacks()
+        assert any(line.startswith("a ") for line in lines)
+        assert any(line.startswith("a;b ") for line in lines)
+        for line in lines:
+            path, _, micros = line.rpartition(" ")
+            assert path and int(micros) >= 0
+
+    def test_write_collapsed(self, tmp_path):
+        out = tmp_path / "profile.folded"
+        with profiling() as registry:
+            with span("x"):
+                pass
+        registry.write_collapsed(str(out))
+        assert out.read_text().startswith("x ")
+
+    def test_span_events_carry_stack_and_exclusive(self):
+        sink = RingBufferSink()
+        with tracing(sink):
+            with span("parent"):
+                with span("child"):
+                    pass
+        by_name = {e.extra["name"]: e for e in sink.of_kind("span")}
+        assert by_name["child"].extra["stack"] == "parent;child"
+        assert by_name["parent"].extra["stack"] == "parent"
+        assert by_name["parent"].extra["self"] <= by_name["parent"].extra["duration"]
+
+    def test_stack_state_clean_after_exception(self):
+        with profiling() as registry:
+            with pytest.raises(RuntimeError):
+                with span("outer"):
+                    with span("inner"):
+                        raise RuntimeError("boom")
+            # A fresh span must be a new root, not a child of "outer".
+            with span("fresh"):
+                pass
+        assert ("fresh",) in registry.stacks
+        assert ("outer", "fresh") not in registry.stacks
+
+    def test_sibling_spans_share_parent(self):
+        with profiling() as registry:
+            with span("root"):
+                with span("left"):
+                    pass
+                with span("right"):
+                    pass
+        assert ("root", "left") in registry.stacks
+        assert ("root", "right") in registry.stacks
+
+    def test_as_dict_includes_stacks(self):
+        with profiling() as registry:
+            with span("a"):
+                pass
+        assert "stacks" in registry.as_dict()
+        assert registry.as_dict()["stacks"]["a"]["count"] == 1

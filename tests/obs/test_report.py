@@ -117,8 +117,10 @@ class TestRenderReport:
         assert "quiescence_detected_at" in text
         assert "round 12" in text
 
-    def test_cache_section_absent_without_cache_events(self):
-        assert "Merge cache" not in render_report([{"kind": "send"}])
+    def test_cache_section_says_no_data_without_cache_events(self):
+        text = render_report([{"kind": "send"}])
+        cache_section = text.split("Merge cache", 1)[1]
+        assert "(no data)" in cache_section.split("\n\n", 1)[0]
 
     def test_span_section_lists_slowest(self, tmp_path):
         path = tmp_path / "spans.jsonl"
@@ -133,6 +135,109 @@ class TestRenderReport:
         assert "Top 2 slowest spans" in text
         # em.fit totals 0.6s and must rank above engine.round's 0.2s.
         assert text.index("em.fit") < text.index("engine.round")
+
+
+class TestDegenerateTraces:
+    """Satellite coverage: empty, cache-less and crashed-early traces must
+    render the full report skeleton with "(no data)" sections, never a
+    KeyError."""
+
+    SECTION_TITLES = [
+        "Event census",
+        "Message complexity",
+        "Convergence time series",
+        "Convergence curves",
+        "EM iterations",
+        "Partition fast path",
+        "Merge cache",
+        "Crash timeline",
+        "Per-node timelines",
+        "Profiled spans",
+        "Final metrics snapshot",
+    ]
+
+    def test_empty_trace_renders_every_section(self):
+        text = render_report([])
+        for title in self.SECTION_TITLES:
+            assert title in text
+        assert text.count("(no data)") >= 9
+
+    def test_cache_disabled_trace_has_no_data_cache_section(self, crash_trace):
+        path, _ = crash_trace  # push-sum run: no cache events at all
+        text = render_report(load_events(str(path)))
+        cache_section = text.split("Merge cache", 1)[1].split("\n\n", 1)[0]
+        assert "(no data)" in cache_section
+
+    def test_crashed_early_trace_renders(self):
+        # A run that died after a handful of transport events: no
+        # round_close, no probes, no spans, records missing optional keys.
+        events = [
+            {"kind": "send", "node": 0, "peer": 1, "round": 0},
+            {"kind": "deliver", "node": 0, "peer": 1, "round": 0},
+            {"kind": "crash", "node": 1},
+            {"kind": "send"},
+        ]
+        text = render_report(events)
+        assert "Crash timeline (1 crashes)" in text
+        for title in self.SECTION_TITLES:
+            assert title in text
+
+    def test_minimal_records_never_keyerror(self):
+        events = [{"kind": kind} for kind in (
+            "send", "deliver", "drop", "merge", "split", "crash",
+            "round_close", "em_step", "probe", "span", "fastpath",
+            "cache", "telemetry", "metrics",
+        )]
+        text = render_report(events)
+        assert "Event census" in text
+
+
+class TestTelemetrySection:
+    def test_telemetry_series_rendered(self):
+        events = [
+            {
+                "kind": "telemetry",
+                "round": r,
+                "extra": {
+                    "round": r,
+                    "live": 10,
+                    "distinct_fingerprints": 10 - r,
+                    "quiescent_fraction": 0.1 * (r + 1),
+                    "total_quanta": 1024,
+                    "messages_window": 10,
+                    "bytes_window": 520,
+                },
+            }
+            for r in range(3)
+        ]
+        text = render_report(events)
+        assert "Convergence time series" in text
+        assert "distinct_fingerprints" in text
+        assert "total_quanta" in text
+
+
+class TestCollapsedStacks:
+    def test_collapsed_file_written(self, tmp_path):
+        from repro.obs.report import write_collapsed
+
+        events = [
+            {"kind": "span", "extra": {"name": "b", "duration": 0.2, "self": 0.2, "stack": "a;b"}},
+            {"kind": "span", "extra": {"name": "a", "duration": 0.5, "self": 0.3, "stack": "a"}},
+            {"kind": "span", "extra": {"name": "a", "duration": 0.1}},  # v1 record
+        ]
+        out = tmp_path / "profile.folded"
+        assert write_collapsed(events, str(out)) == 2
+        lines = out.read_text().splitlines()
+        assert "a;b 200000" in lines
+        # 0.3 exclusive + 0.1 legacy (self defaults to duration).
+        assert "a 400000" in lines
+
+    def test_main_collapsed_flag(self, crash_trace, tmp_path, capsys):
+        path, _ = crash_trace
+        out = tmp_path / "profile.folded"
+        assert main([str(path), "--collapsed", str(out)]) == 0
+        assert out.exists()
+        assert "collapsed stacks" in capsys.readouterr().out
 
 
 class TestMain:

@@ -1,0 +1,232 @@
+"""The per-round telemetry pipeline: recorder, hub, and ambient scope."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.topology import complete, ring
+from repro.obs import (
+    RingBufferSink,
+    TelemetryConfig,
+    TelemetryHub,
+    TimeSeriesRecorder,
+    current_hub,
+    telemetry,
+)
+from repro.protocols.classification import build_classification_network
+from repro.protocols.push_sum import build_push_sum_network
+from repro.schemes.centroid import CentroidScheme
+from repro.schemes.gm import GaussianMixtureScheme
+
+
+def small_network(n=8, seed=7, scheme=None, **kwargs):
+    values = np.arange(n, dtype=float)[:, None]
+    return build_classification_network(
+        values,
+        scheme if scheme is not None else CentroidScheme(),
+        k=2,
+        graph=complete(n),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestTelemetryConfig:
+    def test_defaults(self):
+        config = TelemetryConfig()
+        assert config.stride == 1
+        assert config.max_samples == 100_000
+        assert config.emit_events is True
+
+    @pytest.mark.parametrize("stride", [0, -1])
+    def test_stride_must_be_positive(self, stride):
+        with pytest.raises(ValueError, match="stride"):
+            TelemetryConfig(stride=stride)
+
+    def test_max_samples_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            TelemetryConfig(max_samples=0)
+
+
+class TestStrideSampling:
+    def test_stride_one_samples_every_round(self):
+        recorder = TimeSeriesRecorder()
+        engine, _ = small_network(telemetry=recorder)
+        engine.run(6)
+        assert len(recorder) == 6
+        assert [s["round"] for s in recorder.samples] == list(range(6))
+
+    def test_stride_three_samples_every_third_round(self):
+        recorder = TimeSeriesRecorder(TelemetryConfig(stride=3))
+        engine, _ = small_network(telemetry=recorder)
+        engine.run(10)
+        assert [s["round"] for s in recorder.samples] == [0, 3, 6, 9]
+        assert recorder.rounds_observed == 10
+        assert recorder.rounds_sampled == 4
+
+    def test_max_samples_bounds_memory(self):
+        recorder = TimeSeriesRecorder(TelemetryConfig(max_samples=4))
+        engine, _ = small_network(telemetry=recorder)
+        engine.run(10)
+        assert len(recorder) == 4
+        # Oldest samples fall off the front.
+        assert [s["round"] for s in recorder.samples] == [6, 7, 8, 9]
+
+    def test_series_and_last(self):
+        recorder = TimeSeriesRecorder()
+        engine, _ = small_network(telemetry=recorder)
+        engine.run(5)
+        assert recorder.series("round") == [0, 1, 2, 3, 4]
+        assert recorder.last()["round"] == 4
+
+    def test_empty_recorder(self):
+        recorder = TimeSeriesRecorder()
+        assert recorder.last() is None
+        assert recorder.samples == []
+        assert recorder.series("round") == []
+
+
+class TestConvergenceGauges:
+    def test_distinct_fingerprints_reach_one_and_weight_is_conserved(self):
+        """The fig4 acceptance shape: the convergence gauge falls to 1 at
+        the fixpoint while total weight stays exactly constant."""
+        rng = np.random.default_rng(11)
+        centers = np.array([[0.0], [5.0], [10.0]])
+        values = centers[rng.integers(0, 3, size=24)]
+        recorder = TimeSeriesRecorder()
+        engine, _ = build_classification_network(
+            values, GaussianMixtureScheme(seed=11), k=3, graph=complete(24),
+            seed=11, telemetry=recorder,
+        )
+        engine.run(15)
+        fingerprints = recorder.series("distinct_fingerprints")
+        assert fingerprints[0] > 1
+        assert fingerprints[-1] == 1
+        totals = set(recorder.series("total_quanta"))
+        assert len(totals) == 1  # mass conservation, every single round
+        assert recorder.last()["quiescent_fraction"] == 1.0
+
+    def test_message_windows_are_deltas_not_totals(self):
+        recorder = TimeSeriesRecorder()
+        engine, _ = small_network(n=6, telemetry=recorder)
+        engine.run(8)
+        windows = recorder.series("messages_window")
+        assert sum(windows) == engine.metrics.messages_sent
+        # On a complete graph every live node sends once per round.
+        assert all(w == 6 for w in windows)
+
+    def test_bytes_window_uses_wire_codec(self):
+        recorder = TimeSeriesRecorder()
+        engine, _ = small_network(n=6, telemetry=recorder)
+        engine.run(3)
+        sizes = recorder.series("bytes_window")
+        assert all(isinstance(size, int) and size > 0 for size in sizes)
+
+    def test_push_sum_gauges_are_nan_not_crash(self):
+        """Protocols without classifier nodes degrade to honest NaNs."""
+        values = np.arange(8, dtype=float)[:, None]
+        recorder = TimeSeriesRecorder()
+        engine, _ = build_push_sum_network(
+            values, complete(8), seed=1, telemetry=recorder
+        )
+        engine.run(4)
+        assert len(recorder) == 4
+        sample = recorder.last()
+        assert math.isnan(sample["distinct_fingerprints"])
+        assert math.isnan(sample["total_quanta"])
+        # Transport counters still work: they come from NetworkMetrics.
+        assert sample["messages_window"] > 0
+
+    def test_cache_ratios_present_with_merge_cache(self):
+        recorder = TimeSeriesRecorder()
+        engine, _ = small_network(n=8, merge_cache=True, telemetry=recorder)
+        engine.run(10)
+        ratio = recorder.last()["cache_hit_ratio"]
+        assert 0.0 <= ratio <= 1.0
+
+    def test_cache_ratio_nan_without_cache(self):
+        recorder = TimeSeriesRecorder()
+        engine, _ = small_network(n=6, merge_cache=False, telemetry=recorder)
+        engine.run(2)
+        assert math.isnan(recorder.last()["cache_hit_ratio"])
+
+
+class TestEventEmission:
+    def test_samples_mirrored_as_telemetry_events(self):
+        sink = RingBufferSink()
+        recorder = TimeSeriesRecorder()
+        engine, _ = small_network(telemetry=recorder, event_sink=sink)
+        engine.run(5)
+        events = sink.of_kind("telemetry")
+        assert len(events) == 5
+        assert [e.round for e in events] == [0, 1, 2, 3, 4]
+        assert events[-1].extra["live"] == 8
+
+    def test_emit_events_false_keeps_sink_clean(self):
+        sink = RingBufferSink()
+        recorder = TimeSeriesRecorder(TelemetryConfig(emit_events=False))
+        engine, _ = small_network(telemetry=recorder, event_sink=sink)
+        engine.run(5)
+        assert sink.of_kind("telemetry") == []
+        assert len(recorder) == 5  # still recorded, just not streamed
+
+
+class TestAmbientScope:
+    def test_kernels_pick_up_ambient_hub(self):
+        with telemetry(TelemetryConfig(stride=2)) as hub:
+            engine, _ = small_network()
+            assert engine.telemetry is hub.recorders[0]
+        engine.run(6)
+        assert [s["round"] for s in hub.recorders[0].samples] == [0, 2, 4]
+
+    def test_no_scope_means_no_recorder(self):
+        engine, _ = small_network()
+        assert engine.telemetry is None
+
+    def test_explicit_recorder_wins_over_ambient(self):
+        mine = TimeSeriesRecorder()
+        with telemetry() as hub:
+            engine, _ = small_network(telemetry=mine)
+        assert engine.telemetry is mine
+        assert hub.recorders == []
+
+    def test_scopes_nest_and_restore(self):
+        assert current_hub() is None
+        with telemetry() as outer:
+            assert current_hub() is outer
+            with telemetry() as inner:
+                assert current_hub() is inner
+            assert current_hub() is outer
+        assert current_hub() is None
+
+    def test_hub_rows_tag_engine_ordinals(self):
+        with telemetry() as hub:
+            first, _ = small_network(seed=1)
+            second, _ = small_network(seed=2, n=6)
+        first.run(3)
+        second.run(2)
+        rows = hub.rows()
+        assert len(rows) == 5
+        assert sorted({row["engine"] for row in rows}) == [0, 1]
+        assert [r["round"] for r in rows if r["engine"] == 1] == [0, 1]
+
+
+class TestHub:
+    def test_explicit_hub_reused(self):
+        hub = TelemetryHub(TelemetryConfig(stride=5))
+        with telemetry(hub=hub) as active:
+            assert active is hub
+            recorder = hub.new_recorder()
+            assert recorder.config.stride == 5
+
+    def test_ring_topology_also_converges_in_gauges(self):
+        # Two exact value clusters: the fixpoint is a shared 2-summary set.
+        values = np.array([[0.0]] * 5 + [[10.0]] * 5)
+        recorder = TimeSeriesRecorder()
+        engine, _ = build_classification_network(
+            values, GaussianMixtureScheme(seed=3), k=2, graph=ring(10), seed=3,
+            telemetry=recorder,
+        )
+        engine.run(60)
+        assert recorder.series("distinct_fingerprints")[-1] == 1
