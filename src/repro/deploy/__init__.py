@@ -1,0 +1,29 @@
+"""Deployment entry points: the paper's algorithm as a real cluster.
+
+``python -m repro.deploy run`` launches an N-node local cluster — one OS
+process per sensor node, gossiping over OS pipes (``--transport process``)
+or real TCP sockets (``--transport tcp``) — drives it to structural
+quiescence through the per-node HTTP endpoints, and judges agreement
+(optionally against the in-memory simulation of the same workload).
+``python -m repro.deploy node`` runs a single standalone node, the shape
+a container gets in the ``docker-compose`` sketch of
+``docs/deployment.md``.
+"""
+
+from repro.deploy.cluster import (
+    NodeSpec,
+    classification_deviation,
+    run_cluster,
+    run_node,
+)
+from repro.deploy.workloads import WORKLOADS, Workload, build_workload
+
+__all__ = [
+    "NodeSpec",
+    "WORKLOADS",
+    "Workload",
+    "build_workload",
+    "classification_deviation",
+    "run_cluster",
+    "run_node",
+]

@@ -1,0 +1,133 @@
+"""CLI for local-cluster deployment runs; see ``docs/deployment.md``.
+
+Examples
+--------
+Run a three-node TCP cluster on the fence-fire workload, compare with
+the in-memory simulation, and keep the evidence::
+
+    python -m repro.deploy run --nodes 3 --transport tcp --workload fig1 \
+        --seed 7 --compare-memory --artifact results/deploy_trace.json
+
+Run one standalone node (the docker-compose shape)::
+
+    python -m repro.deploy node --node-id 1 --nodes 3 --workload fig1 \
+        --seed 7 --port 9101 --http-port 9201 --seed-peer 10.0.0.5:9100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.deploy.cluster import NodeSpec, run_cluster, run_node
+from repro.deploy.workloads import WORKLOADS
+from repro.network.membership import seeds_to_peers
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.deploy",
+        description="Run the distributed classifier as real node processes.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="launch and judge a local N-node cluster")
+    run.add_argument("--nodes", type=int, default=3, help="cluster size (default 3)")
+    run.add_argument(
+        "--transport",
+        choices=("process", "tcp"),
+        default="tcp",
+        help="frame transport between node processes (default tcp)",
+    )
+    run.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="fig1",
+        help="input recipe; every node regenerates it from (workload, nodes, seed)",
+    )
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--timeout", type=float, default=90.0, help="seconds to reach quiescence")
+    run.add_argument("--agreement-tol", type=float, default=0.75)
+    run.add_argument(
+        "--compare-memory",
+        action="store_true",
+        help="also run the in-memory simulation and require the cluster to match it",
+    )
+    run.add_argument("--reference-rounds", type=int, default=30)
+    run.add_argument("--reference-tol", type=float, default=1.0)
+    run.add_argument("--artifact", help="write the full JSON report here")
+    run.add_argument("--gossip-interval", type=float, default=0.05)
+    run.add_argument("--patience", type=int, default=10)
+
+    node = commands.add_parser("node", help="run one standalone node (container shape)")
+    node.add_argument("--node-id", type=int, required=True)
+    node.add_argument("--nodes", type=int, required=True, help="total cluster size")
+    node.add_argument("--workload", choices=sorted(WORKLOADS), default="fig1")
+    node.add_argument("--seed", type=int, default=7)
+    node.add_argument("--host", default="0.0.0.0")
+    node.add_argument("--port", type=int, default=0, help="gossip port (0 = ephemeral)")
+    node.add_argument("--http-port", type=int, default=0)
+    node.add_argument(
+        "--seed-peer",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="bootstrap address to JOIN (repeatable)",
+    )
+    node.add_argument("--gossip-interval", type=float, default=0.05)
+    node.add_argument("--patience", type=int, default=10)
+    node.add_argument(
+        "--duration", type=float, default=3600.0, help="safety-net lifetime in seconds"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        report = run_cluster(
+            n_nodes=args.nodes,
+            transport=args.transport,
+            workload=args.workload,
+            seed=args.seed,
+            timeout=args.timeout,
+            agreement_tol=args.agreement_tol,
+            compare_memory=args.compare_memory,
+            reference_rounds=args.reference_rounds,
+            reference_tol=args.reference_tol,
+            artifact=args.artifact,
+            gossip_interval=args.gossip_interval,
+            patience=args.patience,
+        )
+        summary = {
+            "ok": report["ok"],
+            "quiescent": report.get("quiescent"),
+            "agreement_max_deviation": report.get("agreement_max_deviation"),
+        }
+        if "reference" in report:
+            summary["reference_max_deviation"] = report["reference"].get(
+                "max_deviation_vs_cluster"
+            )
+        print(json.dumps(summary))
+        return 0 if report["ok"] else 1
+    if args.command == "node":
+        spec = NodeSpec(
+            node_id=args.node_id,
+            n_nodes=args.nodes,
+            workload=args.workload,
+            seed=args.seed,
+            transport="tcp",
+            gossip_port=args.port,
+            http_port=args.http_port,
+            seeds=tuple(seeds_to_peers(args.seed_peer)),
+            host=args.host,
+            gossip_interval=args.gossip_interval,
+            patience=args.patience,
+            duration=args.duration,
+        )
+        run_node(spec)
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

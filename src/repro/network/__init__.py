@@ -22,12 +22,26 @@ from repro.network.failures import (
     NoFailures,
     ScheduledCrashes,
 )
+from repro.network.frames import Frame, FrameDecoder, FrameError
 from repro.network.kernel import GOSSIP_VARIANTS, Scheduler, SimulationKernel
 from repro.network.links import AlwaysUp, LinkSchedule, WindowedOutage, cut_edges
+from repro.network.membership import MembershipView, PeerInfo
 from repro.network.metrics import NetworkMetrics
+from repro.network.process_transport import ProcessTransport
 from repro.network.rounds import RoundEngine
+from repro.network.runtime import NodeRuntime
 from repro.network.schedulers import PoissonScheduler, SynchronousRoundScheduler
+from repro.network.tcp_transport import AsyncioTCPTransport
 from repro.network.trace import RoundRecord, RunTracer
+from repro.network.transport import (
+    FrameTransport,
+    InMemoryTransport,
+    SimulationTransport,
+    Transport,
+    TransportStats,
+    TRANSPORT_NAMES,
+)
+from repro.network.webapi import NodeWebAPI
 from repro.network.simulator import (
     NeighborSelector,
     Network,
@@ -39,19 +53,30 @@ from repro.network import topology
 __all__ = [
     "AlwaysUp",
     "AsyncEngine",
+    "AsyncioTCPTransport",
     "BernoulliCrashes",
     "Channel",
     "ENGINES",
     "EventQueue",
     "FailureModel",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "FrameTransport",
     "GOSSIP_VARIANTS",
     "InFlightMessage",
+    "InMemoryTransport",
     "LinkSchedule",
+    "MembershipView",
     "NeighborSelector",
     "Network",
     "NetworkMetrics",
     "NoFailures",
+    "NodeRuntime",
+    "NodeWebAPI",
+    "PeerInfo",
     "PoissonScheduler",
+    "ProcessTransport",
     "RandomSelector",
     "RoundEngine",
     "RoundRecord",
@@ -60,7 +85,11 @@ __all__ = [
     "ScheduledCrashes",
     "Scheduler",
     "SimulationKernel",
+    "SimulationTransport",
     "SynchronousRoundScheduler",
+    "TRANSPORT_NAMES",
+    "Transport",
+    "TransportStats",
     "WindowedOutage",
     "cut_edges",
     "make_engine",

@@ -35,6 +35,7 @@ from repro.network.kernel import SimulationKernel
 from repro.network.links import LinkSchedule
 from repro.network.schedulers import PoissonScheduler
 from repro.network.simulator import NeighborSelector
+from repro.network.transport import SimulationTransport
 from repro.obs.events import EventSink
 from repro.obs.timeseries import TimeSeriesRecorder
 from repro.protocols.base import GossipProtocol
@@ -81,6 +82,7 @@ class AsyncEngine(SimulationKernel):
         variant: str = "push",
         failure_model: Optional[FailureModel] = None,
         link_schedule: Optional[LinkSchedule] = None,
+        transport: Optional[SimulationTransport] = None,
         merge_cache: Optional[MergeCache] = None,
         stop_on_quiescence: bool = False,
         quiescence_patience: int = 3,
@@ -100,6 +102,7 @@ class AsyncEngine(SimulationKernel):
             link_schedule=link_schedule,
             fifo=fifo,
             event_sink=event_sink,
+            transport=transport,
             merge_cache=merge_cache,
             stop_on_quiescence=stop_on_quiescence,
             quiescence_patience=quiescence_patience,

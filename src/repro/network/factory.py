@@ -22,6 +22,7 @@ from repro.network.kernel import SimulationKernel
 from repro.network.links import LinkSchedule
 from repro.network.rounds import RoundEngine
 from repro.network.simulator import NeighborSelector
+from repro.network.transport import SimulationTransport
 from repro.obs.events import EventSink
 from repro.obs.timeseries import TimeSeriesRecorder
 from repro.protocols.base import GossipProtocol
@@ -45,6 +46,7 @@ def make_engine(
     mean_interval: float = 1.0,
     delay_range: tuple[float, float] = (0.05, 2.0),
     fifo: bool = False,
+    transport: Optional[SimulationTransport] = None,
     merge_cache: Optional[MergeCache] = None,
     stop_on_quiescence: bool = False,
     quiescence_patience: int = 3,
@@ -58,6 +60,14 @@ def make_engine(
     ``merge_cache`` / ``stop_on_quiescence`` / ``quiescence_patience``
     (the convergence-aware knobs — see ``docs/performance.md``) apply to
     both.
+
+    ``transport`` selects the message-movement implementation for either
+    engine; ``None`` (the default) means a fresh
+    :class:`~repro.network.transport.InMemoryTransport`, the historical
+    in-process path.  Only simulation transports plug in here — the
+    ``process`` and ``tcp`` frame transports are driven by per-node
+    runtimes instead (``python -m repro.deploy``); the selection matrix
+    lives in ``docs/architecture.md``.
     """
     if engine == "rounds":
         return RoundEngine(
@@ -69,6 +79,7 @@ def make_engine(
             failure_model=failure_model,
             link_schedule=link_schedule,
             event_sink=event_sink,
+            transport=transport,
             merge_cache=merge_cache,
             stop_on_quiescence=stop_on_quiescence,
             quiescence_patience=quiescence_patience,
@@ -87,6 +98,7 @@ def make_engine(
             mean_interval=mean_interval,
             delay_range=delay_range,
             fifo=fifo,
+            transport=transport,
             merge_cache=merge_cache,
             stop_on_quiescence=stop_on_quiescence,
             quiescence_patience=quiescence_patience,

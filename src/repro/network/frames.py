@@ -1,0 +1,194 @@
+"""Length-prefixed wire frames: the stream protocol above the payload codec.
+
+:mod:`repro.core.serialization` defines what one gossip *payload* looks
+like in bytes (fixed-size summary records, the paper's message-size
+claim made measurable).  This module defines how those bytes travel over
+a real byte stream — a TCP connection or an OS pipe — where message
+boundaries do not exist and partial reads are routine:
+
+``[magic u16][version u8][kind u8][sender u32][length u32][crc32 u32][body]``
+
+- **magic / version** reject foreign traffic and stale peers outright;
+- **kind** multiplexes gossip data and the membership protocol
+  (:data:`DATA`, :data:`JOIN`, :data:`PEER_LIST`, :data:`HEARTBEAT`,
+  :data:`LEAVE`) over one connection;
+- **length** delimits the body on the stream (bounded by
+  :data:`MAX_BODY_BYTES` so a corrupt length cannot balloon memory);
+- **crc32** detects corruption — a frame that fails its checksum is
+  *rejected*, never partially applied, because a half-applied gossip
+  message would silently destroy the weight-conservation invariant the
+  whole algorithm rests on.
+
+:class:`FrameDecoder` reassembles frames from arbitrary chunk boundaries
+(feed it whatever ``recv`` returned; it yields complete frames), which is
+the piece both the asyncio TCP transport and the pipe transport share.
+Membership bodies are encoded here too, so the frame module is the entire
+wire contract of a deployment — property-tested round-trip plus
+truncation/corruption rejection in ``tests/network/test_frames.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = [
+    "DATA",
+    "JOIN",
+    "PEER_LIST",
+    "HEARTBEAT",
+    "LEAVE",
+    "FRAME_KINDS",
+    "MAX_BODY_BYTES",
+    "FrameError",
+    "Frame",
+    "encode_frame",
+    "FrameDecoder",
+    "encode_peer_entries",
+    "decode_peer_entries",
+]
+
+#: First two bytes of every frame; rejects non-protocol traffic early.
+MAGIC = 0x5243  # "RC" — repro classification
+
+#: Frame protocol version (independent of the payload codec's version).
+FRAME_VERSION = 1
+
+#: Frame kinds: gossip data plus the membership protocol.
+DATA = 1  #: an encoded gossip payload (repro.core.serialization bytes)
+JOIN = 2  #: "I exist at this address" — body is one peer entry
+PEER_LIST = 3  #: membership gossip — body is a list of peer entries
+HEARTBEAT = 4  #: liveness beacon for otherwise-idle links (empty body)
+LEAVE = 5  #: graceful departure announcement (empty body)
+
+FRAME_KINDS = (DATA, JOIN, PEER_LIST, HEARTBEAT, LEAVE)
+
+#: Upper bound on one frame body.  Generous next to real payloads (a
+#: k=16, d=8 Gaussian payload is ~5 KiB) while keeping a corrupted
+#: length field from allocating gigabytes.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct("!HBBIII")
+
+
+class FrameError(ValueError):
+    """A frame violated the wire contract (magic, version, kind, crc, size)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One decoded frame: who sent what kind of body."""
+
+    kind: int
+    sender: int
+    body: bytes
+
+
+def encode_frame(kind: int, sender: int, body: bytes = b"") -> bytes:
+    """Serialise one frame; the inverse of :class:`FrameDecoder`."""
+    if kind not in FRAME_KINDS:
+        raise FrameError(f"unknown frame kind {kind}")
+    if sender < 0 or sender > 0xFFFFFFFF:
+        raise FrameError(f"sender id {sender} does not fit the wire format")
+    if len(body) > MAX_BODY_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_BODY_BYTES}")
+    header = _HEADER.pack(
+        MAGIC, FRAME_VERSION, kind, sender, len(body), zlib.crc32(body) & 0xFFFFFFFF
+    )
+    return header + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over arbitrary chunk boundaries.
+
+    Feed whatever the stream produced (``feed``), iterate complete frames
+    (``frames``).  State survives partial headers and split bodies; a
+    contract violation raises :class:`FrameError` and poisons the decoder
+    — after corruption the stream position is untrustworthy, so the
+    owning connection must be dropped and re-established (the TCP
+    transport's reconnect path does exactly that).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[Frame]:
+        """Absorb one chunk; returns every frame completed by it."""
+        if self._poisoned:
+            raise FrameError("decoder poisoned by earlier corruption; reset the stream")
+        self._buffer.extend(chunk)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Frame]:
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            magic, version, kind, sender, length, crc = _HEADER.unpack_from(self._buffer, 0)
+            if magic != MAGIC:
+                self._poisoned = True
+                raise FrameError(f"bad magic 0x{magic:04x}; not protocol traffic")
+            if version != FRAME_VERSION:
+                self._poisoned = True
+                raise FrameError(f"unsupported frame version {version}")
+            if kind not in FRAME_KINDS:
+                self._poisoned = True
+                raise FrameError(f"unknown frame kind {kind}")
+            if length > MAX_BODY_BYTES:
+                self._poisoned = True
+                raise FrameError(f"frame length {length} exceeds {MAX_BODY_BYTES}")
+            if len(self._buffer) < _HEADER.size + length:
+                return  # body still in flight
+            body = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+            if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+                self._poisoned = True
+                raise FrameError("crc mismatch: frame body corrupted in transit")
+            del self._buffer[: _HEADER.size + length]
+            yield Frame(kind=kind, sender=sender, body=body)
+
+
+# ----------------------------------------------------------------------
+# Membership bodies (JOIN carries one entry, PEER_LIST a list)
+# ----------------------------------------------------------------------
+_PEER_ENTRY = struct.Struct("!IHH")  # node_id, port, host length
+
+
+def encode_peer_entries(entries: Sequence[tuple[int, str, int]]) -> bytes:
+    """Serialise ``(node_id, host, port)`` peer entries for JOIN/PEER_LIST."""
+    chunks = [struct.pack("!H", len(entries))]
+    for node_id, host, port in entries:
+        host_bytes = host.encode("utf-8")
+        if len(host_bytes) > 0xFFFF:
+            raise FrameError(f"host name of {len(host_bytes)} bytes is not addressable")
+        chunks.append(_PEER_ENTRY.pack(node_id, port, len(host_bytes)))
+        chunks.append(host_bytes)
+    return b"".join(chunks)
+
+
+def decode_peer_entries(body: bytes) -> list[tuple[int, str, int]]:
+    """Inverse of :func:`encode_peer_entries`; rejects truncated bodies."""
+    if len(body) < 2:
+        raise FrameError("peer-entry body shorter than its count prefix")
+    (count,) = struct.unpack_from("!H", body, 0)
+    offset = 2
+    entries: list[tuple[int, str, int]] = []
+    for _ in range(count):
+        if len(body) < offset + _PEER_ENTRY.size:
+            raise FrameError("truncated peer entry header")
+        node_id, port, host_length = _PEER_ENTRY.unpack_from(body, offset)
+        offset += _PEER_ENTRY.size
+        if len(body) < offset + host_length:
+            raise FrameError("truncated peer entry host")
+        host = body[offset : offset + host_length].decode("utf-8")
+        offset += host_length
+        entries.append((node_id, host, port))
+    if offset != len(body):
+        raise FrameError(f"trailing bytes in peer-entry body ({len(body) - offset})")
+    return entries

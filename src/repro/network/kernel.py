@@ -7,8 +7,12 @@ act — while everything else (what travels, how it can be lost, what is
 counted, what is observed) is schedule-independent.  The kernel owns that
 schedule-independent core:
 
-- **transport** — one reliable directed :class:`~repro.network.channel.Channel`
-  per used edge, message envelopes, and the delivery pipeline
+- **transport** — message movement is delegated to a pluggable
+  :class:`~repro.network.transport.SimulationTransport` (default
+  :class:`~repro.network.transport.InMemoryTransport`: one reliable
+  directed :class:`~repro.network.channel.Channel` per used edge, message
+  envelopes, and the queued-delivery pipeline), while the kernel keeps
+  the protocol interaction and the link-availability check
   (link availability → send → delay → deliver → receiver-side batched
   merge);
 - **failure injection** — a :class:`~repro.network.failures.FailureModel`
@@ -34,7 +38,6 @@ shims binding the kernel to one scheduler each.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Callable, Mapping, Optional, Union
 
 import networkx as nx
@@ -45,6 +48,7 @@ from repro.network.events import EventQueue
 from repro.network.failures import FailureModel, NoFailures
 from repro.network.links import AlwaysUp, LinkSchedule
 from repro.network.simulator import NeighborSelector, Network
+from repro.network.transport import InMemoryTransport, SimulationTransport
 from repro.obs.events import Event, EventSink
 from repro.obs.profiling import span
 from repro.obs.timeseries import TimeSeriesRecorder, current_hub
@@ -113,16 +117,6 @@ class Scheduler:
         return None
 
 
-class _Delivery:
-    """Queue entry: a message envelope due at its channel's far end."""
-
-    __slots__ = ("channel", "message")
-
-    def __init__(self, channel: Channel, message: InFlightMessage) -> None:
-        self.channel = channel
-        self.message = message
-
-
 class _Fire:
     """Queue entry: a node's periodic timer expires (Algorithm 1 lines 3-7)."""
 
@@ -154,6 +148,14 @@ class SimulationKernel(Network):
     fifo:
         Enforce per-channel FIFO delivery (only observable under delayed
         schedules; used by tests to build deterministic orderings).
+    transport:
+        The :class:`~repro.network.transport.SimulationTransport` that
+        moves messages; defaults to a fresh
+        :class:`~repro.network.transport.InMemoryTransport` — the
+        historical in-process path, byte-identical to the pre-seam
+        kernel.  The kernel binds the transport to itself and mirrors
+        its :class:`~repro.network.transport.TransportStats` into
+        :attr:`metrics` at every round close.
     merge_cache:
         The run-scoped :class:`~repro.core.fingerprint.MergeCache` the
         network's nodes share (``None`` when caching is disabled).  The
@@ -192,6 +194,7 @@ class SimulationKernel(Network):
         failure_model: Optional[FailureModel] = None,
         link_schedule: Optional[LinkSchedule] = None,
         fifo: bool = False,
+        transport: Optional[SimulationTransport] = None,
         event_sink: Optional[EventSink] = None,
         merge_cache: Optional[MergeCache] = None,
         stop_on_quiescence: bool = False,
@@ -209,10 +212,17 @@ class SimulationKernel(Network):
         self.link_schedule = link_schedule if link_schedule is not None else AlwaysUp()
         self.fifo = fifo
         self.queue = EventQueue()
-        #: One reliable directed channel per *used* edge, created lazily —
-        #: a 1,000-node complete graph has ~10^6 directed edges, most of
-        #: which a short run never exercises.
-        self.channels: dict[tuple[int, int], Channel] = {}
+        if transport is None:
+            transport = InMemoryTransport()
+        if not isinstance(transport, SimulationTransport):
+            raise TypeError(
+                "the simulation kernel needs a SimulationTransport (e.g. "
+                f"InMemoryTransport); got {type(transport).__name__}.  Frame "
+                "transports (process/tcp) are driven by repro.network.runtime, "
+                "not the kernel — see docs/deployment.md."
+            )
+        self.transport = transport
+        transport.bind(self)
         self.merge_cache = merge_cache
         if quiescence_patience < 1:
             raise ValueError(
@@ -255,6 +265,7 @@ class SimulationKernel(Network):
         """
         if self.merge_cache is not None:
             self.metrics.sync_cache(self.merge_cache)
+        self.metrics.sync_transport(self.transport.stats)
         t: Optional[float] = None
         if self.event_sink is not None or self.telemetry is not None:
             t = self._stamp().get("t")
@@ -279,18 +290,16 @@ class SimulationKernel(Network):
                 self.event_sink.flush()
 
     # ------------------------------------------------------------------
-    # Transport
+    # Transport (delegated to the pluggable seam)
     # ------------------------------------------------------------------
+    @property
+    def channels(self) -> dict[tuple[int, int], Channel]:
+        """The transport's directed channels, keyed ``(source, dest)``."""
+        return self.transport.channels  # type: ignore[attr-defined]
+
     def channel(self, source: int, destination: int) -> Channel:
         """The directed channel for an edge, created on first use."""
-        key = (source, destination)
-        found = self.channels.get(key)
-        if found is None:
-            if not self.graph.has_edge(source, destination):
-                raise KeyError(f"no edge {source}->{destination} in the topology")
-            found = Channel(source, destination, fifo=self.fifo)
-            self.channels[key] = found
-        return found
+        return self.transport.channel(source, destination)
 
     def link_up(self, source: int, destination: int) -> bool:
         """Is the (undirected) link usable right now, per the schedule?"""
@@ -322,9 +331,7 @@ class SimulationKernel(Network):
                 deliver_at = float(deliver_time())
             else:
                 deliver_at = float(deliver_time)
-            channel = self.channel(source, destination)
-            message = channel.send(payload, send_time, deliver_at)
-            self.queue.push(message.deliver_time, _Delivery(channel, message))
+            self.transport.send(source, destination, payload, send_time, deliver_at)
             items = self.payload_size(payload)
             self.metrics.record_send(items)
             self._emit("send", node=source, peer=destination, items=items)
@@ -354,45 +361,20 @@ class SimulationKernel(Network):
     def flush_deliveries(self) -> None:
         """Deliver *everything* queued, batched per destination.
 
-        The synchronous scheduler's receive phase: every message sent
-        this round reaches its destination as one batch per receiver
-        (the paper's "accumulate all the received collections and run EM
-        once for the entire set").
+        The synchronous scheduler's receive phase; see
+        :meth:`repro.network.transport.InMemoryTransport.flush_deliveries`.
         """
-        batches: dict[int, list[tuple[Channel, InFlightMessage]]] = defaultdict(list)
-        while self.queue:
-            _, entry = self.queue.pop()
-            batches[entry.channel.destination].append((entry.channel, entry.message))
-        for destination in sorted(batches):
-            self._complete_delivery(destination, batches[destination])
+        self.transport.flush_deliveries()
 
     def dispatch_delivery(
         self, channel: Channel, message: InFlightMessage, coalesce_at: Optional[float] = None
     ) -> int:
         """Deliver one due envelope; returns the number of envelopes consumed.
 
-        With ``coalesce_at`` set (the event-driven path), any further
-        queued deliveries due at exactly the same instant for the same
-        destination join the batch — the asynchronous counterpart of the
-        round schedule's receiver-side merge batching.  Random continuous
-        delays make ties measure-zero, but FIFO clamping and adversarial
-        test schedules produce them deliberately.
+        The event-driven path, with same-instant coalescing; see
+        :meth:`repro.network.transport.InMemoryTransport.dispatch_delivery`.
         """
-        entries = [(channel, message)]
-        if coalesce_at is not None:
-            destination = channel.destination
-            while self.queue:
-                when, entry = self.queue.peek()
-                if (
-                    when != coalesce_at
-                    or not isinstance(entry, _Delivery)
-                    or entry.channel.destination != destination
-                ):
-                    break
-                self.queue.pop()
-                entries.append((entry.channel, entry.message))
-        self._complete_delivery(channel.destination, entries)
-        return len(entries)
+        return self.transport.dispatch_delivery(channel, message, coalesce_at=coalesce_at)
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -410,10 +392,7 @@ class SimulationKernel(Network):
     # ------------------------------------------------------------------
     def in_flight_payloads(self) -> list[Any]:
         """Payloads currently inside channels, for global-pool assertions."""
-        payloads: list[Any] = []
-        for channel in self.channels.values():
-            payloads.extend(message.payload for message in channel.in_flight)
-        return payloads
+        return self.transport.in_flight_payloads()
 
     # ------------------------------------------------------------------
     # Quiescence detection
@@ -508,6 +487,7 @@ class SimulationKernel(Network):
                 break
         if self.merge_cache is not None:
             self.metrics.sync_cache(self.merge_cache)
+        self.metrics.sync_transport(self.transport.stats)
         if quiesced and self.event_sink is not None:
             # A truncated run must still leave a complete, valid trace:
             # close it with a final counter snapshot and push everything

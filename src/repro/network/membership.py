@@ -1,0 +1,170 @@
+"""Gossip membership: who is in the cluster, and who has crashed.
+
+The simulation kernel knows the full topology up front; a deployed
+cluster does not.  Nodes discover each other the same way the paper's
+algorithm moves data — by gossip.  A starting node announces itself with
+a JOIN frame to its seed peers; every node occasionally pushes its whole
+peer table as a PEER_LIST; tables merge by union.  Because the merge is
+monotone (peers are added, never silently removed), every view converges
+to the full membership along any connected gossip path — the same
+union-converges argument the paper uses for data.
+
+Failure detection realises the paper's fail-stop crash model
+(Section 3.1): a peer that has neither sent a frame nor answered a
+heartbeat within ``failure_timeout`` is declared dead, its address is
+dropped, and frames queued for it are discarded — in-flight weight
+leaves the system exactly as when the simulator's
+:class:`~repro.network.failures.FailureModel` crashes a node mid-flight.
+Suspicions are local and conservative: a false positive merely severs
+one edge of the gossip overlay, which the algorithm tolerates so long as
+the surviving overlay stays connected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = ["PeerInfo", "MembershipView", "seeds_to_peers"]
+
+
+@dataclass(frozen=True, slots=True)
+class PeerInfo:
+    """One peer's identity and address."""
+
+    node_id: int
+    host: str
+    port: int
+
+    def as_entry(self) -> tuple[int, str, int]:
+        """The wire shape used by :mod:`repro.network.frames`."""
+        return (self.node_id, self.host, self.port)
+
+    @classmethod
+    def from_entry(cls, entry: tuple[int, str, int]) -> "PeerInfo":
+        node_id, host, port = entry
+        return cls(node_id=node_id, host=host, port=port)
+
+
+@dataclass
+class MembershipView:
+    """One node's evolving picture of the cluster.
+
+    Thread-compatible rather than thread-safe: the deployment runtime
+    touches it from a single gossip loop, so no lock lives here.
+    """
+
+    self_info: PeerInfo
+    failure_timeout: float = 10.0
+    clock: Callable[[], float] = time.monotonic
+    _peers: dict[int, PeerInfo] = field(default_factory=dict)
+    _last_heard: dict[int, float] = field(default_factory=dict)
+    _dead: set[int] = field(default_factory=set)
+
+    def peers(self) -> list[PeerInfo]:
+        """Live peers, excluding self, sorted by node id (deterministic
+        iteration keeps seeded peer selection reproducible)."""
+        return [self._peers[node_id] for node_id in sorted(self._peers)]
+
+    def peer_ids(self) -> list[int]:
+        return sorted(self._peers)
+
+    def dead_ids(self) -> list[int]:
+        return sorted(self._dead)
+
+    def get(self, node_id: int) -> Optional[PeerInfo]:
+        return self._peers.get(node_id)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._peers
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def add(self, peer: PeerInfo) -> bool:
+        """Admit one peer; returns True if the view changed.
+
+        A dead peer's id is never resurrected: fail-stop means a crashed
+        node does not return (a replacement must join under a fresh id),
+        so late gossip about a declared-dead peer is stale information,
+        not a recovery.
+        """
+        if peer.node_id == self.self_info.node_id or peer.node_id in self._dead:
+            return False
+        known = self._peers.get(peer.node_id)
+        if known == peer:
+            return False
+        self._peers[peer.node_id] = peer
+        self._last_heard.setdefault(peer.node_id, self.clock())
+        return True
+
+    def merge(self, entries: Iterable[tuple[int, str, int]]) -> int:
+        """Union a gossiped peer list into the view; returns peers added."""
+        added = 0
+        for entry in entries:
+            if self.add(PeerInfo.from_entry(entry)):
+                added += 1
+        return added
+
+    def heard_from(self, node_id: int) -> None:
+        """Record liveness evidence (any frame counts, not just heartbeats)."""
+        if node_id in self._peers:
+            self._last_heard[node_id] = self.clock()
+
+    def remove(self, node_id: int) -> None:
+        """Graceful departure (LEAVE): forget the peer without declaring
+        it crashed — its id could rejoin later."""
+        self._peers.pop(node_id, None)
+        self._last_heard.pop(node_id, None)
+
+    def detect_failures(self) -> list[PeerInfo]:
+        """Declare silent peers dead; returns the newly-dead peers.
+
+        Fail-stop semantics: each returned peer is removed from the live
+        view and permanently blacklisted, and the caller must drop any
+        frames queued for it (lost in-flight weight, per the paper's
+        crash model).
+        """
+        now = self.clock()
+        newly_dead: list[PeerInfo] = []
+        for node_id in sorted(self._peers):
+            last = self._last_heard.get(node_id, now)
+            if now - last > self.failure_timeout:
+                peer = self._peers.pop(node_id)
+                self._last_heard.pop(node_id, None)
+                self._dead.add(node_id)
+                newly_dead.append(peer)
+        return newly_dead
+
+    def gossip_entries(self) -> list[tuple[int, str, int]]:
+        """The PEER_LIST body for this view: self plus every live peer."""
+        entries = [self.self_info.as_entry()]
+        entries.extend(peer.as_entry() for peer in self.peers())
+        return entries
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready summary for the HTTP status endpoint."""
+        return {
+            "self": {
+                "node_id": self.self_info.node_id,
+                "host": self.self_info.host,
+                "port": self.self_info.port,
+            },
+            "live_peers": [
+                {"node_id": p.node_id, "host": p.host, "port": p.port}
+                for p in self.peers()
+            ],
+            "dead_peers": self.dead_ids(),
+        }
+
+
+def seeds_to_peers(seeds: Sequence[str]) -> list[tuple[str, int]]:
+    """Parse ``host:port`` seed strings (deploy CLI convenience)."""
+    parsed: list[tuple[str, int]] = []
+    for seed in seeds:
+        host, _, port = seed.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"seed {seed!r} is not host:port")
+        parsed.append((host, int(port)))
+    return parsed

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.fingerprint import MergeCache
+    from repro.network.transport import TransportStats
 
 __all__ = ["NetworkMetrics"]
 
@@ -33,6 +34,12 @@ class NetworkMetrics:
     cache_evictions: int = 0
     cache_noop_hits: int = 0
     quiescent_rounds: int = 0
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    reconnects: int = 0
+    peer_count: int = 0
     per_round_messages: list[int] = field(default_factory=list)
 
     def record_send(self, payload_items: int = 1) -> None:
@@ -57,6 +64,22 @@ class NetworkMetrics:
         self.cache_misses = cache.misses
         self.cache_evictions = cache.evictions
         self.cache_noop_hits = cache.noop_hits
+
+    def sync_transport(self, stats: "TransportStats") -> None:
+        """Mirror the transport's counters (frames, bytes, reconnects,
+        peers).  Like :meth:`sync_cache`, the kernel calls this at every
+        round close; the transport owns the counters, the metrics are
+        the engine-scoped view of them.  For the in-memory transport,
+        bytes stay zero (nothing is serialised) and ``peer_count``
+        gauges the channels opened so far; the wire transports report
+        real byte counts and live peers — see ``docs/deployment.md``.
+        """
+        self.frames_sent = stats.frames_sent
+        self.frames_received = stats.frames_received
+        self.bytes_sent = stats.bytes_sent
+        self.bytes_received = stats.bytes_received
+        self.reconnects = stats.reconnects
+        self.peer_count = stats.peer_count
 
     def scalar_snapshot(self, include_cache: bool = True) -> dict[str, int]:
         """The scalar counters only — no per-round series.
@@ -108,6 +131,12 @@ class NetworkMetrics:
             "cache_evictions": self.cache_evictions,
             "cache_noop_hits": self.cache_noop_hits,
             "quiescent_rounds": self.quiescent_rounds,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "reconnects": self.reconnects,
+            "peer_count": self.peer_count,
             "per_round_messages": per_round,
             "mean_messages_per_round": (
                 sum(per_round) / len(per_round) if per_round else 0.0

@@ -1,0 +1,108 @@
+"""Frame transport over OS pipes: N real processes on one machine.
+
+The first rung of the deployment ladder (see the selection matrix in
+:mod:`repro.network.transport`): every node is a genuine operating-system
+process with its own interpreter, GIL and memory — nothing is shared but
+the :class:`multiprocessing.Queue` inboxes the parent created before
+forking, which move whole encoded frames over OS pipes.  Gossip payloads
+therefore cross a real serialisation boundary (the
+:mod:`repro.network.frames` wire contract, checksums included) while
+sidestepping sockets, which makes this the transport of choice for
+multi-core runs and for deployment tests that must not depend on free
+TCP ports.
+
+The queue topology is star-free: the parent creates one inbox per node
+and hands the *complete* map to every worker (the same
+fan-out-then-join pattern as the fault-tolerant pool in
+:mod:`repro.sweep.runner`), so any node can frame-address any other
+directly.  Membership gossip still runs over it — deployment code paths
+stay identical between ``process`` and ``tcp``.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.network.frames import Frame, FrameDecoder, FrameError
+from repro.network.transport import FrameTransport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import multiprocessing.queues
+
+    from repro.network.membership import PeerInfo
+
+__all__ = ["ProcessTransport"]
+
+
+class ProcessTransport(FrameTransport):
+    """Move encoded frames between local processes via multiprocessing queues.
+
+    ``inboxes`` maps every node id (including this node's own) to the
+    :class:`multiprocessing.Queue` that feeds it; the parent process
+    builds the map once and passes it to each worker at spawn time.
+    Each queue item is one complete encoded frame, but every received
+    item is still pushed through a :class:`~repro.network.frames.FrameDecoder`
+    — the checksum is verified on arrival exactly as it would be off a
+    socket, and corrupt items are dropped and counted rather than
+    surfaced.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        node_id: int,
+        inboxes: Mapping[int, "multiprocessing.queues.Queue[bytes]"],
+    ) -> None:
+        super().__init__()
+        if node_id not in inboxes:
+            raise ValueError(f"inbox map has no queue for this node ({node_id})")
+        self.node_id = node_id
+        self._inboxes = dict(inboxes)
+        self._closed = False
+        self.stats.peer_count = len(self._inboxes) - 1
+
+    def start(self) -> None:
+        """Nothing to bring up: the parent created the queues pre-fork."""
+
+    def poll(self, timeout: Optional[float] = None) -> Optional[Frame]:
+        if self._closed:
+            return None
+        try:
+            raw = self._inboxes[self.node_id].get(timeout=timeout)
+        except queue.Empty:
+            return None
+        decoder = FrameDecoder()
+        try:
+            frames = decoder.feed(raw)
+        except FrameError:
+            self.frames_rejected += 1
+            return None
+        if len(frames) != 1 or decoder.buffered:
+            # A queue item must be exactly one whole frame; anything else
+            # (trailing garbage, several concatenated frames) is a sender
+            # bug and is rejected wholesale.
+            self.frames_rejected += 1
+            return None
+        self.stats.frames_received += 1
+        self.stats.bytes_received += len(raw)
+        return frames[0]
+
+    def send_frame(self, peer: "PeerInfo", frame: bytes) -> bool:
+        if self._closed:
+            return False
+        inbox = self._inboxes.get(peer.node_id)
+        if inbox is None:
+            return False
+        inbox.put(frame)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(frame)
+        return True
+
+    def forget_peer(self, peer: "PeerInfo") -> None:
+        self._inboxes.pop(peer.node_id, None)
+        self.stats.peer_count = max(0, len(self._inboxes) - 1)
+
+    def close(self) -> None:
+        self._closed = True

@@ -31,6 +31,7 @@ from repro.network.kernel import GOSSIP_VARIANTS, SimulationKernel
 from repro.network.links import LinkSchedule
 from repro.network.schedulers import SynchronousRoundScheduler
 from repro.network.simulator import NeighborSelector
+from repro.network.transport import SimulationTransport
 from repro.obs.events import EventSink
 from repro.obs.timeseries import TimeSeriesRecorder
 from repro.protocols.base import GossipProtocol
@@ -73,6 +74,7 @@ class RoundEngine(SimulationKernel):
         failure_model: Optional[FailureModel] = None,
         link_schedule: Optional[LinkSchedule] = None,
         event_sink: Optional[EventSink] = None,
+        transport: Optional[SimulationTransport] = None,
         merge_cache: Optional[MergeCache] = None,
         stop_on_quiescence: bool = False,
         quiescence_patience: int = 3,
@@ -87,6 +89,7 @@ class RoundEngine(SimulationKernel):
             failure_model=failure_model,
             link_schedule=link_schedule,
             event_sink=event_sink,
+            transport=transport,
             merge_cache=merge_cache,
             stop_on_quiescence=stop_on_quiescence,
             quiescence_patience=quiescence_patience,

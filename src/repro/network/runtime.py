@@ -1,0 +1,308 @@
+"""The per-node gossip loop that turns a transport into a deployment.
+
+In simulation, one :class:`~repro.network.kernel.SimulationKernel` owns
+every node and a scheduler decides who fires when.  In a deployment there
+is no central anything: each process owns exactly one
+:class:`~repro.core.node.ClassifierNode` and runs this loop —
+the distributed system the paper actually describes, where "each node
+holds one value" and gossip exchanges are local decisions.
+
+One :class:`NodeRuntime` drives any
+:class:`~repro.network.transport.FrameTransport` identically:
+
+- **fire** every ``gossip_interval``: pick a uniformly random live peer
+  (the paper's uniform gossip partner selection), split the local
+  classification with ``make_message`` and ship the halves as a DATA
+  frame (:mod:`repro.core.serialization` bytes inside
+  :mod:`repro.network.frames` framing);
+- **receive** continuously: decoded DATA payloads are pooled into the
+  node exactly as the simulator's delivery path does; membership frames
+  (JOIN / PEER_LIST / HEARTBEAT / LEAVE) feed the
+  :class:`~repro.network.membership.MembershipView`;
+- **detect failures** on the heartbeat cadence; newly-dead peers are
+  reported to the transport so queued frames are dropped (fail-stop —
+  the in-flight weight leaves the system, the paper's crash semantics);
+- **track quiescence** structurally: a digest over the node's summary
+  *shapes* (weights excluded — they keep halving and merging forever by
+  design) that stays unchanged for ``patience`` consecutive fires means
+  the node's classification has stopped moving, the deployment analogue
+  of the kernel's quiescence detector.
+
+A lock-guarded :meth:`NodeRuntime.snapshot` exposes everything the HTTP
+query endpoint (:mod:`repro.network.webapi`) serves, so observers never
+touch live protocol state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+import time
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.node import ClassifierNode
+from repro.core.serialization import SummaryCodec, decode_payload, encode_payload
+from repro.network import frames
+from repro.network.frames import Frame, encode_frame
+from repro.network.membership import MembershipView, PeerInfo
+from repro.network.transport import FrameTransport
+
+__all__ = ["NodeRuntime", "cluster_means"]
+
+#: Sender id used when JOINing a seed whose node id is not yet known.
+_BOOTSTRAP_ID = 0xFFFFFFFF
+
+
+def cluster_means(node: ClassifierNode) -> list[list[float]]:
+    """The node's cluster locations, sorted for order-free comparison.
+
+    Works for every shipped scheme: Gaussian summaries expose ``.mean``;
+    centroid and histogram summaries *are* their vectors.
+    """
+    means = []
+    for collection in node.classification:
+        summary = collection.summary
+        vector = getattr(summary, "mean", None)
+        if vector is None or callable(vector):  # ndarray.mean is a method
+            vector = summary
+        means.append(np.atleast_1d(np.asarray(vector, dtype=float)).tolist())
+    return sorted(means)
+
+
+class NodeRuntime:
+    """One deployed node: gossip loop, membership, quiescence, snapshot."""
+
+    def __init__(
+        self,
+        node: ClassifierNode,
+        codec: SummaryCodec,
+        transport: FrameTransport,
+        membership: MembershipView,
+        seed_addresses: Sequence[tuple[str, int]] = (),
+        gossip_interval: float = 0.05,
+        heartbeat_interval: float = 0.5,
+        patience: int = 10,
+        digest_decimals: int = 6,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.node = node
+        self.codec = codec
+        self.transport = transport
+        self.membership = membership
+        self.seed_addresses = list(seed_addresses)
+        self.gossip_interval = gossip_interval
+        self.heartbeat_interval = heartbeat_interval
+        self.patience = patience
+        self.digest_decimals = digest_decimals
+        self.rng = rng if rng is not None else np.random.default_rng(node.node_id)
+        self.stop_event = threading.Event()
+        self.fires = 0
+        self.payloads_received = 0
+        self.stable_fires = 0
+        self._digest = self._summary_digest()
+        self._snapshot_lock = threading.Lock()
+        self._snapshot: dict[str, Any] = {}
+        self._started_at: Optional[float] = None
+        self._refresh_snapshot()
+
+    # ------------------------------------------------------------------
+    # Structural quiescence
+    # ------------------------------------------------------------------
+    def _summary_digest(self) -> str:
+        """Digest of the summary shapes only, weight-blind and tolerance-quantized.
+
+        Weights never settle (every fire halves them, every receive merges
+        them), but once gossip has mixed the input set the *summaries*
+        stop moving; this mirrors the simulation kernel's
+        summary-fingerprint quiescence detector.  Unlike the simulator's
+        byte-exact fingerprints, summaries are rounded to
+        ``digest_decimals`` first: after agreement, every merge still
+        perturbs the last float bits (nodes hold 1e-15-apart copies of
+        the same summary), and a byte-exact digest would never stabilise.
+        """
+        vectors = []
+        for collection in self.node.classification:
+            flat = np.frombuffer(self.codec.encode_summary(collection.summary), dtype=">f8")
+            rounded = np.round(flat.astype(float), self.digest_decimals)
+            # Normalise -0.0 so values straddling zero hash consistently.
+            vectors.append((rounded + 0.0).astype(">f8").tobytes())
+        digest = hashlib.sha256()
+        for blob in sorted(vectors):
+            digest.update(blob)
+        return digest.hexdigest()
+
+    @property
+    def quiescent(self) -> bool:
+        return self.stable_fires >= self.patience
+
+    # ------------------------------------------------------------------
+    # Outbound protocol
+    # ------------------------------------------------------------------
+    def _announce(self) -> None:
+        """JOIN every seed address (the bootstrap edge of the overlay)."""
+        body = frames.encode_peer_entries([self.membership.self_info.as_entry()])
+        frame = encode_frame(frames.JOIN, self.node.node_id, body)
+        for host, port in self.seed_addresses:
+            self.transport.send_frame(
+                PeerInfo(node_id=_BOOTSTRAP_ID, host=host, port=port), frame
+            )
+
+    def _fire(self) -> None:
+        """One gossip transmission: Algorithm 1's send step, on the wire."""
+        peers = self.membership.peers()
+        if peers:
+            peer = peers[int(self.rng.integers(len(peers)))]
+            payload = self.node.make_message()
+            if payload:
+                body = encode_payload(payload, self.codec)
+                self.transport.send_frame(
+                    peer, encode_frame(frames.DATA, self.node.node_id, body)
+                )
+        self.fires += 1
+        digest = self._summary_digest()
+        if digest == self._digest:
+            self.stable_fires += 1
+        else:
+            self.stable_fires = 0
+            self._digest = digest
+
+    def _heartbeat(self) -> None:
+        """Liveness beacon + membership gossip + failure detection."""
+        peers = self.membership.peers()
+        if peers:
+            beat = encode_frame(frames.HEARTBEAT, self.node.node_id)
+            peer_list = encode_frame(
+                frames.PEER_LIST,
+                self.node.node_id,
+                frames.encode_peer_entries(self.membership.gossip_entries()),
+            )
+            for peer in peers:
+                self.transport.send_frame(peer, beat)
+            # Membership gossips like data: one random peer per tick.
+            target = peers[int(self.rng.integers(len(peers)))]
+            self.transport.send_frame(target, peer_list)
+        for dead in self.membership.detect_failures():
+            self.transport.forget_peer(dead)
+        self.transport.stats.peer_count = len(self.membership)
+
+    # ------------------------------------------------------------------
+    # Inbound protocol
+    # ------------------------------------------------------------------
+    def _handle(self, frame: Frame) -> None:
+        if frame.kind == frames.DATA:
+            incoming = decode_payload(frame.body, self.codec)
+            self.node.receive(incoming)
+            self.payloads_received += 1
+            self.membership.heard_from(frame.sender)
+        elif frame.kind == frames.JOIN:
+            entries = frames.decode_peer_entries(frame.body)
+            self.membership.merge(entries)
+            self.membership.heard_from(frame.sender)
+            # Answer with our whole view so the joiner converges in one
+            # round trip; from then on periodic PEER_LIST gossip takes over.
+            joiner = self.membership.get(frame.sender)
+            if joiner is not None:
+                reply = encode_frame(
+                    frames.PEER_LIST,
+                    self.node.node_id,
+                    frames.encode_peer_entries(self.membership.gossip_entries()),
+                )
+                self.transport.send_frame(joiner, reply)
+        elif frame.kind == frames.PEER_LIST:
+            self.membership.merge(frames.decode_peer_entries(frame.body))
+            self.membership.heard_from(frame.sender)
+        elif frame.kind == frames.HEARTBEAT:
+            self.membership.heard_from(frame.sender)
+        elif frame.kind == frames.LEAVE:
+            peer = self.membership.get(frame.sender)
+            self.membership.remove(frame.sender)
+            if peer is not None:
+                self.transport.forget_peer(peer)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        self.stop_event.set()
+
+    def run(self, duration: Optional[float] = None) -> None:
+        """Drive the node until :meth:`request_stop` (or ``duration``).
+
+        The transport must already be started.  Quiescence does *not*
+        stop the loop — a quiescent node keeps gossiping and answering,
+        exactly as the paper's nodes do; stopping is an operator decision
+        (the deploy runner's shutdown POST, or the duration safety net).
+        """
+        self._started_at = time.monotonic()
+        self._announce()
+        next_fire = time.monotonic() + self.gossip_interval
+        next_beat = time.monotonic() + self.heartbeat_interval
+        deadline = None if duration is None else time.monotonic() + duration
+        while not self.stop_event.is_set():
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                break
+            wait = min(next_fire, next_beat) - now
+            frame = self.transport.poll(timeout=max(wait, 0.0) if wait > 0 else 0.0)
+            if frame is not None:
+                try:
+                    self._handle(frame)
+                except (ValueError, struct.error, frames.FrameError):
+                    # A frame that framed correctly but decodes to garbage
+                    # (wrong codec, truncated payload) is dropped whole —
+                    # never partially applied.
+                    self.transport.frames_rejected += 1
+            now = time.monotonic()
+            if now >= next_fire:
+                self._fire()
+                next_fire = now + self.gossip_interval
+            if now >= next_beat:
+                self._heartbeat()
+                next_beat = now + self.heartbeat_interval
+            self._refresh_snapshot()
+        self._leave()
+        self._refresh_snapshot()
+
+    def _leave(self) -> None:
+        """Graceful departure: tell live peers before closing the endpoint."""
+        goodbye = encode_frame(frames.LEAVE, self.node.node_id)
+        for peer in self.membership.peers():
+            self.transport.send_frame(peer, goodbye)
+
+    # ------------------------------------------------------------------
+    # Observation (webapi reads this, never the live state)
+    # ------------------------------------------------------------------
+    def _refresh_snapshot(self) -> None:
+        classification = self.node.classification
+        uptime = (
+            time.monotonic() - self._started_at if self._started_at is not None else 0.0
+        )
+        snapshot = {
+            "node_id": self.node.node_id,
+            "uptime_seconds": uptime,
+            "fires": self.fires,
+            "payloads_received": self.payloads_received,
+            "stable_fires": self.stable_fires,
+            "patience": self.patience,
+            "quiescent": self.quiescent,
+            "summary_digest": self._digest,
+            "classification": {
+                "k": len(classification),
+                "means": cluster_means(self.node),
+                "relative_weights": sorted(classification.relative_weights().tolist()),
+                "total_quanta": classification.total_quanta,
+            },
+            "membership": self.membership.snapshot(),
+            "transport": self.transport.describe(),
+            "node_stats": self.node.stats.as_dict(),
+        }
+        with self._snapshot_lock:
+            self._snapshot = snapshot
+
+    def snapshot(self) -> dict[str, Any]:
+        """A self-consistent copy of the last published state."""
+        with self._snapshot_lock:
+            return dict(self._snapshot)

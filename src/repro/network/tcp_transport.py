@@ -1,0 +1,307 @@
+"""Frame transport over real TCP sockets, asyncio underneath.
+
+The top rung of the deployment ladder: nodes are arbitrary processes on
+arbitrary hosts, and gossip frames travel over genuine length-prefixed
+TCP streams (:mod:`repro.network.frames`).  The whole asyncio apparatus
+— an accepting server, one reconnecting client task per peer — runs on a
+**background thread**, hidden behind the synchronous
+:class:`~repro.network.transport.FrameTransport` facade (``poll`` /
+``send_frame``), so the node runtime drives this transport with exactly
+the same loop it uses for :class:`~repro.network.process_transport.ProcessTransport`.
+
+Connection policy:
+
+- **Inbound**: accept anything; feed each connection's bytes through its
+  own streaming :class:`~repro.network.frames.FrameDecoder`.  A decode
+  error (bad magic, CRC mismatch) poisons that decoder, so the
+  connection is dropped — the remote's reconnect path re-establishes a
+  clean stream.
+- **Outbound**: one lazily-created link per peer address holding a send
+  queue and a connect-drain task.  Connects retry with exponential
+  backoff (``reconnect_base`` doubling up to ``reconnect_cap``); a drop
+  mid-stream loops back to connect, counting a reconnect.  Queued frames
+  survive a reconnect; the frame in flight during the drop may be lost —
+  which is precisely the paper's asynchronous-channel model, where a
+  message is either delivered intact or never.
+- **Failure**: :meth:`AsyncioTCPTransport.forget_peer` (driven by the
+  membership layer's timeout detector) closes the link and discards its
+  queue — fail-stop, in-flight weight leaves the system.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro.network.frames import Frame, FrameDecoder, FrameError
+from repro.network.transport import FrameTransport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.membership import PeerInfo
+
+__all__ = ["AsyncioTCPTransport"]
+
+_READ_CHUNK = 1 << 16
+
+
+class _PeerLink:
+    """One peer's outbound side: a send queue plus a connect-drain task."""
+
+    __slots__ = ("address", "send_queue", "task", "connected_once", "closed")
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.address = address
+        self.send_queue: asyncio.Queue[bytes] = asyncio.Queue()
+        self.task: Optional[asyncio.Task[None]] = None
+        self.connected_once = False
+        self.closed = False
+
+
+class AsyncioTCPTransport(FrameTransport):
+    """Length-prefixed frames over TCP, asyncio on a background thread.
+
+    ``port=0`` binds an ephemeral port; read :attr:`bound_port` after
+    :meth:`start` returns (the deploy runner uses this to assemble seed
+    lists without racing on fixed ports).
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        node_id: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reconnect_base: float = 0.05,
+        reconnect_cap: float = 2.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.host = host
+        self.port = port
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self.connect_timeout = connect_timeout
+        self.bound_port: Optional[int] = None
+        self._inbox: queue.Queue[Frame] = queue.Queue()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._links: dict[tuple[str, int], _PeerLink] = {}
+        self._links_lock = threading.Lock()
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._thread_main, name=f"tcp-transport-{self.node_id}", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=max(self.connect_timeout, 5.0))
+        if self._start_error is not None:
+            raise RuntimeError(
+                f"tcp transport failed to bind {self.host}:{self.port}"
+            ) from self._start_error
+        if self.bound_port is None:
+            raise RuntimeError("tcp transport did not come up in time")
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            # Drain cancelled tasks so the loop closes without warnings.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    async def _serve(self) -> None:
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_inbound, self.host, self.port
+            )
+        except OSError as error:
+            self._start_error = error
+            self._started.set()
+            return
+        sockets = self._server.sockets or []
+        self.bound_port = sockets[0].getsockname()[1] if sockets else None
+        self._started.set()
+        stop = asyncio.get_running_loop().create_future()
+        self._stop_future = stop
+        try:
+            await stop
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def close(self) -> None:
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._shutdown_on_loop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def _shutdown_on_loop(self) -> None:
+        with self._links_lock:
+            links = list(self._links.values())
+        for link in links:
+            link.closed = True
+            if link.task is not None:
+                link.task.cancel()
+        stop = getattr(self, "_stop_future", None)
+        if stop is not None and not stop.done():
+            stop.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    async def _handle_inbound(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    return
+                self.stats.bytes_received += len(chunk)
+                try:
+                    frames = decoder.feed(chunk)
+                except FrameError:
+                    # Poisoned stream: count it and drop the connection;
+                    # the remote's reconnect path starts a clean one.
+                    self.frames_rejected += 1
+                    return
+                for frame in frames:
+                    self.stats.frames_received += 1
+                    self._inbox.put(frame)
+        except (ConnectionError, OSError):
+            return
+        except asyncio.CancelledError:
+            # Transport shutdown cancels in-flight handlers; ending the
+            # task cleanly here keeps teardown silent.
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    def poll(self, timeout: Optional[float] = None) -> Optional[Frame]:
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+    def send_frame(self, peer: "PeerInfo", frame: bytes) -> bool:
+        loop = self._loop
+        if loop is None or self._stopping.is_set():
+            return False
+        address = (peer.host, peer.port)
+        with self._links_lock:
+            link = self._links.get(address)
+            if link is not None and link.closed:
+                return False
+            if link is None:
+                link = _PeerLink(address)
+                self._links[address] = link
+                loop.call_soon_threadsafe(self._ensure_link_task, link)
+        loop.call_soon_threadsafe(link.send_queue.put_nowait, frame)
+        return True
+
+    def _ensure_link_task(self, link: _PeerLink) -> None:
+        if link.task is None and not link.closed:
+            link.task = asyncio.get_running_loop().create_task(self._drain_link(link))
+
+    async def _drain_link(self, link: _PeerLink) -> None:
+        backoff = self.reconnect_base
+        host, port = link.address
+        pending: Optional[bytes] = None  # survives a reconnect, retried once up
+        while not link.closed and not self._stopping.is_set():
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), self.connect_timeout
+                )
+            except (OSError, asyncio.TimeoutError):
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.reconnect_cap)
+                continue
+            if link.connected_once:
+                self.stats.reconnects += 1
+            link.connected_once = True
+            backoff = self.reconnect_base
+            # Gossip links are write-only, so a peer's FIN would otherwise
+            # go unnoticed until a write bounced (losing that frame).  The
+            # watcher turns remote closure into an immediate reconnect.
+            eof_watch = asyncio.create_task(reader.read(1))
+            try:
+                while not link.closed:
+                    if pending is None:
+                        getter = asyncio.create_task(link.send_queue.get())
+                        await asyncio.wait(
+                            {getter, eof_watch}, return_when=asyncio.FIRST_COMPLETED
+                        )
+                        if getter.done():
+                            pending = getter.result()
+                        else:
+                            getter.cancel()
+                            try:
+                                pending = await getter  # won the race anyway
+                            except asyncio.CancelledError:
+                                pending = None
+                        if eof_watch.done():
+                            break  # remote closed; reconnect, keep `pending`
+                        if pending is None:
+                            continue
+                    writer.write(pending)
+                    await writer.drain()
+                    self.stats.frames_sent += 1
+                    self.stats.bytes_sent += len(pending)
+                    pending = None
+            except (ConnectionError, OSError):
+                continue  # dropped mid-stream: loop back to reconnect
+            finally:
+                eof_watch.cancel()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError, asyncio.CancelledError):
+                    pass
+
+    def forget_peer(self, peer: "PeerInfo") -> None:
+        address = (peer.host, peer.port)
+        with self._links_lock:
+            link = self._links.get(address)
+        if link is None:
+            return
+        link.closed = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            def _cancel() -> None:
+                if link.task is not None:
+                    link.task.cancel()
+            loop.call_soon_threadsafe(_cancel)

@@ -1,0 +1,325 @@
+"""Message movement as a pluggable seam: from simulation to real networks.
+
+The paper's protocol is specified for physically distributed sensors, but
+a reproduction naturally starts life inside one simulated event loop.
+This module is the seam that lets the *same* node and scheme code run on
+either side of that divide:
+
+- :class:`Transport` — the common contract: every transport moves opaque
+  gossip payloads between named nodes and accounts for what it moved in a
+  :class:`TransportStats` block (frames, bytes, reconnects, peers).
+- :class:`InMemoryTransport` — the simulation implementation: the
+  :class:`~repro.network.kernel.SimulationKernel`'s historical
+  transmit / queued-deliver / batched-receive pipeline, extracted verbatim.
+  It is *byte-identical* to the pre-extraction kernel: same channel
+  objects, same delivery queue entries, same RNG discipline (none), same
+  event ordering — the seed-determinism and cache/telemetry parity suites
+  pass with zero trace changes.
+- :class:`FrameTransport` — the deployment contract: transports that move
+  *encoded frames* (see :mod:`repro.network.frames`) between real node
+  processes.  Implemented by
+  :class:`~repro.network.process_transport.ProcessTransport` (pipes
+  between local worker processes) and
+  :class:`~repro.network.tcp_transport.AsyncioTCPTransport` (length-prefixed
+  frames over real TCP sockets with per-peer reconnect/backoff).
+
+Selection matrix (see ``docs/architecture.md`` and ``docs/deployment.md``):
+
+===============  ==================  ============================  =====================
+transport        runs where          moves                         driven by
+===============  ==================  ============================  =====================
+``memory``       one process         payload objects               ``SimulationKernel``
+``process``      N local processes   frames over OS pipes          ``NodeRuntime`` each
+``tcp``          anywhere            frames over TCP sockets       ``NodeRuntime`` each
+===============  ==================  ============================  =====================
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.network.channel import Channel, InFlightMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.frames import Frame
+    from repro.network.kernel import SimulationKernel
+    from repro.network.membership import PeerInfo
+
+__all__ = [
+    "TransportStats",
+    "Transport",
+    "SimulationTransport",
+    "InMemoryTransport",
+    "FrameTransport",
+    "TRANSPORT_NAMES",
+]
+
+#: The selectable transport names (``docs/architecture.md`` has the
+#: selection matrix).  ``memory`` plugs into the simulation kernel; the
+#: other two are deployment transports driven by per-node runtimes.
+TRANSPORT_NAMES = ("memory", "process", "tcp")
+
+
+@dataclass
+class TransportStats:
+    """What a transport moved; purely observational.
+
+    ``frames_*`` count transport-level message units (one in-memory
+    envelope, one wire frame).  ``bytes_*`` count encoded bytes and stay
+    zero for the in-memory transport, which moves Python objects and
+    never serialises.  ``reconnects`` counts re-established peer
+    connections (TCP only).  ``peer_count`` is a gauge: currently known
+    live peers (in-memory: channels opened so far).
+    """
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    reconnects: int = 0
+    peer_count: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "reconnects": self.reconnects,
+            "peer_count": self.peer_count,
+        }
+
+
+class Transport(abc.ABC):
+    """Common contract: move gossip traffic, account for it in ``stats``."""
+
+    #: Registry name (one of :data:`TRANSPORT_NAMES`).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = TransportStats()
+
+    def close(self) -> None:
+        """Release sockets / pipes / threads; idempotent."""
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-able summary for reports and HTTP status endpoints."""
+        return {"transport": self.name, **self.stats.as_dict()}
+
+
+class SimulationTransport(Transport):
+    """Kernel-facing contract: the transmit/deliver pipeline as a strategy.
+
+    A simulation transport is *bound* to exactly one
+    :class:`~repro.network.kernel.SimulationKernel` and owns the message
+    plumbing the kernel's schedulers drive: lazy per-edge channels, the
+    queued-delivery entries, and the in-flight pool.  What it does *not*
+    own is protocol interaction, metrics and event emission — those stay
+    on the kernel (its single observability site), reached through the
+    delivery callback :meth:`SimulationKernel._complete_delivery`.
+    """
+
+    kernel: "SimulationKernel"
+
+    def bind(self, kernel: "SimulationKernel") -> None:
+        """Attach to the kernel; called once from kernel init."""
+        self.kernel = kernel
+
+    @abc.abstractmethod
+    def channel(self, source: int, destination: int) -> Channel:
+        """The directed channel for an edge, created on first use."""
+
+    @abc.abstractmethod
+    def send(
+        self, source: int, destination: int, payload: Any, send_time: float, deliver_at: float
+    ) -> InFlightMessage:
+        """Put one payload in flight and schedule its delivery."""
+
+    @abc.abstractmethod
+    def flush_deliveries(self) -> None:
+        """Deliver everything queued, batched per destination."""
+
+    @abc.abstractmethod
+    def dispatch_delivery(
+        self, channel: Channel, message: InFlightMessage, coalesce_at: Optional[float] = None
+    ) -> int:
+        """Deliver one due envelope (plus same-instant coalescing)."""
+
+    @abc.abstractmethod
+    def in_flight_payloads(self) -> list[Any]:
+        """Payloads currently inside channels (the Section 6.1 pool)."""
+
+
+class _Delivery:
+    """Queue entry: a message envelope due at its channel's far end."""
+
+    __slots__ = ("channel", "message")
+
+    def __init__(self, channel: Channel, message: InFlightMessage) -> None:
+        self.channel = channel
+        self.message = message
+
+
+class InMemoryTransport(SimulationTransport):
+    """The simulation kernel's historical transport path, extracted.
+
+    Everything here is the pre-refactor kernel code moved verbatim: one
+    reliable directed :class:`~repro.network.channel.Channel` per used
+    edge (created lazily — a 1,000-node complete graph has ~10^6 directed
+    edges, most of which a short run never exercises), delivery entries
+    pushed onto the *kernel's* event queue (so deliveries stay
+    time-ordered against scheduler fire events), and batched completion
+    through the kernel's delivery callback.  No serialisation happens:
+    payloads travel as Python objects, so ``stats.bytes_*`` stay zero and
+    ``stats.peer_count`` gauges the channels opened so far.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.channels: dict[tuple[int, int], Channel] = {}
+
+    # ------------------------------------------------------------------
+    # Channels
+    # ------------------------------------------------------------------
+    def channel(self, source: int, destination: int) -> Channel:
+        key = (source, destination)
+        found = self.channels.get(key)
+        if found is None:
+            if not self.kernel.graph.has_edge(source, destination):
+                raise KeyError(f"no edge {source}->{destination} in the topology")
+            found = Channel(source, destination, fifo=self.kernel.fifo)
+            self.channels[key] = found
+            self.stats.peer_count = len(self.channels)
+        return found
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
+    def send(
+        self, source: int, destination: int, payload: Any, send_time: float, deliver_at: float
+    ) -> InFlightMessage:
+        channel = self.channel(source, destination)
+        message = channel.send(payload, send_time, deliver_at)
+        self.kernel.queue.push(message.deliver_time, _Delivery(channel, message))
+        self.stats.frames_sent += 1
+        return message
+
+    # ------------------------------------------------------------------
+    # Delivery side
+    # ------------------------------------------------------------------
+    def flush_deliveries(self) -> None:
+        """The synchronous scheduler's receive phase: every message sent
+        this round reaches its destination as one batch per receiver
+        (the paper's "accumulate all the received collections and run EM
+        once for the entire set")."""
+        kernel = self.kernel
+        batches: dict[int, list[tuple[Channel, InFlightMessage]]] = defaultdict(list)
+        while kernel.queue:
+            _, entry = kernel.queue.pop()
+            batches[entry.channel.destination].append((entry.channel, entry.message))
+        for destination in sorted(batches):
+            entries = batches[destination]
+            self.stats.frames_received += len(entries)
+            kernel._complete_delivery(destination, entries)
+
+    def dispatch_delivery(
+        self, channel: Channel, message: InFlightMessage, coalesce_at: Optional[float] = None
+    ) -> int:
+        """Deliver one due envelope; returns the number of envelopes consumed.
+
+        With ``coalesce_at`` set (the event-driven path), any further
+        queued deliveries due at exactly the same instant for the same
+        destination join the batch — the asynchronous counterpart of the
+        round schedule's receiver-side merge batching.  Random continuous
+        delays make ties measure-zero, but FIFO clamping and adversarial
+        test schedules produce them deliberately.
+        """
+        kernel = self.kernel
+        entries = [(channel, message)]
+        if coalesce_at is not None:
+            destination = channel.destination
+            while kernel.queue:
+                when, entry = kernel.queue.peek()
+                if (
+                    when != coalesce_at
+                    or not isinstance(entry, _Delivery)
+                    or entry.channel.destination != destination
+                ):
+                    break
+                kernel.queue.pop()
+                entries.append((entry.channel, entry.message))
+        self.stats.frames_received += len(entries)
+        kernel._complete_delivery(channel.destination, entries)
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    # Pool inspection (Section 6.1)
+    # ------------------------------------------------------------------
+    def in_flight_payloads(self) -> list[Any]:
+        payloads: list[Any] = []
+        for channel in self.channels.values():
+            payloads.extend(message.payload for message in channel.in_flight)
+        return payloads
+
+
+class FrameTransport(Transport):
+    """Deployment contract: move encoded frames between real processes.
+
+    Unlike a :class:`SimulationTransport`, a frame transport has no
+    central kernel: each node process owns one endpoint, driven by a
+    :class:`~repro.network.runtime.NodeRuntime`.  Payloads cross the
+    boundary as :mod:`repro.network.frames` byte strings — the
+    length-prefixed, checksummed framing of the
+    :mod:`repro.core.serialization` wire format — so everything a node
+    learns arrives the way it would over a real radio.
+
+    The facade is synchronous (``poll`` / ``send``) regardless of the
+    implementation underneath; :class:`AsyncioTCPTransport` runs its
+    asyncio machinery on a background thread behind it, which is what
+    lets one runtime loop drive every deployment transport.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Frames dropped for violating the wire contract (bad magic,
+        #: CRC mismatch, truncation).  Kept out of :class:`TransportStats`
+        #: — it is a transport-health diagnostic, not traffic accounting.
+        self.frames_rejected = 0
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Bring the endpoint up (bind sockets, start worker threads)."""
+
+    @abc.abstractmethod
+    def poll(self, timeout: Optional[float] = None) -> "Optional[Frame]":
+        """The next received (decoded, checksum-verified) frame, or
+        ``None`` on timeout.  Corrupted traffic never surfaces here — it
+        is dropped and counted in :attr:`frames_rejected`."""
+
+    @abc.abstractmethod
+    def send_frame(self, peer: "PeerInfo", frame: bytes) -> bool:
+        """Queue one encoded frame toward a peer; ``False`` if unreachable.
+
+        "Unreachable" mirrors the simulator's drop-at-crashed-node
+        semantics: a frame addressed to a peer the membership layer has
+        declared dead is dropped, and the weight it carried leaves the
+        system — exactly the paper's fail-stop crash model.
+        """
+
+    def forget_peer(self, peer: "PeerInfo") -> None:
+        """Tear down per-peer resources after a failure declaration.
+
+        Frames still queued toward the peer are discarded (fail-stop:
+        in-flight weight is lost with the crash).  Default is a no-op for
+        transports that keep no per-peer state.
+        """
+
+    def describe(self) -> dict[str, Any]:
+        summary = super().describe()
+        summary["frames_rejected"] = self.frames_rejected
+        return summary

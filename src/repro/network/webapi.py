@@ -1,0 +1,136 @@
+"""Per-node HTTP query endpoint: observe a deployed node from outside.
+
+A simulated run is observed by reaching into Python objects; a deployed
+node must be observable over the network.  Each
+:class:`~repro.network.runtime.NodeRuntime` can carry one
+:class:`NodeWebAPI` — a stdlib :class:`~http.server.ThreadingHTTPServer`
+on a daemon thread, serving JSON read-only views of the runtime's
+lock-guarded snapshot (never the live protocol state, so an HTTP request
+can never race a merge):
+
+========================  ====================================================
+``GET /status``           liveness, fires, quiescence progress, uptime
+``GET /classification``   cluster means, relative weights, total quanta
+``GET /peers``            the membership view (live + declared-dead peers)
+``GET /metrics``          transport counters plus the node's own statistics
+``POST /shutdown``        request a graceful stop (LEAVE + loop exit)
+========================  ====================================================
+
+The deploy runner (:mod:`repro.deploy`) drives a whole cluster through
+exactly these endpoints: poll ``/status`` until every node is quiescent,
+read ``/classification`` everywhere, assert agreement, POST ``/shutdown``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.runtime import NodeRuntime
+
+__all__ = ["NodeWebAPI"]
+
+
+class NodeWebAPI:
+    """HTTP observation endpoint for one node runtime.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.  :meth:`start` / :meth:`stop` bracket the serving
+    thread; the server is a daemon, so a crashed node process never
+    hangs on it.
+    """
+
+    def __init__(self, runtime: "NodeRuntime", host: str = "127.0.0.1", port: int = 0) -> None:
+        self.runtime = runtime
+        handler = _make_handler(runtime)
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.server.daemon_threads = True
+        self.host = host
+        self.port = int(self.server.server_address[1])
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            name=f"webapi-{self.runtime.node.node_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+def _make_handler(runtime: "NodeRuntime") -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            pass  # observation must not spam the node's stdout
+
+        def _reply(self, payload: dict[str, Any], status: int = 200) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+            snapshot = runtime.snapshot()
+            if self.path == "/status":
+                self._reply(
+                    {
+                        key: snapshot.get(key)
+                        for key in (
+                            "node_id",
+                            "uptime_seconds",
+                            "fires",
+                            "payloads_received",
+                            "stable_fires",
+                            "patience",
+                            "quiescent",
+                            "summary_digest",
+                        )
+                    }
+                )
+            elif self.path == "/classification":
+                self._reply(
+                    {
+                        "node_id": snapshot.get("node_id"),
+                        **snapshot.get("classification", {}),
+                    }
+                )
+            elif self.path == "/peers":
+                self._reply(
+                    {
+                        "node_id": snapshot.get("node_id"),
+                        **snapshot.get("membership", {}),
+                    }
+                )
+            elif self.path == "/metrics":
+                self._reply(
+                    {
+                        "node_id": snapshot.get("node_id"),
+                        "transport": snapshot.get("transport", {}),
+                        "node_stats": snapshot.get("node_stats", {}),
+                    }
+                )
+            else:
+                self._reply({"error": f"unknown path {self.path}"}, status=404)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+            if self.path == "/shutdown":
+                runtime.request_stop()
+                self._reply({"stopping": True})
+            else:
+                self._reply({"error": f"unknown path {self.path}"}, status=404)
+
+    return Handler

@@ -149,6 +149,9 @@ _TELEMETRY_COLUMNS = (
     "messages_window",
     "bytes_window",
     "em_iterations_window",
+    "frames_window",
+    "transport_bytes_window",
+    "peer_count",
 )
 
 

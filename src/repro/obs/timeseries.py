@@ -113,6 +113,14 @@ class TimeSeriesRecorder:
     ``dropped_window``, ``bytes_window``
         Message complexity over the window; bytes use the scheme's wire
         codec (``NaN`` when no codec is registered for the scheme).
+    ``frames_window``, ``transport_bytes_window``, ``reconnects_window``,
+    ``peer_count``
+        The transport's own accounting (see
+        :class:`~repro.network.transport.TransportStats`): frame units
+        and *actually serialised* bytes moved over the window, plus the
+        live-peer gauge.  On the in-memory transport frames mirror
+        messages and bytes stay 0 (payloads travel as objects);
+        ``bytes_window`` above remains the codec-estimated wire cost.
     ``em_iterations_window``
         Hard-EM iterations spent in ``reduce_mixture`` over the window
         (process-wide counter, so only meaningful single-kernel).
@@ -235,6 +243,7 @@ class TimeSeriesRecorder:
         from repro.ml.reduction import em_iterations_total
 
         metrics = kernel.metrics
+        transport_stats = kernel.transport.stats
         current = {
             "messages": float(metrics.messages_sent),
             "payload_items": float(metrics.payload_items_sent),
@@ -242,6 +251,9 @@ class TimeSeriesRecorder:
             "dropped": float(metrics.messages_dropped),
             "crashed": float(metrics.crashes),
             "em_iterations": float(em_iterations_total()),
+            "frames": float(transport_stats.frames_sent),
+            "transport_bytes": float(transport_stats.bytes_sent),
+            "reconnects": float(transport_stats.reconnects),
         }
         if self._last_counters is not None:
             previous = self._last_counters
@@ -258,6 +270,14 @@ class TimeSeriesRecorder:
         sample["em_iterations_window"] = int(
             current["em_iterations"] - previous["em_iterations"]
         )
+        sample["frames_window"] = int(current["frames"] - previous["frames"])
+        sample["transport_bytes_window"] = int(
+            current["transport_bytes"] - previous["transport_bytes"]
+        )
+        sample["reconnects_window"] = int(
+            current["reconnects"] - previous["reconnects"]
+        )
+        sample["peer_count"] = transport_stats.peer_count
         cost = self._wire_cost_for(kernel)
         if cost is None:
             sample["bytes_window"] = math.nan

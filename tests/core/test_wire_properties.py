@@ -1,13 +1,24 @@
-"""Property-based wire-format tests: arbitrary payloads survive the round trip."""
+"""Property-based wire-format tests: arbitrary payloads survive the round trip.
+
+Covers every payload kind and all four codecs (centroid, full Gaussian,
+diagonal Gaussian, histogram), plus the negative space: truncated and
+bit-flipped messages must be *rejected*, never partially decoded — a
+half-applied payload would corrupt the weight-conservation invariant.
+"""
+
+import struct
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.collection import Collection
 from repro.core.serialization import (
+    CentroidCodec,
     DiagonalGaussianCodec,
     GaussianCodec,
+    HistogramCodec,
     decode_payload,
     encode_payload,
     payload_size_bytes,
@@ -73,3 +84,167 @@ class TestGaussianWireProperties:
             )
             # Off-diagonals are intentionally dropped by this codec.
             assert restored.summary.cov[0, 1] == 0.0
+
+
+@st.composite
+def vector_collections(draw, dimension):
+    """A payload of 1-6 random vector-summary collections (centroid /
+    histogram shape: the summary IS a ``dimension``-vector)."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    collections = []
+    for _ in range(count):
+        vector = np.array(
+            draw(
+                st.lists(finite_floats, min_size=dimension, max_size=dimension)
+            )
+        )
+        quanta = draw(st.integers(min_value=1, max_value=1 << 50))
+        collections.append(Collection(summary=vector, quanta=quanta))
+    return collections
+
+
+@st.composite
+def full_gaussian_collections(draw, dimension):
+    """Like :func:`gaussian_collections` but for any dimension."""
+    count = draw(st.integers(min_value=1, max_value=5))
+    collections = []
+    for _ in range(count):
+        mean = np.array(
+            draw(st.lists(finite_floats, min_size=dimension, max_size=dimension))
+        )
+        factor = (
+            np.array(
+                draw(
+                    st.lists(
+                        st.lists(
+                            finite_floats, min_size=dimension, max_size=dimension
+                        ),
+                        min_size=dimension,
+                        max_size=dimension,
+                    )
+                )
+            )
+            / 1e5
+        )
+        cov = factor @ factor.T
+        quanta = draw(st.integers(min_value=1, max_value=1 << 50))
+        collections.append(
+            Collection(summary=GaussianSummary(mean=mean, cov=cov), quanta=quanta)
+        )
+    return collections
+
+
+@st.composite
+def any_codec_payload(draw):
+    """(codec, payload) across every codec family and several shapes.
+
+    This is the exhaustive axis: one strategy that can produce every
+    payload kind the wire format supports, so a single property covers
+    the whole codec registry.
+    """
+    family = draw(st.sampled_from(["centroid", "gaussian", "diagonal", "histogram"]))
+    if family == "centroid":
+        dimension = draw(st.integers(min_value=1, max_value=4))
+        return CentroidCodec(dimension), draw(vector_collections(dimension))
+    if family == "histogram":
+        bins = draw(st.integers(min_value=2, max_value=16))
+        return HistogramCodec(bins), draw(vector_collections(bins))
+    dimension = draw(st.integers(min_value=1, max_value=3))
+    payload = draw(full_gaussian_collections(dimension))
+    if family == "gaussian":
+        return GaussianCodec(dimension), payload
+    return DiagonalGaussianCodec(dimension), payload
+
+
+def _payload_equal(codec, original, restored):
+    """Round-trip equality appropriate to the codec family."""
+    assert len(restored) == len(original)
+    for before, after in zip(original, restored):
+        assert after.quanta == before.quanta
+        if isinstance(before.summary, GaussianSummary):
+            assert np.array_equal(after.summary.mean, before.summary.mean)
+            if isinstance(codec, DiagonalGaussianCodec):
+                assert np.array_equal(
+                    np.diag(after.summary.cov), np.diag(before.summary.cov)
+                )
+            else:
+                assert np.array_equal(after.summary.cov, before.summary.cov)
+        else:
+            assert np.array_equal(after.summary, before.summary)
+
+
+class TestAllCodecsRoundTrip:
+    @given(any_codec_payload())
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_is_lossless_for_every_codec(self, codec_and_payload):
+        codec, payload = codec_and_payload
+        blob = encode_payload(payload, codec)
+        _payload_equal(codec, payload, decode_payload(blob, codec))
+
+    @given(any_codec_payload())
+    @settings(max_examples=60, deadline=None)
+    def test_size_formula_holds_for_every_codec(self, codec_and_payload):
+        codec, payload = codec_and_payload
+        assert len(encode_payload(payload, codec)) == payload_size_bytes(
+            len(payload), codec
+        )
+
+    @given(any_codec_payload())
+    @settings(max_examples=60, deadline=None)
+    def test_double_roundtrip_is_stable(self, codec_and_payload):
+        """encode(decode(encode(x))) == encode(x): the wire form is a
+        fixpoint, so relaying a payload never perturbs it."""
+        codec, payload = codec_and_payload
+        blob = encode_payload(payload, codec)
+        assert encode_payload(decode_payload(blob, codec), codec) == blob
+
+
+class TestWireRejection:
+    """Truncated / corrupted messages must raise, never half-decode."""
+
+    @given(any_codec_payload(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_truncation_is_rejected(self, codec_and_payload, data):
+        codec, payload = codec_and_payload
+        blob = encode_payload(payload, codec)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises((ValueError, struct.error)):
+            decode_payload(blob[:cut], codec)
+
+    @given(any_codec_payload(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_trailing_bytes_are_rejected(self, codec_and_payload, data):
+        codec, payload = codec_and_payload
+        blob = encode_payload(payload, codec)
+        extra = data.draw(st.binary(min_size=1, max_size=16))
+        with pytest.raises(ValueError):
+            decode_payload(blob + extra, codec)
+
+    @given(any_codec_payload())
+    @settings(max_examples=40, deadline=None)
+    def test_wrong_version_is_rejected(self, codec_and_payload):
+        codec, payload = codec_and_payload
+        blob = bytearray(encode_payload(payload, codec))
+        blob[0] ^= 0xFF  # version byte
+        with pytest.raises(ValueError):
+            decode_payload(bytes(blob), codec)
+
+    @given(any_codec_payload())
+    @settings(max_examples=40, deadline=None)
+    def test_codec_mismatch_is_rejected(self, codec_and_payload):
+        codec, payload = codec_and_payload
+        blob = bytearray(encode_payload(payload, codec))
+        blob[1] ^= 0x55  # codec-id byte
+        with pytest.raises(ValueError):
+            decode_payload(bytes(blob), codec)
+
+    @given(any_codec_payload(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_count_inflation_is_rejected(self, codec_and_payload, data):
+        """A corrupted count field must not read past the buffer."""
+        codec, payload = codec_and_payload
+        blob = bytearray(encode_payload(payload, codec))
+        inflated = len(payload) + data.draw(st.integers(min_value=1, max_value=50))
+        blob[2:4] = struct.pack("!H", inflated)
+        with pytest.raises((ValueError, struct.error)):
+            decode_payload(bytes(blob), codec)

@@ -1,0 +1,65 @@
+"""End-to-end deployment smoke: a real multi-process cluster must agree.
+
+Uses the ``process`` transport (OS pipes, no sockets) so CI machines
+without free-port guarantees still exercise the full deployment stack:
+spawn → gossip → quiescence → HTTP verdict → shutdown.  The TCP variant
+of the same run is the CI smoke job (``python -m repro.deploy run
+--transport tcp``, see .github/workflows).
+"""
+
+import json
+import multiprocessing
+import sys
+
+import pytest
+
+from repro.deploy.cluster import classification_deviation, run_cluster
+
+
+@pytest.mark.slow
+class TestProcessClusterSmoke:
+    def test_three_process_cluster_agrees_with_simulation(self, tmp_path):
+        artifact = tmp_path / "cluster.json"
+        report = run_cluster(
+            n_nodes=3,
+            transport="process",
+            workload="fig1",
+            seed=7,
+            timeout=60.0,
+            compare_memory=True,
+            artifact=artifact,
+        )
+        assert report["ok"], report
+        assert report["quiescent"]
+        assert report["agreement_max_deviation"] <= report["config"]["agreement_tol"]
+        reference = report["reference"]
+        assert reference["max_deviation_vs_cluster"] <= reference["tolerance"]
+        # The artifact is a complete JSON trace of the run.
+        trace = json.loads(artifact.read_text())
+        assert len(trace["nodes"]) == 3
+        for entry in trace["nodes"]:
+            assert entry["status"]["quiescent"]
+            assert entry["metrics"]["transport"]["transport"] == "process"
+
+
+class TestDeviation:
+    def test_identical_classifications_have_zero_deviation(self):
+        means = [[0.0, 1.0], [2.0, 3.0]]
+        assert classification_deviation(means, [list(m) for m in means]) == 0.0
+
+    def test_gap_is_the_max_coordinate_distance(self):
+        a = [[0.0, 0.0], [1.0, 1.0]]
+        b = [[0.0, 0.5], [1.0, 1.0]]
+        assert classification_deviation(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch_is_infinite(self):
+        assert classification_deviation([[0.0]], [[0.0], [1.0]]) == float("inf")
+
+
+def test_spawn_context_is_used():
+    """Workers must come up via spawn (clean interpreters, no inherited
+    kernel state) — fork would silently share module-level caches."""
+    if sys.platform != "win32":
+        # The deploy module requests spawn explicitly; make sure the API
+        # we rely on exists on this platform.
+        assert multiprocessing.get_context("spawn") is not None

@@ -1,0 +1,153 @@
+"""Frame protocol properties: reassembly across arbitrary chunking, and
+hard rejection of truncated or corrupted traffic."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import frames
+from repro.network.frames import (
+    FRAME_KINDS,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    decode_peer_entries,
+    encode_frame,
+    encode_peer_entries,
+)
+
+kinds = st.sampled_from(FRAME_KINDS)
+senders = st.integers(min_value=0, max_value=0xFFFFFFFF)
+bodies = st.binary(max_size=512)
+
+
+@st.composite
+def frame_specs(draw):
+    return (draw(kinds), draw(senders), draw(bodies))
+
+
+class TestFrameRoundTrip:
+    @given(frame_specs())
+    @settings(max_examples=100, deadline=None)
+    def test_single_frame_roundtrip(self, spec):
+        kind, sender, body = spec
+        decoded = FrameDecoder().feed(encode_frame(kind, sender, body))
+        assert decoded == [Frame(kind=kind, sender=sender, body=body)]
+
+    @given(st.lists(frame_specs(), min_size=1, max_size=8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_stream_reassembly_across_arbitrary_chunking(self, specs, data):
+        """Any split of a concatenated frame stream yields the same frames
+        in order — the property a TCP reader actually needs."""
+        stream = b"".join(encode_frame(*spec) for spec in specs)
+        decoder = FrameDecoder()
+        received = []
+        position = 0
+        while position < len(stream):
+            step = data.draw(st.integers(min_value=1, max_value=len(stream) - position))
+            received.extend(decoder.feed(stream[position : position + step]))
+            position += step
+        assert received == [Frame(*spec) for spec in specs]
+        assert decoder.buffered == 0
+
+    @given(frame_specs(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_frame_yields_nothing_and_waits(self, spec, data):
+        blob = encode_frame(*spec)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        decoder = FrameDecoder()
+        assert decoder.feed(blob[:cut]) == []
+        assert decoder.buffered == cut
+        # The remainder completes the frame — partial delivery resumes.
+        assert decoder.feed(blob[cut:]) == [Frame(*spec)]
+
+
+class TestFrameRejection:
+    @given(frame_specs(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_any_body_bitflip_is_rejected(self, spec, data):
+        kind, sender, body = spec
+        if not body:
+            body = b"\x00"
+        blob = bytearray(encode_frame(kind, sender, body))
+        header_size = len(blob) - len(body)
+        index = data.draw(st.integers(min_value=header_size, max_value=len(blob) - 1))
+        blob[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(bytes(blob))
+
+    def test_bad_magic_is_rejected(self):
+        blob = bytearray(encode_frame(frames.DATA, 1, b"x"))
+        blob[0] ^= 0xFF
+        with pytest.raises(FrameError, match="magic"):
+            FrameDecoder().feed(bytes(blob))
+
+    def test_bad_version_is_rejected(self):
+        blob = bytearray(encode_frame(frames.DATA, 1, b"x"))
+        blob[2] ^= 0xFF
+        with pytest.raises(FrameError, match="version"):
+            FrameDecoder().feed(bytes(blob))
+
+    def test_unknown_kind_is_rejected(self):
+        blob = bytearray(encode_frame(frames.DATA, 1, b"x"))
+        blob[3] = 250
+        with pytest.raises(FrameError, match="kind"):
+            FrameDecoder().feed(bytes(blob))
+
+    def test_oversize_length_is_rejected_before_allocation(self):
+        header = struct.pack(
+            "!HBBIII", frames.MAGIC, frames.FRAME_VERSION, frames.DATA, 0,
+            frames.MAX_BODY_BYTES + 1, 0,
+        )
+        with pytest.raises(FrameError, match="length"):
+            FrameDecoder().feed(header)
+
+    def test_poisoned_decoder_refuses_further_input(self):
+        blob = bytearray(encode_frame(frames.DATA, 1, b"x"))
+        blob[-1] ^= 0xFF
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(bytes(blob))
+        with pytest.raises(FrameError, match="poisoned"):
+            decoder.feed(encode_frame(frames.HEARTBEAT, 1))
+
+    def test_encode_rejects_unknown_kind_and_wide_sender(self):
+        with pytest.raises(FrameError):
+            encode_frame(99, 0)
+        with pytest.raises(FrameError):
+            encode_frame(frames.DATA, 1 << 32)
+
+
+peer_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.text(
+            alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+        ),
+        st.integers(min_value=0, max_value=0xFFFF),
+    ),
+    max_size=16,
+)
+
+
+class TestPeerEntries:
+    @given(peer_entries)
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip(self, entries):
+        assert decode_peer_entries(encode_peer_entries(entries)) == entries
+
+    @given(peer_entries.filter(bool), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_rejected(self, entries, data):
+        body = encode_peer_entries(entries)
+        cut = data.draw(st.integers(min_value=0, max_value=len(body) - 1))
+        with pytest.raises(FrameError):
+            decode_peer_entries(body[:cut])
+
+    @given(peer_entries)
+    @settings(max_examples=40, deadline=None)
+    def test_trailing_bytes_rejected(self, entries):
+        with pytest.raises(FrameError):
+            decode_peer_entries(encode_peer_entries(entries) + b"!")

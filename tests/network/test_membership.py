@@ -1,0 +1,105 @@
+"""Membership semantics: monotone peer union, fail-stop blacklisting."""
+
+import pytest
+
+from repro.network.membership import MembershipView, PeerInfo, seeds_to_peers
+
+
+def _view(failure_timeout=10.0):
+    clock = {"now": 0.0}
+    view = MembershipView(
+        self_info=PeerInfo(0, "127.0.0.1", 9000),
+        failure_timeout=failure_timeout,
+        clock=lambda: clock["now"],
+    )
+    return view, clock
+
+
+class TestAdd:
+    def test_peers_are_sorted_by_id(self):
+        view, _ = _view()
+        assert view.add(PeerInfo(3, "h", 3))
+        assert view.add(PeerInfo(1, "h", 1))
+        assert [p.node_id for p in view.peers()] == [1, 3]
+
+    def test_self_and_duplicates_are_not_added(self):
+        view, _ = _view()
+        assert not view.add(PeerInfo(0, "127.0.0.1", 9000))
+        peer = PeerInfo(2, "h", 2)
+        assert view.add(peer)
+        assert not view.add(peer)
+        assert len(view) == 1
+
+    def test_merge_counts_only_new_entries(self):
+        view, _ = _view()
+        view.add(PeerInfo(1, "h", 1))
+        added = view.merge(
+            [PeerInfo(1, "h", 1).as_entry(), PeerInfo(2, "h", 2).as_entry()]
+        )
+        assert added == 1
+        assert len(view) == 2
+
+
+class TestFailStop:
+    def test_silent_peer_is_declared_dead(self):
+        view, clock = _view(failure_timeout=5.0)
+        view.add(PeerInfo(1, "h", 1))
+        view.add(PeerInfo(2, "h", 2))
+        clock["now"] = 3.0
+        view.heard_from(2)
+        clock["now"] = 6.0
+        dead = view.detect_failures()
+        assert [p.node_id for p in dead] == [1]
+        assert [p.node_id for p in view.peers()] == [2]
+
+    def test_dead_ids_never_resurrect(self):
+        view, clock = _view(failure_timeout=1.0)
+        view.add(PeerInfo(1, "h", 1))
+        clock["now"] = 2.0
+        assert view.detect_failures()
+        # Fail-stop: a crashed node does not come back under this model.
+        assert not view.add(PeerInfo(1, "h", 1))
+        assert view.merge([PeerInfo(1, "h", 1).as_entry()]) == 0
+
+    def test_heard_from_keeps_a_peer_alive(self):
+        view, clock = _view(failure_timeout=5.0)
+        view.add(PeerInfo(1, "h", 1))
+        for now in (2.0, 4.0, 6.0):
+            clock["now"] = now
+            view.heard_from(1)
+            assert view.detect_failures() == []
+
+    def test_graceful_leave_allows_rejoin(self):
+        view, _ = _view()
+        view.add(PeerInfo(1, "h", 1))
+        view.remove(1)
+        assert len(view) == 0
+        assert view.add(PeerInfo(1, "h", 1))
+
+
+class TestGossip:
+    def test_gossip_entries_include_self(self):
+        view, _ = _view()
+        view.add(PeerInfo(4, "h", 4))
+        entries = view.gossip_entries()
+        ids = {entry[0] for entry in entries}
+        assert ids == {0, 4}
+
+    def test_snapshot_is_jsonable(self):
+        import json
+
+        view, _ = _view()
+        view.add(PeerInfo(4, "h", 4))
+        json.dumps(view.snapshot())
+
+
+class TestSeeds:
+    def test_seed_parsing(self):
+        assert seeds_to_peers(["10.0.0.1:9000", "localhost:9001"]) == [
+            ("10.0.0.1", 9000),
+            ("localhost", 9001),
+        ]
+
+    def test_bad_seed_is_an_error(self):
+        with pytest.raises(ValueError):
+            seeds_to_peers(["no-port-here"])

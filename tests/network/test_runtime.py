@@ -1,0 +1,143 @@
+"""NodeRuntime + NodeWebAPI driven in-process over queue-backed transports."""
+
+import json
+import queue
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.core.node import ClassifierNode
+from repro.core.serialization import codec_for_scheme
+from repro.network.membership import MembershipView, PeerInfo
+from repro.network.process_transport import ProcessTransport
+from repro.network.runtime import NodeRuntime, cluster_means
+from repro.network.webapi import NodeWebAPI
+from repro.schemes.centroid import CentroidScheme
+
+
+class _ThreadQueue:
+    """queue.Queue with the multiprocessing.Queue get(timeout=) contract."""
+
+    def __init__(self):
+        self._q = queue.Queue()
+
+    def put(self, item):
+        self._q.put(item)
+
+    def get(self, timeout=None):
+        return self._q.get(timeout=timeout if timeout else 0.001)
+
+
+def _runtime(node_id, n, values, inboxes, patience=3):
+    scheme = CentroidScheme()
+    node = ClassifierNode(node_id, values[node_id], scheme, k=2)
+    codec = codec_for_scheme(scheme, values.shape[1])
+    transport = ProcessTransport(node_id, inboxes)
+    membership = MembershipView(self_info=PeerInfo(node_id, "process", node_id))
+    for j in range(n):
+        if j != node_id:
+            membership.add(PeerInfo(j, "process", j))
+    return NodeRuntime(
+        node,
+        codec,
+        transport,
+        membership,
+        gossip_interval=0.01,
+        heartbeat_interval=0.1,
+        patience=patience,
+        rng=np.random.default_rng(node_id + 1),
+    )
+
+
+def _fetch(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as resp:
+        return json.loads(resp.read())
+
+
+class TestTwoNodeGossip:
+    def test_nodes_exchange_payloads_and_reach_quiescence(self):
+        n = 2
+        values = np.array([[0.0, 0.0], [10.0, 10.0]])
+        inboxes = {i: _ThreadQueue() for i in range(n)}
+        runtimes = [_runtime(i, n, values, inboxes) for i in range(n)]
+        threads = [
+            threading.Thread(target=rt.run, kwargs={"duration": 10.0}, daemon=True)
+            for rt in runtimes
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            deadline = threading.Event()
+            for _ in range(400):  # up to ~10s
+                if all(rt.quiescent for rt in runtimes):
+                    break
+                deadline.wait(0.025)
+            assert all(rt.quiescent for rt in runtimes)
+            assert all(rt.payloads_received > 0 for rt in runtimes)
+            # Both nodes classify the same: k=2 on two distant points.
+            means = [cluster_means(rt.node) for rt in runtimes]
+            assert np.allclose(means[0], means[1])
+            assert np.allclose(means[0], [[0.0, 0.0], [10.0, 10.0]], atol=1e-9)
+        finally:
+            for rt in runtimes:
+                rt.request_stop()
+            for thread in threads:
+                thread.join(timeout=5)
+
+    def test_snapshot_reports_protocol_counters(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        inboxes = {i: _ThreadQueue() for i in range(2)}
+        rt = _runtime(0, 2, values, inboxes)
+        snapshot = rt.snapshot()
+        assert snapshot["node_id"] == 0
+        assert snapshot["classification"]["k"] >= 1
+        assert snapshot["membership"]["self"]["node_id"] == 0
+        assert snapshot["transport"]["transport"] == "process"
+        json.dumps(snapshot)  # must be wire-ready for the HTTP endpoint
+
+
+class TestWebAPI:
+    def test_endpoints_serve_runtime_state(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        inboxes = {i: _ThreadQueue() for i in range(2)}
+        rt = _runtime(0, 2, values, inboxes)
+        web = NodeWebAPI(rt)
+        web.start()
+        thread = threading.Thread(target=rt.run, kwargs={"duration": 10.0}, daemon=True)
+        thread.start()
+        try:
+            status = _fetch(web.port, "/status")
+            assert status["node_id"] == 0
+            assert "quiescent" in status and "summary_digest" in status
+
+            classification = _fetch(web.port, "/classification")
+            assert classification["k"] >= 1 and "means" in classification
+
+            peers = _fetch(web.port, "/peers")
+            assert peers["self"]["node_id"] == 0
+
+            metrics = _fetch(web.port, "/metrics")
+            assert metrics["transport"]["transport"] == "process"
+
+            # Unknown paths 404 without killing the server.
+            try:
+                _fetch(web.port, "/nope")
+                raised = False
+            except urllib.error.HTTPError as err:
+                raised = err.code == 404
+            assert raised
+
+            # POST /shutdown stops the runtime loop.
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{web.port}/shutdown", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=5):
+                pass
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            rt.request_stop()
+            web.stop()
+            thread.join(timeout=5)
