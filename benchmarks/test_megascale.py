@@ -1,0 +1,147 @@
+"""Mega-scale benchmark: the arena engine's nodes-vs-wall-clock curve.
+
+Drives :class:`repro.mega.ArenaEngine` over discrete-valued GM data (the
+byte-converging regime of ``BENCH_cache``: every node's value sits on
+one of three centers, so merges are float-exact and the population
+reaches structural quiescence) at 1k / 10k / 100k nodes, plus one
+sharded 10k run to record multi-process overhead, and writes the curve
+to ``benchmarks/results/BENCH_megascale.json``.
+
+Two gates ride along:
+
+- **parity** — at 1,000 nodes the arena's final classifications must be
+  byte-identical to the per-node ``SimulationKernel``'s (same seed, same
+  rounds), the ISSUE 8 correctness contract at benchmark scale;
+- **budget** — the 100k-node run must finish within ``BUDGET_S``
+  (minutes, not hours, on CI hardware).
+
+Scale presets via ``REPRO_BENCH_SCALE``: ``fast`` stops at 10k (the CI
+``megascale-smoke`` configuration), the default ``bench`` carries the
+curve through 100k, ``paper`` adds 250k.
+
+Run with::
+
+    python -m pytest benchmarks/test_megascale.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.mega import ArenaEngine, ShardedArenaEngine
+from repro.network.topology import complete
+from repro.protocols.classification import build_classification_network
+from repro.schemes.gm import GaussianMixtureScheme
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_megascale.json"
+
+K = 3
+SEED = 11
+MAX_ROUNDS = 200
+PARITY_N = 1000
+BUDGET_S = 600.0
+CENTERS = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0]])
+
+CURVE_SIZES = {
+    "fast": [1000, 10000],
+    "bench": [1000, 10000, 100000],
+    "paper": [1000, 10000, 100000, 250000],
+}
+
+
+def _values(n: int) -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return CENTERS[rng.integers(0, 3, size=n)]
+
+
+def _arena_run(n: int, shards: int = 0) -> dict:
+    values = _values(n)
+    start = time.perf_counter()
+    if shards:
+        engine = ShardedArenaEngine(
+            values, GaussianMixtureScheme(seed=0), K, seed=SEED, shards=shards, use_cache=True
+        )
+    else:
+        engine = ArenaEngine(
+            values, GaussianMixtureScheme(seed=0), K, seed=SEED, use_cache=True
+        )
+    executed = engine.run(MAX_ROUNDS, stop_on_quiescence=True)
+    if shards:
+        engine.collect()
+    wall_s = time.perf_counter() - start
+    stats = engine.stats.as_dict()
+    assert engine.quiescent, f"n={n}: no quiescence within {MAX_ROUNDS} rounds"
+    return {
+        "nodes": n,
+        "shards": shards,
+        "rounds": executed,
+        "quiescent_at": engine.quiescent_at,
+        "wall_s": wall_s,
+        "rounds_per_s": executed / wall_s,
+        "node_rounds_per_s": n * executed / wall_s,
+        "messages": stats["messages"],
+        "receives": stats["receivers"],
+        "dedup_hits": stats["memo_round_hits"] + stats["memo_lru_hits"] + stats["noop_hits"],
+        "full_solves": stats["full_solves"],
+    }
+
+
+def test_megascale_curve():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    sizes = CURVE_SIZES.get(scale, CURVE_SIZES["bench"])
+
+    # Parity gate: the arena vs the per-node kernel, byte for byte.
+    values = _values(PARITY_N)
+    engine = ArenaEngine(
+        values, GaussianMixtureScheme(seed=0), K, seed=SEED, use_cache=True
+    )
+    parity_rounds = engine.run(MAX_ROUNDS, stop_on_quiescence=True)
+    kernel, nodes = build_classification_network(
+        values,
+        GaussianMixtureScheme(seed=0),
+        k=K,
+        graph=complete(PARITY_N),
+        seed=SEED,
+        merge_cache=True,
+    )
+    kernel.run(parity_rounds)
+    scheme = nodes[0].scheme
+    kernel_states = [
+        tuple((scheme.summary_digest(c.summary), c.quanta) for c in node.classification)
+        for node in nodes
+    ]
+    arena_states = [engine.state_digests(node) for node in range(PARITY_N)]
+    assert arena_states == kernel_states, (
+        f"arena/kernel parity broke at n={PARITY_N} after {parity_rounds} rounds"
+    )
+
+    curve = [_arena_run(n) for n in sizes]
+    sharded = _arena_run(10000, shards=4)
+
+    records = {
+        "workload": (
+            f"GM scheme, k={K}, complete graph, three-center discrete data, "
+            f"run to structural quiescence (patience 3), seed {SEED}"
+        ),
+        "scale": scale,
+        "parity": {
+            "nodes": PARITY_N,
+            "rounds": parity_rounds,
+            "matches_kernel": True,
+        },
+        "curve": curve,
+        "sharded_10k": sharded,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+
+    for point in curve:
+        assert point["wall_s"] <= BUDGET_S, (
+            f"n={point['nodes']}: {point['wall_s']:.1f}s exceeds the "
+            f"{BUDGET_S:.0f}s budget"
+        )

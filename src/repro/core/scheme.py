@@ -165,6 +165,44 @@ class SummaryScheme(abc.ABC, Generic[S]):
         )
 
     # ------------------------------------------------------------------
+    # Batch (whole-network) entry points — used by the arena engine
+    # ------------------------------------------------------------------
+    def pack_values(self, values: Sequence[Any]) -> dict[str, Any]:
+        """Pack one summary row per input value, in one call.
+
+        Must be byte-identical to
+        ``pack_summaries([val_to_summary(v) for v in values])``; the
+        default does exactly that.  Schemes override it with a
+        vectorised construction so the arena engine can initialise a
+        million-node arena without a million Python objects.
+        """
+        return self.pack_summaries([self.val_to_summary(value) for value in values])
+
+    def unpack_summary(self, columns: dict[str, Any], index: int) -> S:
+        """Reconstruct the summary object encoded by packed row ``index``.
+
+        The inverse of ``pack_summaries`` for one row: packing the
+        returned summary again must reproduce the row byte for byte.
+        The returned object must own its arrays (no views into
+        ``columns`` — arena rows are overwritten in place).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the packed hot path"
+        )
+
+    def merge_groups_packed(
+        self, packed: PackedState, groups: Sequence[Sequence[int]]
+    ) -> list[S]:
+        """Batch ``merge_set_packed`` over several groups of one pooled set.
+
+        Returns one merged summary per group, in group order, each
+        bit-identical to the corresponding ``merge_set_packed`` call.
+        The default loops; schemes may override to amortise per-call
+        setup when the arena engine merges many groups per round.
+        """
+        return [self.merge_set_packed(packed, group) for group in groups]
+
+    # ------------------------------------------------------------------
     # Content addressing — optional, see supports_fingerprints
     # ------------------------------------------------------------------
     def summary_digest(self, summary: S) -> bytes:

@@ -1,0 +1,35 @@
+"""repro.mega — the whole-network arena engine for 100k–1M node runs.
+
+The per-node simulation stack (:mod:`repro.network.kernel` driving one
+:class:`~repro.core.node.ClassifierNode` object per node) reproduces the
+paper's experiments faithfully but tops out around a few thousand nodes:
+a round is a Python loop over node objects, each receipt re-packs numpy
+arrays out of summary objects, and every node carries its own caches.
+
+This package holds *all* nodes' packed classification state in one
+contiguous structure-of-arrays arena (:mod:`repro.mega.arena`) and
+executes a gossip round as batched numpy operations
+(:mod:`repro.mega.engine`): one vectorised pairing draw, one batched
+split, one stable sort routing every payload to its receiver, and a
+content-addressed receive solver that collapses the post-convergence
+tail into dictionary lookups across the whole population.  For runs that
+outgrow one process, :mod:`repro.mega.shard` splits the arena across
+worker processes with a deterministic, seed-keyed cross-shard exchange.
+
+The correctness contract is byte-parity: at overlapping sizes and equal
+seeds an arena run produces exactly the per-node kernel's classifications
+(same summary bytes, same quanta, same collection order) — see
+``tests/mega/`` and the selection matrix in ``docs/architecture.md``.
+"""
+
+from repro.mega.arena import NetworkArena, SummaryInterner
+from repro.mega.engine import ArenaEngine, ArenaStats
+from repro.mega.shard import ShardedArenaEngine
+
+__all__ = [
+    "ArenaEngine",
+    "ArenaStats",
+    "NetworkArena",
+    "ShardedArenaEngine",
+    "SummaryInterner",
+]

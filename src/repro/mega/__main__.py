@@ -1,0 +1,7 @@
+"""``python -m repro.mega`` — the mega-scale arena CLI."""
+
+import sys
+
+from repro.mega.cli import main
+
+sys.exit(main())

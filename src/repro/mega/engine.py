@@ -1,0 +1,673 @@
+"""The arena engine: one gossip round as batched array operations.
+
+A :class:`~repro.network.kernel.SimulationKernel` round is a Python loop:
+each live node draws a peer, splits its collections into a message, the
+transport queues it, and every receiver runs the node-level receive
+pipeline.  :class:`ArenaEngine` executes the *same* round over a
+:class:`~repro.mega.arena.NetworkArena`:
+
+1. **Pairing** — one vectorised draw via
+   :meth:`~repro.network.simulator.NeighborSelector.choose_batch`
+   (stream-equivalent to the kernel's per-node ``choose`` calls; scalar
+   fallback otherwise).
+2. **Split** — ``sent = quanta // 2`` over the whole ``(n, k)`` matrix;
+   the payload rows, in ``np.nonzero`` row-major order, are exactly the
+   concatenation of every node's ``make_message`` payload.
+3. **Routing** — a stable argsort by destination reproduces the
+   in-memory transport's delivery order (destinations ascending, and
+   within a destination payloads in ascending sender order).
+4. **Receive** — :class:`ReceiveSolver` runs the node receive pipeline
+   per *distinct problem*, not per receiver: a receive is keyed by its
+   local and incoming ``(summary id, quanta)`` bytes, so the
+   post-convergence tail — where nearly every receiver poses one of a
+   handful of problems — collapses into dictionary hits across the
+   population.  Distinct problems run the same fast path / certified
+   no-op / partition+merge pipeline as
+   :meth:`repro.core.node.ClassifierNode.receive`, against the same
+   :class:`~repro.core.fingerprint.MergeCache` certificate machinery.
+
+Byte-parity with the per-node kernel (same seeds, same schemes, same
+classifications down to collection order) is the contract; the scalar
+draws, delivery order, tie-breaks and float accumulation orders are all
+mirrored, and ``tests/mega/`` pins them.
+
+Only the paper's default ``push`` gossip variant is supported: pull and
+push-pull interleave per-node splits with deliveries inside one round,
+which defeats whole-network batching.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.core.fingerprint import MergeCache, merge_cache_default
+from repro.core.packed import PackedState
+from repro.core.weights import Quantization
+from repro.mega.arena import NetworkArena
+from repro.network.simulator import NeighborSelector, RandomSelector
+from repro.network.topology import TOPOLOGY_BUILDERS, neighbors_map, validate_topology
+from repro.obs.profiling import current_registry
+
+__all__ = ["ArenaEngine", "ArenaStats", "GossipPairing", "ReceiveSolver"]
+
+
+class GossipPairing:
+    """The round pairing draw, separable from any one arena.
+
+    Owns the seeded generator and the topology's neighbour structure and
+    yields one peers vector per round.  Shard workers each hold a full
+    replica (same seed, same selector) and draw identical vectors — that
+    replication *is* the deterministic cross-shard exchange: no pairing
+    coordination crosses process boundaries, only payload rows do.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        topology: Union[str, nx.Graph],
+        selector: NeighborSelector,
+        seed: int,
+    ) -> None:
+        if n < 2:
+            raise ValueError("arena gossip needs at least 2 nodes")
+        self.n = n
+        self.rng = np.random.default_rng(seed)
+        self.selector = selector
+        self._complete = False
+        self._neighbor_matrix: Optional[np.ndarray] = None
+        self._degrees: Optional[np.ndarray] = None
+        self._uniform_degree: Optional[int] = None
+        if isinstance(topology, str):
+            if topology == "complete":
+                # The kernel's neighbour list for node i on the complete
+                # graph is sorted(range(n) - {i}), so a drawn index maps
+                # to peer = index + (index >= i) — no adjacency storage.
+                self._complete = True
+                self._uniform_degree = n - 1
+                return
+            builder = TOPOLOGY_BUILDERS.get(topology)
+            if builder is None:
+                raise ValueError(
+                    f"unknown topology {topology!r}; "
+                    f"expected 'complete', one of {sorted(TOPOLOGY_BUILDERS)}, or a graph"
+                )
+            graph = builder(n)
+        else:
+            graph = validate_topology(topology)
+            if graph.number_of_nodes() != n:
+                raise ValueError(
+                    f"topology has {graph.number_of_nodes()} nodes, arena has {n}"
+                )
+        neighbors = neighbors_map(graph)
+        degrees = np.asarray([len(neighbors[i]) for i in range(n)], dtype=np.int64)
+        width = int(degrees.max())
+        matrix = np.full((n, width), -1, dtype=np.int64)
+        for node in range(n):
+            matrix[node, : degrees[node]] = neighbors[node]
+        self._neighbor_matrix = matrix
+        self._degrees = degrees
+        if int(degrees.min()) == width:
+            self._uniform_degree = width
+
+    def _neighbors_of(self, node: int) -> List[int]:
+        if self._complete:
+            return list(range(node)) + list(range(node + 1, self.n))
+        assert self._neighbor_matrix is not None and self._degrees is not None
+        degree = int(self._degrees[node])
+        return [int(peer) for peer in self._neighbor_matrix[node, :degree]]
+
+    def draw(self) -> np.ndarray:
+        """The next round's peers vector (``peers[i]`` = node ``i``'s target)."""
+        n = self.n
+        if self._uniform_degree is not None:
+            index = self.selector.choose_batch(n, self._uniform_degree, self.rng)
+            if index is not None:
+                index = np.asarray(index, dtype=np.int64)
+                if self._complete:
+                    return index + (index >= np.arange(n, dtype=np.int64))
+                assert self._neighbor_matrix is not None
+                return self._neighbor_matrix[np.arange(n), index]
+        # Scalar fallback: the kernel's per-node loop, verbatim — same
+        # selector calls against the same stream, in ascending node order.
+        peers = np.empty(n, dtype=np.int64)
+        choose = self.selector.choose
+        rng = self.rng
+        for node in range(n):
+            peers[node] = choose(node, self._neighbors_of(node), rng)
+        return peers
+
+
+@dataclass
+class ArenaStats:
+    """Cumulative instrumentation for one arena run (observational only)."""
+
+    rounds: int = 0
+    messages: int = 0
+    receivers: int = 0
+    fastpath_hits: int = 0
+    memo_round_hits: int = 0
+    memo_lru_hits: int = 0
+    noop_hits: int = 0
+    full_solves: int = 0
+    merges: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "receivers": self.receivers,
+            "fastpath_hits": self.fastpath_hits,
+            "memo_round_hits": self.memo_round_hits,
+            "memo_lru_hits": self.memo_lru_hits,
+            "noop_hits": self.noop_hits,
+            "full_solves": self.full_solves,
+            "merges": self.merges,
+        }
+
+
+class _Outcome:
+    """One solved receive: the receiver's next row block, ready to scatter.
+
+    All arrays are owned copies (never views into the arena), so one
+    outcome can be applied to every receiver posing the same problem and
+    survive in the memo across rounds while arena rows churn.
+    """
+
+    __slots__ = ("ids", "quanta", "columns", "merges")
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        quanta: np.ndarray,
+        columns: Dict[str, np.ndarray],
+        merges: int,
+    ) -> None:
+        self.ids = ids
+        self.quanta = quanta
+        self.columns = columns
+        self.merges = merges
+
+
+class ReceiveSolver:
+    """The node receive pipeline, deduplicated over a whole payload slab.
+
+    Shared by :class:`ArenaEngine` and the shard workers: both hand it
+    per-destination payload slabs (ids/quanta/columns sorted by receiver)
+    and it updates the arena in place.  Three layers, cheapest first:
+
+    - a round-local and a bounded cross-round memo keyed by the exact
+      ``(local state, incoming)`` bytes — byte-identical replay because
+      the pipeline is a deterministic pure function of that key (the
+      same argument as the node-level merge cache, whose key this
+      mirrors);
+    - the structural shortcuts of the node pipeline (identity fast path
+      below ``k``; certified no-op receives via the run's
+      :class:`~repro.core.fingerprint.IdentityCertificate` machinery);
+    - the real ``partition_packed`` / ``merge_groups_packed`` pipeline.
+    """
+
+    def __init__(
+        self,
+        arena: NetworkArena,
+        merge_cache: Optional[MergeCache] = None,
+        memo_size: int = 65536,
+        stats: Optional[ArenaStats] = None,
+    ) -> None:
+        self.arena = arena
+        self.scheme = arena.scheme
+        self.k = arena.k
+        self.quantization = arena.quantization
+        self.merge_cache = merge_cache if arena.scheme.supports_fingerprints else None
+        self.memo_size = int(memo_size)
+        self.stats = stats if stats is not None else ArenaStats()
+        self._memo: "OrderedDict[Any, _Outcome]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Batch entry point
+    # ------------------------------------------------------------------
+    def receive_slab(
+        self,
+        dests: np.ndarray,
+        bounds: np.ndarray,
+        ids: np.ndarray,
+        quanta: np.ndarray,
+        columns: Dict[str, np.ndarray],
+    ) -> None:
+        """Apply one round's receives.
+
+        ``dests`` lists the receiving (arena-local) node indices,
+        ascending; payload rows ``bounds[p]:bounds[p+1]`` of
+        ``ids`` / ``quanta`` / ``columns`` belong to ``dests[p]``, in
+        ascending-sender order — the in-memory transport's batch order.
+        """
+        arena = self.arena
+        stats = self.stats
+        a_counts = arena.counts
+        a_ids = arena.ids
+        a_quanta = arena.quanta
+        a_columns = arena.columns
+        memo = self._memo
+        round_memo: Dict[Any, _Outcome] = {}
+        for position in range(len(dests)):
+            receiver = int(dests[position])
+            start = int(bounds[position])
+            stop = int(bounds[position + 1])
+            count = int(a_counts[receiver])
+            local_ids = a_ids[receiver, :count]
+            local_quanta = a_quanta[receiver, :count]
+            key = (
+                count,
+                local_ids.tobytes(),
+                local_quanta.tobytes(),
+                ids[start:stop].tobytes(),
+                quanta[start:stop].tobytes(),
+            )
+            outcome = round_memo.get(key)
+            if outcome is not None:
+                stats.memo_round_hits += 1
+            else:
+                outcome = memo.get(key)
+                if outcome is not None:
+                    memo.move_to_end(key)
+                    stats.memo_lru_hits += 1
+                    round_memo[key] = outcome
+                else:
+                    outcome = self._solve(
+                        receiver,
+                        count,
+                        local_ids,
+                        local_quanta,
+                        ids[start:stop],
+                        quanta[start:stop],
+                        {name: rows[start:stop] for name, rows in columns.items()},
+                        key,
+                    )
+                    round_memo[key] = outcome
+            stats.receivers += 1
+            stats.merges += outcome.merges
+            width = len(outcome.ids)
+            a_counts[receiver] = width
+            a_ids[receiver, :width] = outcome.ids
+            a_quanta[receiver, :width] = outcome.quanta
+            a_quanta[receiver, width:] = 0
+            for name, column in a_columns.items():
+                column[receiver, :width] = outcome.columns[name]
+
+    # ------------------------------------------------------------------
+    # One distinct receive problem
+    # ------------------------------------------------------------------
+    def _solve(
+        self,
+        receiver: int,
+        count: int,
+        local_ids: np.ndarray,
+        local_quanta: np.ndarray,
+        incoming_ids: np.ndarray,
+        incoming_quanta: np.ndarray,
+        incoming_columns: Dict[str, np.ndarray],
+        key: Any,
+    ) -> _Outcome:
+        arena = self.arena
+        scheme = self.scheme
+        pooled_ids = np.concatenate([local_ids, incoming_ids])
+        pooled_quanta = np.concatenate([local_quanta, incoming_quanta])
+        local_columns = {
+            name: column[receiver, :count] for name, column in arena.columns.items()
+        }
+        # Identity fast path: mirrors ClassifierNode._try_fastpath (the
+        # pooled set always has >= 2 members on a receive).
+        size = len(pooled_ids)
+        if (
+            size <= self.k
+            and scheme.identity_below_k
+            and not self.quantization.is_minimum(int(pooled_quanta.min()))
+        ):
+            self.stats.fastpath_hits += 1
+            pooled_columns = {
+                name: np.concatenate([local_columns[name], incoming_columns[name]])
+                for name in local_columns
+            }
+            return _Outcome(pooled_ids, pooled_quanta, pooled_columns, 0)
+        if self.merge_cache is not None:
+            outcome = self._try_certified_noop(
+                count, local_ids, local_quanta, incoming_ids, incoming_quanta, local_columns
+            )
+            if outcome is not None:
+                self.stats.noop_hits += 1
+                return outcome
+        pooled_columns = {
+            name: np.concatenate([local_columns[name], incoming_columns[name]])
+            for name in local_columns
+        }
+        packed = PackedState(quanta=pooled_quanta, columns=pooled_columns)
+        groups = scheme.partition_packed(packed, self.k, self.quantization)
+        self.stats.full_solves += 1
+        width = len(groups)
+        out_ids = np.empty(width, dtype=np.int64)
+        out_quanta = np.empty(width, dtype=np.int64)
+        out_columns = {
+            name: np.empty((width,) + column.shape[1:], dtype=float)
+            for name, column in pooled_columns.items()
+        }
+        multi: List[Tuple[int, Sequence[int]]] = []
+        for group_index, group in enumerate(groups):
+            if len(group) == 1:
+                member = group[0]
+                out_ids[group_index] = pooled_ids[member]
+                out_quanta[group_index] = pooled_quanta[member]
+                for name in out_columns:
+                    out_columns[name][group_index] = pooled_columns[name][member]
+            else:
+                multi.append((group_index, group))
+        if multi:
+            interner = arena.interner
+            summaries = scheme.merge_groups_packed(packed, [group for _, group in multi])
+            packed_rows = scheme.pack_summaries(summaries)
+            for row, (group_index, group) in enumerate(multi):
+                for name in out_columns:
+                    out_columns[name][group_index] = packed_rows[name][row]
+                out_quanta[group_index] = int(
+                    pooled_quanta[np.asarray(group, dtype=np.intp)].sum()
+                )
+                summary_id = interner.intern_row(packed_rows, row)
+                interner.remember_summary(summary_id, summaries[row])
+                out_ids[group_index] = summary_id
+        outcome = _Outcome(out_ids, out_quanta, out_columns, len(multi))
+        if self.memo_size > 0:
+            memo = self._memo
+            if len(memo) >= self.memo_size:
+                memo.popitem(last=False)
+            memo[key] = outcome
+        return outcome
+
+    def _try_certified_noop(
+        self,
+        count: int,
+        local_ids: np.ndarray,
+        local_quanta: np.ndarray,
+        incoming_ids: np.ndarray,
+        incoming_quanta: np.ndarray,
+        local_columns: Dict[str, np.ndarray],
+    ) -> Optional[_Outcome]:
+        """Mirror of ClassifierNode._try_certified_noop on interned ids.
+
+        Within one interner an id bijects with a summary byte pattern and
+        hence with its content digest, so "incoming digest matches a
+        local collection" becomes an integer set lookup; the certificate
+        itself (seed order, margins) is shared with the per-node world
+        via the run's :class:`~repro.core.fingerprint.MergeCache`.
+        """
+        cache = self.merge_cache
+        assert cache is not None
+        scheme = self.scheme
+        if count > self.k:
+            return None
+        local_index: Dict[int, int] = {}
+        for position in range(count):
+            local_index[int(local_ids[position])] = position
+        if len(local_index) != count:
+            return None
+        incoming_list = incoming_ids.tolist()
+        for summary_id in incoming_list:
+            if summary_id not in local_index:
+                return None
+        if count + len(incoming_list) <= self.k:
+            return None
+        style = scheme.identity_partition_style
+        if style is None:
+            return None
+        if style == "greedy" and count != self.k:
+            return None
+        is_minimum = self.quantization.is_minimum
+        totals = [int(q) for q in local_quanta]
+        for total in totals:
+            if is_minimum(total):
+                return None
+        members = [1] * count
+        for summary_id, incoming_q in zip(incoming_list, incoming_quanta.tolist()):
+            if is_minimum(incoming_q):
+                return None
+            position = local_index[summary_id]
+            totals[position] += incoming_q
+            members[position] += 1
+        interner = self.arena.interner
+        local_digests = [interner.digest(int(sid)) for sid in local_ids]
+        digest_position = {digest: i for i, digest in enumerate(local_digests)}
+        sorted_digests = tuple(sorted(local_digests))
+        certificate = cache.certificate_for(
+            scheme,
+            sorted_digests,
+            tuple(
+                interner.summary(int(local_ids[digest_position[digest]]))
+                for digest in sorted_digests
+            ),
+        )
+        if not certificate.valid:
+            return None
+        if style == "em":
+            best_quanta = -1
+            best_digest = local_digests[0]
+            for position in range(count):
+                quanta = int(local_quanta[position])
+                if quanta > best_quanta:
+                    best_quanta = quanta
+                    best_digest = local_digests[position]
+            for summary_id, incoming_q in zip(incoming_list, incoming_quanta.tolist()):
+                if incoming_q > best_quanta:
+                    best_quanta = incoming_q
+                    best_digest = local_digests[local_index[summary_id]]
+            ranks = tuple(
+                digest_position[digest] for digest in certificate.locations
+            )
+            seed_order = certificate.seed_order(
+                certificate.index_of[best_digest], ranks
+            )
+            if seed_order is None:
+                return None
+            log_totals = [0.0] * count
+            for digest, position in digest_position.items():
+                log_totals[certificate.index_of[digest]] = math.log(totals[position])
+            if not certificate.margin_ok(log_totals):
+                return None
+            order = [
+                digest_position[certificate.locations[index]] for index in seed_order
+            ]
+        else:
+            order = list(range(count))
+        take = np.asarray(order, dtype=np.intp)
+        out_ids = local_ids[take]
+        out_quanta = np.asarray([totals[position] for position in order], dtype=np.int64)
+        out_columns = {name: column[take] for name, column in local_columns.items()}
+        merges = sum(1 for position in order if members[position] > 1)
+        return _Outcome(out_ids, out_quanta, out_columns, merges)
+
+
+class ArenaEngine:
+    """Single-process whole-network gossip over one arena.
+
+    Parameters
+    ----------
+    values:
+        One input value per node (any sequence the scheme's
+        ``pack_values`` accepts).
+    scheme, k, quantization:
+        As for :class:`~repro.core.node.ClassifierNode`; the scheme must
+        declare ``supports_packed``.
+    seed:
+        Seeds the pairing RNG — the same ``default_rng(seed)`` stream the
+        per-node kernel consumes, which is what makes byte-parity (and
+        the deterministic cross-shard exchange) possible.
+    topology:
+        ``"complete"`` (the default; never materialised as a graph, so
+        million-node arenas stay O(n)), a name from
+        :data:`repro.network.topology.TOPOLOGY_BUILDERS`, or an explicit
+        ``networkx`` graph.
+    selector:
+        Pairing strategy; vectorised when it implements ``choose_batch``
+        and the topology is degree-uniform, scalar fallback otherwise
+        (O(n) Python calls per round — fine for parity runs, not for
+        mega-scale).
+    use_cache:
+        Enables the certified no-op layer (and its shared
+        :class:`~repro.core.fingerprint.MergeCache`); ``None`` defers to
+        ``REPRO_MERGE_CACHE``.  The memo layers stay on regardless —
+        problem dedup is the arena's core batching trick, and hits are
+        byte-identical replays by key construction.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[Any],
+        scheme: Any,
+        k: int,
+        *,
+        seed: int = 0,
+        topology: Union[str, nx.Graph] = "complete",
+        quantization: Optional[Quantization] = None,
+        selector: Optional[NeighborSelector] = None,
+        variant: str = "push",
+        use_cache: Optional[bool] = None,
+        memo_size: int = 65536,
+    ) -> None:
+        if variant != "push":
+            raise ValueError(
+                f"the arena engine implements the paper's push gossip only, got {variant!r}: "
+                "pull/push-pull interleave splits with deliveries inside a round, "
+                "which defeats whole-network batching — use the per-node kernel"
+            )
+        self.arena = NetworkArena.from_values(values, scheme, k, quantization)
+        n = self.arena.n
+        if n < 2:
+            raise ValueError("arena gossip needs at least 2 nodes")
+        self.selector = selector if selector is not None else RandomSelector()
+        self.pairing = GossipPairing(n, topology, self.selector, seed)
+        self.rng = self.pairing.rng
+        if use_cache is None:
+            use_cache = merge_cache_default()
+        self.merge_cache: Optional[MergeCache] = (
+            MergeCache() if (use_cache and scheme.supports_fingerprints) else None
+        )
+        self.stats = ArenaStats()
+        self.solver = ReceiveSolver(
+            self.arena,
+            merge_cache=self.merge_cache,
+            memo_size=memo_size,
+            stats=self.stats,
+        )
+        self.round_index = 0
+        self.quiescent_at: Optional[int] = None
+        self._quiescent_streak = 0
+        self._gauge_prev = (0, 0, 0)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_round(self) -> int:
+        """Execute one synchronous round; returns the message count."""
+        arena = self.arena
+        peers = self.pairing.draw()
+        quanta = arena.quanta
+        sent = quanta // 2
+        arena.quanta = quanta - sent
+        sender, slot = np.nonzero(sent)
+        messages = 0
+        if len(sender):
+            payload_quanta = sent[sender, slot]
+            payload_ids = arena.ids[sender, slot]
+            payload_dest = peers[sender]
+            payload_columns = {
+                name: column[sender, slot] for name, column in arena.columns.items()
+            }
+            messages = int(np.count_nonzero(np.diff(sender)) + 1)
+            order = np.argsort(payload_dest, kind="stable")
+            sorted_dest = payload_dest[order]
+            dests, starts = np.unique(sorted_dest, return_index=True)
+            bounds = np.append(starts, len(sorted_dest))
+            self.solver.receive_slab(
+                dests,
+                bounds,
+                payload_ids[order],
+                payload_quanta[order],
+                {name: rows[order] for name, rows in payload_columns.items()},
+            )
+        self.round_index += 1
+        self.stats.rounds += 1
+        self.stats.messages += messages
+        self._publish_gauges(messages)
+        return messages
+
+    def run(
+        self,
+        rounds: int,
+        stop_on_quiescence: bool = False,
+        quiescence_patience: int = 3,
+    ) -> int:
+        """Run up to ``rounds`` rounds; returns the number executed.
+
+        Quiescence mirrors the kernel's probe: stop once every node has
+        held the same summary-id multiset for ``quiescence_patience``
+        consecutive rounds (between synchronous rounds nothing is in
+        flight, so the id test is the whole condition).
+        """
+        executed = 0
+        for _ in range(rounds):
+            self.run_round()
+            executed += 1
+            if stop_on_quiescence:
+                if self._probe_quiescence():
+                    self._quiescent_streak += 1
+                    if self._quiescent_streak >= quiescence_patience:
+                        if self.quiescent_at is None:
+                            self.quiescent_at = executed
+                        break
+                else:
+                    self._quiescent_streak = 0
+        return executed
+
+    @property
+    def quiescent(self) -> bool:
+        return self.quiescent_at is not None
+
+    def _probe_quiescence(self) -> bool:
+        arena = self.arena
+        counts = arena.counts
+        first = int(counts[0])
+        if not bool(np.all(counts == first)):
+            return False
+        block = np.sort(arena.ids[:, :first], axis=1)
+        return bool(np.all(block == block[0]))
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def classifications(self) -> List[List[Any]]:
+        return self.arena.classifications()
+
+    def state_digests(self, node: int) -> Tuple[Tuple[bytes, int], ...]:
+        return self.arena.state_digests(node)
+
+    def _publish_gauges(self, messages: int) -> None:
+        stats = self.stats
+        hits = stats.memo_round_hits + stats.memo_lru_hits + stats.noop_hits
+        previous_receivers, previous_hits, previous_merges = self._gauge_prev
+        delta_receivers = stats.receivers - previous_receivers
+        delta_hits = hits - previous_hits
+        delta_merges = stats.merges - previous_merges
+        self._gauge_prev = (stats.receivers, hits, stats.merges)
+        registry = current_registry()
+        if registry is None:
+            return
+        registry.inc("mega.rounds")
+        registry.inc("mega.messages", messages)
+        registry.set_gauge("mega.receivers_round", delta_receivers)
+        registry.set_gauge("mega.nodes_merged_round", delta_merges)
+        registry.set_gauge(
+            "mega.cache_hit_rate",
+            delta_hits / delta_receivers if delta_receivers else 1.0,
+        )

@@ -1,0 +1,758 @@
+"""The sharded arena: one gossip population split across worker processes.
+
+:class:`ShardedArenaEngine` partitions the node range into contiguous
+shards (``np.array_split`` boundaries), gives each worker process an
+owned :class:`~repro.mega.arena.NetworkArena` slice plus a *full*
+replica of the :class:`~repro.mega.engine.GossipPairing` draw, and runs
+each round as a two-phase barrier protocol over pipes:
+
+1. **split** — every worker draws the whole population's peers vector
+   from the shared seed (identical across workers: same stream, same
+   selector), splits its own rows, and returns the payload bundles bound
+   for *other* shards.  The portion addressed to its own shard never
+   leaves the process.
+2. **deliver** — the parent routes bundles to their destination shards
+   and each worker applies its receives through the shared
+   :class:`~repro.mega.engine.ReceiveSolver`, assembling payload rows in
+   ascending source-shard order so the concatenation reproduces the
+   in-memory transport's ascending-sender delivery order exactly.
+
+Because pairing is replicated rather than communicated, the exchange is
+deterministic and byte-parity with the single-process
+:class:`~repro.mega.engine.ArenaEngine` (and hence with the per-node
+kernel) holds shard-count-independently; ``tests/mega/`` pins
+``shards=1`` against ``shards=4`` against the unsharded engine.
+
+Fault tolerance reuses the sweep runner's worker-pool discipline
+(:mod:`repro.sweep.runner`): rounds are atomic — the parent distributes
+nothing until every worker's ``sent`` reply is in — so a worker death
+only ever loses state the parent can reconstruct.  Workers piggyback
+checkpoint slabs (counts/quanta/columns; ids are re-interned on load)
+every ``checkpoint_every`` rounds, the parent buffers each shard's
+inbound bundles since its last checkpoint, and a respawned worker
+rebuilds its arena, fast-forwards the pairing stream by discarding
+draws, and replays the buffered rounds — regenerating its own splits,
+which cost nothing to recompute and were already routed.  Deterministic
+crash injection for tests mirrors ``REPRO_SWEEP_CRASH_TASK``:
+``REPRO_MEGA_CRASH_SHARD="<shard>:<round>"`` plus a
+``REPRO_MEGA_CRASH_FLAG`` path make exactly one worker ``os._exit`` at
+the matching split.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.core.fingerprint import MergeCache, merge_cache_default
+from repro.core.weights import Quantization
+from repro.mega.arena import NetworkArena, SummaryInterner
+from repro.mega.engine import ArenaStats, GossipPairing, ReceiveSolver
+from repro.network.simulator import NeighborSelector, RandomSelector
+from repro.obs.profiling import current_registry
+from repro.sweep.runner import _pool_context
+
+__all__ = ["ShardedArenaEngine", "CRASH_FLAG_ENV", "CRASH_SHARD_ENV"]
+
+#: ``"<shard>:<round>"`` — which worker crashes, and at which round's split.
+CRASH_SHARD_ENV = "REPRO_MEGA_CRASH_SHARD"
+#: Flag-file path; ``O_EXCL`` creation makes the crash once-only.
+CRASH_FLAG_ENV = "REPRO_MEGA_CRASH_FLAG"
+
+#: Exit code of an injected worker crash (visible in worker exitcodes).
+_CRASH_EXIT = 23
+
+
+def _maybe_inject_crash(shard: int, round_index: int) -> None:
+    """Deterministic once-only hard crash, driven by environment knobs."""
+    needle = os.environ.get(CRASH_SHARD_ENV)
+    if not needle or needle != f"{shard}:{round_index}":
+        return
+    flag = os.environ.get(CRASH_FLAG_ENV)
+    if not flag:
+        return
+    try:
+        handle = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(handle)
+    os._exit(_CRASH_EXIT)
+
+
+def _arena_from_slabs(
+    scheme: Any,
+    k: int,
+    quantization: Quantization,
+    counts: np.ndarray,
+    quanta: np.ndarray,
+    columns: Dict[str, np.ndarray],
+) -> NetworkArena:
+    """Rebuild an arena (fresh interner) from bare checkpoint slabs.
+
+    Ids are interner-local, so checkpoints carry only the float slabs;
+    the used rows are re-interned in bulk here.  Shared by worker
+    respawn and the parent's final assembly.
+    """
+    n = len(counts)
+    interner = SummaryInterner(scheme, {name: col.shape[2:] for name, col in columns.items()})
+    ids = np.full((n, k), -1, dtype=np.int64)
+    node_idx, slot_idx = np.nonzero(np.arange(k)[None, :] < counts[:, None])
+    if len(node_idx):
+        gathered = {name: col[node_idx, slot_idx] for name, col in columns.items()}
+        ids[node_idx, slot_idx] = interner.intern_rows(gathered, len(node_idx))
+    return NetworkArena(scheme, k, quantization, counts, quanta, ids, columns, interner)
+
+
+@dataclass
+class _ShardConfig:
+    """Everything a worker needs to (re)build itself, picklable."""
+
+    shard: int
+    shards: int
+    bounds: np.ndarray  # (shards + 1,) node-range boundaries
+    n: int
+    scheme: Any
+    k: int
+    quantization: Quantization
+    selector: NeighborSelector
+    seed: int
+    topology: Union[str, nx.Graph]
+    use_cache: bool
+    memo_size: int
+    checkpoint_every: int
+
+    @property
+    def lo(self) -> int:
+        return int(self.bounds[self.shard])
+
+    @property
+    def hi(self) -> int:
+        return int(self.bounds[self.shard + 1])
+
+
+class _ShardState:
+    """One worker's half of the protocol: its arena slice + full pairing."""
+
+    def __init__(
+        self,
+        config: _ShardConfig,
+        values: Optional[Sequence[Any]],
+        checkpoint: Optional[Dict[str, Any]],
+    ) -> None:
+        self.config = config
+        scheme = config.scheme
+        if checkpoint is None:
+            assert values is not None
+            self.arena = NetworkArena.from_values(values, scheme, config.k, config.quantization)
+            self.rounds_done = 0
+        else:
+            self.arena = _arena_from_slabs(
+                scheme,
+                config.k,
+                config.quantization,
+                checkpoint["counts"],
+                checkpoint["quanta"],
+                checkpoint["columns"],
+            )
+            self.rounds_done = int(checkpoint["rounds_done"])
+        self.pairing = GossipPairing(config.n, config.topology, config.selector, config.seed)
+        # Fast-forward the shared pairing stream to the resume point.
+        for _ in range(self.rounds_done):
+            self.pairing.draw()
+        self.stats = ArenaStats()
+        cache = MergeCache() if (config.use_cache and scheme.supports_fingerprints) else None
+        self.solver = ReceiveSolver(
+            self.arena, merge_cache=cache, memo_size=config.memo_size, stats=self.stats
+        )
+        self._pending_internal: Optional[Tuple[np.ndarray, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Round phases
+    # ------------------------------------------------------------------
+    def split_round(
+        self,
+    ) -> Tuple[List[Tuple[int, np.ndarray, np.ndarray, Dict[str, np.ndarray]]], int]:
+        """Draw, split own rows, bucket payloads by destination shard.
+
+        Returns the external bundles ``(dest_shard, dest_global, quanta,
+        columns)`` — rows in ascending (sender, slot) order within each
+        bundle — and the shard's message count (distinct senders, the
+        kernel's metric).  The own-shard portion is parked for
+        :meth:`apply_round`.
+        """
+        config = self.config
+        peers = self.pairing.draw()
+        arena = self.arena
+        quanta = arena.quanta
+        sent = quanta // 2
+        arena.quanta = quanta - sent
+        sender, slot = np.nonzero(sent)
+        self._pending_internal = None
+        if not len(sender):
+            return [], 0
+        messages = int(np.count_nonzero(np.diff(sender)) + 1)
+        payload_quanta = sent[sender, slot]
+        payload_ids = arena.ids[sender, slot]
+        payload_dest = peers[sender + config.lo]
+        payload_columns = {
+            name: column[sender, slot] for name, column in arena.columns.items()
+        }
+        dest_shard = np.searchsorted(config.bounds, payload_dest, side="right") - 1
+        outgoing: List[Tuple[int, np.ndarray, np.ndarray, Dict[str, np.ndarray]]] = []
+        for target in np.unique(dest_shard):
+            target = int(target)
+            mask = dest_shard == target
+            bundle_dest = payload_dest[mask]
+            bundle_quanta = payload_quanta[mask]
+            bundle_columns = {name: rows[mask] for name, rows in payload_columns.items()}
+            if target == config.shard:
+                # Own rows: ids stay valid in this interner, keep them.
+                self._pending_internal = (
+                    bundle_dest,
+                    payload_ids[mask],
+                    bundle_quanta,
+                    bundle_columns,
+                )
+            else:
+                outgoing.append((target, bundle_dest, bundle_quanta, bundle_columns))
+        return outgoing, messages
+
+    def apply_round(
+        self, external: List[Tuple[int, np.ndarray, np.ndarray, Dict[str, np.ndarray]]]
+    ) -> None:
+        """Apply one round's inbound payloads (plus the parked internal).
+
+        ``external`` holds ``(source_shard, dest_global, quanta,
+        columns)`` bundles.  Parts are concatenated in ascending
+        source-shard order — each internally in ascending sender order —
+        so the stable sort by destination reproduces the transport's
+        global delivery order.
+        """
+        config = self.config
+        arena = self.arena
+        by_source: Dict[int, Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]] = {}
+        for source, dest, quanta, columns in external:
+            by_source[int(source)] = (dest, quanta, columns)
+        dest_parts: List[np.ndarray] = []
+        id_parts: List[np.ndarray] = []
+        quanta_parts: List[np.ndarray] = []
+        column_parts: List[Dict[str, np.ndarray]] = []
+        for source in range(config.shards):
+            if source == config.shard:
+                if self._pending_internal is None:
+                    continue
+                dest, ids, quanta, columns = self._pending_internal
+            elif source in by_source:
+                dest, quanta, columns = by_source[source]
+                ids = arena.interner.intern_rows(columns, len(dest))
+            else:
+                continue
+            dest_parts.append(dest)
+            id_parts.append(ids)
+            quanta_parts.append(quanta)
+            column_parts.append(columns)
+        self._pending_internal = None
+        if dest_parts:
+            payload_dest = np.concatenate(dest_parts) - config.lo
+            payload_ids = np.concatenate(id_parts)
+            payload_quanta = np.concatenate(quanta_parts)
+            payload_columns = {
+                name: np.concatenate([part[name] for part in column_parts])
+                for name in column_parts[0]
+            }
+            order = np.argsort(payload_dest, kind="stable")
+            sorted_dest = payload_dest[order]
+            dests, starts = np.unique(sorted_dest, return_index=True)
+            bounds = np.append(starts, len(sorted_dest))
+            self.solver.receive_slab(
+                dests,
+                bounds,
+                payload_ids[order],
+                payload_quanta[order],
+                {name: rows[order] for name, rows in payload_columns.items()},
+            )
+        self.rounds_done += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def probe(self) -> Tuple[bool, bytes]:
+        """Local quiescence: (all rows structurally equal, content hash).
+
+        The hash is over the *intern key bytes* of the first node's
+        sorted summary multiset — content-stable across interners, so
+        the parent declares global quiescence iff every shard is
+        internally equal and all hashes agree.
+        """
+        arena = self.arena
+        counts = arena.counts
+        first = int(counts[0])
+        if not bool(np.all(counts == first)):
+            return False, b""
+        block = np.sort(arena.ids[:, :first], axis=1)
+        if not bool(np.all(block == block[0])):
+            return False, b""
+        interner = arena.interner
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(first.to_bytes(8, "little"))
+        for key in sorted(interner.key_bytes(int(sid)) for sid in arena.ids[0, :first]):
+            digest.update(key)
+        return True, digest.digest()
+
+    def checkpoint_payload(self) -> Dict[str, Any]:
+        arena = self.arena
+        return {
+            "rounds_done": self.rounds_done,
+            "counts": arena.counts.copy(),
+            "quanta": arena.quanta.copy(),
+            "columns": {name: column.copy() for name, column in arena.columns.items()},
+        }
+
+    def final_payload(self) -> Dict[str, Any]:
+        payload = self.checkpoint_payload()
+        payload["stats"] = self.stats.as_dict()
+        return payload
+
+
+def _shard_worker_main(
+    conn: Any,
+    config: _ShardConfig,
+    values: Optional[Sequence[Any]],
+    checkpoint: Optional[Dict[str, Any]],
+    replay: List[Tuple[int, List[Any]]],
+) -> None:
+    """Worker entry point: rebuild, replay, then serve the round protocol."""
+    try:
+        state = _ShardState(config, values, checkpoint)
+        for _, external in replay:
+            # Regenerate own splits (already routed by the parent — the
+            # draw both advances the stream and recreates the quanta
+            # halving) and re-apply the buffered inbound bundles.
+            state.split_round()
+            state.apply_round(external)
+        conn.send(("ready", state.rounds_done, state.probe(), state.stats.as_dict()))
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "split":
+                round_index = message[1]
+                _maybe_inject_crash(config.shard, round_index)
+                outgoing, messages = state.split_round()
+                conn.send(("sent", round_index, outgoing, messages))
+            elif kind == "deliver":
+                round_index, external, want_probe = message[1], message[2], message[3]
+                state.apply_round(external)
+                probe = state.probe() if want_probe else None
+                snapshot = None
+                if (
+                    config.checkpoint_every > 0
+                    and state.rounds_done % config.checkpoint_every == 0
+                ):
+                    snapshot = state.checkpoint_payload()
+                conn.send(("done", round_index, probe, state.stats.as_dict(), snapshot))
+            elif kind == "finish":
+                conn.send(("final", state.final_payload()))
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown message {kind!r}")
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):  # pragma: no cover
+        pass
+
+
+class _WorkerHandle:
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process: Any, conn: Any) -> None:
+        self.process = process
+        self.conn = conn
+
+
+class ShardedArenaEngine:
+    """Multi-process arena gossip with the :class:`ArenaEngine` API.
+
+    Parameters mirror :class:`~repro.mega.engine.ArenaEngine`, plus:
+
+    shards:
+        Worker-process count; each owns a contiguous node range (the
+        ``np.array_split`` partition of ``range(n)``).
+    checkpoint_every:
+        Rounds between piggybacked worker checkpoints.  Bounds both the
+        replay a respawn performs and the bundle history the parent
+        buffers; ``0`` disables checkpoints (respawns rebuild from the
+        initial values and replay from round zero).
+    max_restarts:
+        Total worker respawns tolerated before the run raises.
+    worker_timeout:
+        Seconds to wait for any one worker reply before declaring the
+        worker hung, killing and respawning it.
+
+    After a respawn, aggregate stats count the replayed receives from
+    the worker's restored checkpoint onward — instrumentation is
+    observational, classification state is exact.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[Any],
+        scheme: Any,
+        k: int,
+        *,
+        shards: int = 2,
+        seed: int = 0,
+        topology: Union[str, nx.Graph] = "complete",
+        quantization: Optional[Quantization] = None,
+        selector: Optional[NeighborSelector] = None,
+        variant: str = "push",
+        use_cache: Optional[bool] = None,
+        memo_size: int = 65536,
+        checkpoint_every: int = 4,
+        max_restarts: int = 3,
+        worker_timeout: float = 600.0,
+    ) -> None:
+        if variant != "push":
+            raise ValueError(
+                f"the arena engine implements the paper's push gossip only, got {variant!r}"
+            )
+        n = len(values)
+        if n < 2:
+            raise ValueError("arena gossip needs at least 2 nodes")
+        if shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
+        if shards > n:
+            raise ValueError(f"cannot split {n} nodes across {shards} shards")
+        if not scheme.supports_packed:
+            raise ValueError(
+                f"{type(scheme).__name__} does not implement the packed hot "
+                "path; the arena engine requires it"
+            )
+        self.values = values
+        self.scheme = scheme
+        self.k = k
+        self.quantization = quantization or Quantization()
+        self.shards = shards
+        self.max_restarts = max_restarts
+        self.worker_timeout = worker_timeout
+        if use_cache is None:
+            use_cache = merge_cache_default()
+        selector = selector if selector is not None else RandomSelector()
+        # Validate the topology/selector combination eagerly, in-process.
+        GossipPairing(n, topology, selector, seed)
+        sizes = [len(chunk) for chunk in np.array_split(np.arange(n), shards)]
+        bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self._configs = [
+            _ShardConfig(
+                shard=shard,
+                shards=shards,
+                bounds=bounds,
+                n=n,
+                scheme=scheme,
+                k=k,
+                quantization=self.quantization,
+                selector=selector,
+                seed=seed,
+                topology=topology,
+                use_cache=bool(use_cache and scheme.supports_fingerprints),
+                memo_size=memo_size,
+                checkpoint_every=checkpoint_every,
+            )
+            for shard in range(shards)
+        ]
+        self._ctx = _pool_context()
+        self._workers: List[Optional[_WorkerHandle]] = [None] * shards
+        self._checkpoints: List[Optional[Dict[str, Any]]] = [None] * shards
+        self._history: List[List[Tuple[int, List[Any]]]] = [[] for _ in range(shards)]
+        self._shard_stats: List[Dict[str, int]] = [ArenaStats().as_dict() for _ in range(shards)]
+        self._receivers_prev = [0] * shards
+        self._restarts = 0
+        self.round_index = 0
+        self.quiescent_at: Optional[int] = None
+        self._quiescent_streak = 0
+        self._messages = 0
+        self._arena: Optional[NetworkArena] = None
+        self._closed = False
+        for shard in range(shards):
+            self._spawn(shard)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, shard: int) -> Tuple[bool, bytes]:
+        """(Re)start one worker; returns its post-replay quiescence probe."""
+        config = self._configs[shard]
+        checkpoint = self._checkpoints[shard]
+        values = None if checkpoint is not None else self.values[config.lo : config.hi]
+        replay = list(self._history[shard])
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, config, values, checkpoint, replay),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._workers[shard] = _WorkerHandle(process, parent_conn)
+        if not parent_conn.poll(self.worker_timeout):
+            raise RuntimeError(f"shard {shard} failed to come up")
+        reply = parent_conn.recv()
+        kind, rounds_done, probe, stats = reply
+        assert kind == "ready", reply
+        expected = (checkpoint["rounds_done"] if checkpoint else 0) + len(replay)
+        if rounds_done != expected:  # pragma: no cover - protocol invariant
+            raise RuntimeError(
+                f"shard {shard} resumed at round {rounds_done}, expected {expected}"
+            )
+        self._shard_stats[shard] = stats
+        return probe
+
+    def _kill(self, shard: int) -> None:
+        handle = self._workers[shard]
+        if handle is None:
+            return
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=10.0)
+        self._workers[shard] = None
+
+    def _respawn(self, shard: int) -> Tuple[bool, bytes]:
+        self._restarts += 1
+        if self._restarts > self.max_restarts:
+            raise RuntimeError(
+                f"shard {shard} died and the restart budget ({self.max_restarts}) is spent"
+            )
+        self._kill(shard)
+        return self._spawn(shard)
+
+    def _exchange(self, shard: int, message: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
+        """One send/recv with a worker; ``None`` means the worker is gone."""
+        handle = self._workers[shard]
+        assert handle is not None
+        try:
+            handle.conn.send(message)
+            if handle.conn.poll(self.worker_timeout):
+                return handle.conn.recv()
+        except (BrokenPipeError, ConnectionResetError, EOFError, OSError):
+            return None
+        # Hung worker: treat like a death (the respawn path recovers it).
+        handle.process.terminate()
+        return None
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_round(self, want_probe: bool = False) -> Tuple[int, bool]:
+        """One synchronous round; returns (messages, globally quiescent)."""
+        if self._closed:
+            raise RuntimeError("engine already collected/closed")
+        round_index = self.round_index
+        # Phase 1: split.  Broadcast first so workers compute in parallel.
+        send_failed: List[bool] = [False] * self.shards
+        for shard in range(self.shards):
+            handle = self._workers[shard]
+            assert handle is not None
+            try:
+                handle.conn.send(("split", round_index))
+            except (BrokenPipeError, OSError):
+                send_failed[shard] = True
+        outgoing_by_shard: List[List[Any]] = [[] for _ in range(self.shards)]
+        messages = 0
+        for shard in range(self.shards):
+            reply = None
+            if not send_failed[shard]:
+                handle = self._workers[shard]
+                assert handle is not None
+                try:
+                    if handle.conn.poll(self.worker_timeout):
+                        reply = handle.conn.recv()
+                    else:
+                        handle.process.terminate()
+                except (EOFError, ConnectionResetError, OSError):
+                    reply = None
+            while reply is None:
+                # Death before its bundles were routed: the respawn
+                # rebuilds to the end of the previous round, then this
+                # shard redoes the split solo.
+                self._respawn(shard)
+                reply = self._exchange(shard, ("split", round_index))
+            kind, echoed, outgoing, shard_messages = reply
+            assert kind == "sent" and echoed == round_index, reply
+            outgoing_by_shard[shard] = outgoing
+            messages += shard_messages
+        # Route: destination shard <- [(source, dest, quanta, columns)...]
+        # in ascending source order (the global ascending-sender order).
+        inbound: List[List[Any]] = [[] for _ in range(self.shards)]
+        for source in range(self.shards):
+            for target, dest, quanta, columns in outgoing_by_shard[source]:
+                inbound[int(target)].append((source, dest, quanta, columns))
+        for shard in range(self.shards):
+            self._history[shard].append((round_index, inbound[shard]))
+        # Phase 2: deliver.
+        for shard in range(self.shards):
+            handle = self._workers[shard]
+            assert handle is not None
+            try:
+                handle.conn.send(("deliver", round_index, inbound[shard], want_probe))
+            except (BrokenPipeError, OSError):
+                pass  # detected at the reply poll below
+        probes: List[Optional[Tuple[bool, bytes]]] = [None] * self.shards
+        for shard in range(self.shards):
+            handle = self._workers[shard]
+            assert handle is not None
+            reply = None
+            try:
+                if handle.conn.poll(self.worker_timeout):
+                    reply = handle.conn.recv()
+                else:
+                    handle.process.terminate()
+            except (EOFError, ConnectionResetError, OSError):
+                reply = None
+            if reply is None:
+                # Death mid-apply: this round's bundles are already in
+                # the history, so the respawn replays *through* this
+                # round; its ready message stands in for the done reply.
+                probes[shard] = self._respawn(shard)
+                continue
+            kind, echoed, probe, stats, snapshot = reply
+            assert kind == "done" and echoed == round_index, reply
+            probes[shard] = probe
+            self._shard_stats[shard] = stats
+            if snapshot is not None:
+                self._checkpoints[shard] = snapshot
+                resumed = int(snapshot["rounds_done"])
+                self._history[shard] = [
+                    entry for entry in self._history[shard] if entry[0] >= resumed
+                ]
+        self.round_index += 1
+        self._messages += messages
+        quiescent = False
+        if want_probe:
+            gathered = [probe for probe in probes if probe is not None]
+            quiescent = (
+                len(gathered) == self.shards
+                and all(flag for flag, _ in gathered)
+                and len({fingerprint for _, fingerprint in gathered}) == 1
+            )
+        self._publish_gauges(messages)
+        return messages, quiescent
+
+    def run(
+        self,
+        rounds: int,
+        stop_on_quiescence: bool = False,
+        quiescence_patience: int = 3,
+    ) -> int:
+        """Run up to ``rounds`` rounds; returns the number executed."""
+        executed = 0
+        for _ in range(rounds):
+            _, quiescent = self.run_round(want_probe=stop_on_quiescence)
+            executed += 1
+            if stop_on_quiescence:
+                if quiescent:
+                    self._quiescent_streak += 1
+                    if self._quiescent_streak >= quiescence_patience:
+                        if self.quiescent_at is None:
+                            self.quiescent_at = executed
+                        break
+                else:
+                    self._quiescent_streak = 0
+        return executed
+
+    @property
+    def quiescent(self) -> bool:
+        return self.quiescent_at is not None
+
+    @property
+    def stats(self) -> ArenaStats:
+        """Aggregate worker stats (see the respawn caveat in the class doc)."""
+        total = ArenaStats(rounds=self.round_index, messages=self._messages)
+        for stats in self._shard_stats:
+            total.receivers += stats["receivers"]
+            total.fastpath_hits += stats["fastpath_hits"]
+            total.memo_round_hits += stats["memo_round_hits"]
+            total.memo_lru_hits += stats["memo_lru_hits"]
+            total.noop_hits += stats["noop_hits"]
+            total.full_solves += stats["full_solves"]
+            total.merges += stats["merges"]
+        return total
+
+    # ------------------------------------------------------------------
+    # Collection / teardown
+    # ------------------------------------------------------------------
+    def collect(self) -> NetworkArena:
+        """Gather every shard's final slabs into one assembled arena.
+
+        Finishes the workers — the engine cannot run further rounds
+        afterwards; read classifications off the returned arena.
+        """
+        if self._arena is not None:
+            return self._arena
+        if self._closed:
+            raise RuntimeError("engine already closed")
+        payloads: List[Optional[Dict[str, Any]]] = [None] * self.shards
+        for shard in range(self.shards):
+            reply = self._exchange(shard, ("finish",))
+            while reply is None:
+                self._respawn(shard)
+                reply = self._exchange(shard, ("finish",))
+            kind, payload = reply
+            assert kind == "final", reply
+            payloads[shard] = payload
+            self._shard_stats[shard] = payload["stats"]
+        self.close()
+        assert all(payload is not None for payload in payloads)
+        counts = np.concatenate([payload["counts"] for payload in payloads])
+        quanta = np.concatenate([payload["quanta"] for payload in payloads])
+        columns = {
+            name: np.concatenate([payload["columns"][name] for payload in payloads])
+            for name in payloads[0]["columns"]
+        }
+        self._arena = _arena_from_slabs(
+            self.scheme, self.k, self.quantization, counts, quanta, columns
+        )
+        return self._arena
+
+    def close(self) -> None:
+        """Tear down worker processes (idempotent)."""
+        for shard in range(self.shards):
+            self._kill(shard)
+        self._closed = True
+
+    def __enter__(self) -> "ShardedArenaEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def classifications(self) -> List[List[Any]]:
+        return self.collect().classifications()
+
+    def state_digests(self, node: int) -> Tuple[Tuple[bytes, int], ...]:
+        return self.collect().state_digests(node)
+
+    def _publish_gauges(self, messages: int) -> None:
+        deltas = []
+        for shard in range(self.shards):
+            receivers = self._shard_stats[shard]["receivers"]
+            deltas.append(max(0, receivers - self._receivers_prev[shard]))
+            self._receivers_prev[shard] = receivers
+        registry = current_registry()
+        if registry is None:
+            return
+        registry.inc("mega.rounds")
+        registry.inc("mega.messages", messages)
+        mean = sum(deltas) / len(deltas) if deltas else 0.0
+        registry.set_gauge(
+            "mega.shard_imbalance", (max(deltas) / mean) if mean > 0 else 1.0
+        )

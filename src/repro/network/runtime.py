@@ -246,8 +246,13 @@ class NodeRuntime:
             if deadline is not None and now >= deadline:
                 break
             wait = min(next_fire, next_beat) - now
-            frame = self.transport.poll(timeout=max(wait, 0.0) if wait > 0 else 0.0)
-            if frame is not None:
+            # One blocking wait for the batch, not one per frame: drain
+            # blocks for the first frame then sweeps the queued backlog,
+            # so a burst of deliveries costs one snapshot refresh and one
+            # timer check instead of one full loop iteration per frame.
+            for frame in self.transport.drain(
+                timeout=max(wait, 0.0) if wait > 0 else 0.0
+            ):
                 try:
                     self._handle(frame)
                 except (ValueError, struct.error, frames.FrameError):

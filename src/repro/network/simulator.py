@@ -39,12 +39,36 @@ class NeighborSelector(abc.ABC):
     def choose(self, node: int, neighbors: Sequence[int], rng: np.random.Generator) -> int:
         """Pick the destination for this node's next message."""
 
+    def choose_batch(
+        self, count: int, degree: int, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """Neighbour-index draws for ``count`` nodes of uniform ``degree``.
+
+        The arena engine asks the selector for all of a round's pairing
+        draws at once.  A selector may only implement this when the
+        batched draw consumes the generator stream exactly as ``count``
+        scalar :meth:`choose` calls would (so arena runs stay
+        byte-parity-identical to the per-node kernel); returning ``None``
+        — the default — makes the engine fall back to scalar calls.
+        """
+        return None
+
 
 class RandomSelector(NeighborSelector):
     """Uniform random neighbour — gossip-style, fair with probability 1."""
 
     def choose(self, node: int, neighbors: Sequence[int], rng: np.random.Generator) -> int:
         return int(neighbors[rng.integers(len(neighbors))])
+
+    def choose_batch(
+        self, count: int, degree: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # One sized draw with a constant bound consumes the PCG64 stream
+        # exactly like `count` scalar integers() calls (each bounded draw
+        # uses one 64-bit word per accepted sample, and the vectorised
+        # path applies the same Lemire rejection per element), so this is
+        # stream-equivalent to the loop the kernel runs.
+        return rng.integers(degree, size=count)
 
 
 class RoundRobinSelector(NeighborSelector):

@@ -301,6 +301,27 @@ class FrameTransport(Transport):
         ``None`` on timeout.  Corrupted traffic never surfaces here — it
         is dropped and counted in :attr:`frames_rejected`."""
 
+    def drain(self, timeout: Optional[float] = None) -> "list[Frame]":
+        """One blocking-with-timeout wait, then sweep the whole backlog.
+
+        Blocks in :meth:`poll` for up to ``timeout`` for the *first*
+        frame, then collects every further frame that is already queued
+        without blocking again.  Returns the batch in arrival order
+        (empty on timeout).  This is the runtime loop's entry point: one
+        wait per batch instead of one per frame, so per-iteration work
+        (snapshot refresh, timer checks) amortises over bursts instead
+        of running once per queued frame.
+        """
+        first = self.poll(timeout=timeout)
+        if first is None:
+            return []
+        batch = [first]
+        while True:
+            frame = self.poll(timeout=0.0)
+            if frame is None:
+                return batch
+            batch.append(frame)
+
     @abc.abstractmethod
     def send_frame(self, peer: "PeerInfo", frame: bytes) -> bool:
         """Queue one encoded frame toward a peer; ``False`` if unreachable.

@@ -113,16 +113,25 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.timers: dict[str, TimerStats] = {}
+        #: Last-value instruments (e.g. the arena engine's per-round
+        #: merge count, cache hit rate, and shard imbalance): unlike
+        #: counters these overwrite, so readers always see the most
+        #: recent observation.
+        self.gauges: dict[str, float] = {}
         #: Exclusive (self) time per unique span call path, for the
         #: phase breakdown and the collapsed-stack export.
         self.stacks: dict[tuple[str, ...], TimerStats] = {}
 
     # ------------------------------------------------------------------
-    # Counters
+    # Counters and gauges
     # ------------------------------------------------------------------
     def inc(self, name: str, value: float = 1) -> None:
         """Add ``value`` to the named counter (creating it at 0)."""
         self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest observed value."""
+        self.gauges[name] = float(value)
 
     def absorb_network(self, metrics: Any, prefix: str = "network.") -> None:
         """Fold a :class:`NetworkMetrics` snapshot into the counters.
@@ -213,6 +222,7 @@ class MetricsRegistry:
     def as_dict(self) -> dict[str, Any]:
         return {
             "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
             "timers": {name: stats.as_dict() for name, stats in self.timers.items()},
             "stacks": {
                 ";".join(stack): stats.as_dict()

@@ -165,6 +165,17 @@ class CentroidScheme(SummaryScheme):
     def pack_summaries(self, summaries: Sequence[np.ndarray]) -> dict[str, np.ndarray]:
         return {"position": np.stack([np.asarray(s, dtype=float) for s in summaries])}
 
+    def pack_values(self, values: Sequence[Any]) -> dict[str, np.ndarray]:
+        array = np.asarray(values, dtype=float)
+        if array.ndim == 1:
+            array = array[:, None]
+        if array.ndim != 2:
+            raise ValueError(f"centroid values must be vectors, got shape {array.shape}")
+        return {"position": np.ascontiguousarray(array)}
+
+    def unpack_summary(self, columns: dict[str, np.ndarray], index: int) -> np.ndarray:
+        return np.array(columns["position"][index], dtype=float)
+
     def partition_packed(
         self,
         packed: PackedState,

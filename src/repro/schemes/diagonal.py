@@ -91,6 +91,14 @@ class DiagonalGaussianScheme(SummaryScheme):
     def pack_summaries(self, summaries: Sequence[GaussianSummary]) -> dict[str, np.ndarray]:
         return self._full.pack_summaries(summaries)
 
+    def pack_values(self, values: Sequence[Any]) -> dict[str, np.ndarray]:
+        return self._full.pack_values(values)  # zero matrices are diagonal
+
+    def unpack_summary(
+        self, columns: dict[str, np.ndarray], index: int
+    ) -> GaussianSummary:
+        return self._full.unpack_summary(columns, index)
+
     def partition_packed(
         self,
         packed: PackedState,

@@ -120,6 +120,24 @@ class GaussianMixtureScheme(SummaryScheme):
             "cov": np.stack([summary.cov for summary in summaries]),
         }
 
+    def pack_values(self, values: Sequence[Any]) -> dict[str, np.ndarray]:
+        array = np.asarray(values, dtype=float)
+        if array.ndim == 1:
+            array = array[:, None]
+        count, dimension = array.shape
+        return {
+            "mean": np.ascontiguousarray(array),
+            "cov": np.zeros((count, dimension, dimension)),
+        }
+
+    def unpack_summary(
+        self, columns: dict[str, np.ndarray], index: int
+    ) -> GaussianSummary:
+        return GaussianSummary.trusted(
+            np.array(columns["mean"][index], dtype=float),
+            np.array(columns["cov"][index], dtype=float),
+        )
+
     def partition_packed(
         self,
         packed: PackedState,

@@ -100,6 +100,17 @@ class HistogramScheme(SummaryScheme):
     def pack_summaries(self, summaries: Sequence[np.ndarray]) -> dict[str, np.ndarray]:
         return {"mass": np.stack([np.asarray(s, dtype=float) for s in summaries])}
 
+    def pack_values(self, values: Sequence[Any]) -> dict[str, np.ndarray]:
+        scalars = np.asarray(values, dtype=float).reshape(len(values), -1)[:, 0]
+        indices = np.searchsorted(self.edges, scalars, side="right") - 1
+        indices = np.clip(indices, 0, self.bins - 1)
+        mass = np.zeros((len(scalars), self.bins))
+        mass[np.arange(len(scalars)), indices] = 1.0
+        return {"mass": mass}
+
+    def unpack_summary(self, columns: dict[str, np.ndarray], index: int) -> np.ndarray:
+        return np.array(columns["mass"][index], dtype=float)
+
     def partition_packed(
         self,
         packed: PackedState,

@@ -145,6 +145,21 @@ class TestProcessTransport:
         with pytest.raises(ValueError, match="no queue"):
             ProcessTransport(7, {0: _FakeQueue()})
 
+    def test_drain_sweeps_queued_backlog_in_order(self):
+        a, b = self._pair()
+        peer = PeerInfo(1, "process", 1)
+        for body in (b"one", b"two", b"three"):
+            assert a.send_frame(peer, encode_frame(frames.DATA, 0, body))
+        batch = b.drain(timeout=0.5)
+        assert [frame.body for frame in batch] == [b"one", b"two", b"three"]
+        assert b.stats.frames_received == 3
+        # Backlog exhausted: a further drain times out empty.
+        assert b.drain(timeout=0.01) == []
+
+    def test_drain_times_out_empty(self):
+        _, b = self._pair()
+        assert b.drain(timeout=0.01) == []
+
 
 class TestTcpTransport:
     def test_loopback_roundtrip_and_stats(self):
