@@ -6,6 +6,8 @@ gossip round — using pytest-benchmark's statistical timing (many rounds,
 unlike the one-shot figure regenerations).
 """
 
+import tracemalloc
+
 import numpy as np
 import pytest
 
@@ -78,6 +80,45 @@ def test_push_sum_round(benchmark):
     values = np.random.default_rng(0).normal(size=(200, 2))
     engine, _ = build_push_sum_network(values, complete(200), seed=0)
     benchmark(engine.run_round)
+
+
+def test_receive_allocation_footprint():
+    """Allocation budget of the zero-copy receive path.
+
+    The packed tier's pitch is that a receive operates on views into the
+    sender's column arrays instead of materialising per-collection
+    objects.  This pins that property: one warm gossip round traced under
+    tracemalloc must stay under a per-receive allocation ceiling.  The
+    bound is calibrated empirically (~4 KiB/receive observed) with
+    several-fold headroom, so it only trips on a structural regression
+    (per-row object
+    churn returning to the hot path), not on timing noise.
+    """
+    scenario = outlier_scenario(10.0, n_good=60, n_outliers=4, seed=0)
+    engine, nodes = build_classification_network(
+        scenario.values,
+        GaussianMixtureScheme(seed=0),
+        k=2,
+        graph=complete(scenario.n),
+        seed=0,
+    )
+    engine.run(3)  # warm: caches filled, classifications near agreement
+
+    before = sum(node.stats.batches_received for node in nodes)
+    tracemalloc.start()
+    try:
+        engine.run_round()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    receives = sum(node.stats.batches_received for node in nodes) - before
+
+    assert receives > 0
+    per_receive_kib = peak / receives / 1024.0
+    assert per_receive_kib < 24.0, (
+        f"receive path allocated {per_receive_kib:.1f} KiB per receive "
+        f"(peak {peak / 1024.0:.0f} KiB over {receives} receives)"
+    )
 
 
 def test_centralized_em_fit(benchmark):

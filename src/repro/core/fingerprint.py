@@ -94,6 +94,11 @@ def merge_cache_size_default() -> int:
     return int(os.environ.get("REPRO_MERGE_CACHE_SIZE", "4096"))
 
 
+#: Shape-prefix bytes are identical for every row of a column, so the
+#: tuple-repr encoding is interned rather than rebuilt per digest call.
+_SHAPE_PREFIXES: dict[tuple, bytes] = {}
+
+
 def digest_arrays(*arrays: np.ndarray) -> bytes:
     """Stable content digest of one or more float arrays.
 
@@ -104,7 +109,11 @@ def digest_arrays(*arrays: np.ndarray) -> bytes:
     hasher = blake2b(digest_size=DIGEST_SIZE)
     for array in arrays:
         contiguous = np.ascontiguousarray(array, dtype=float)
-        hasher.update(repr(contiguous.shape).encode())
+        shape = contiguous.shape
+        prefix = _SHAPE_PREFIXES.get(shape)
+        if prefix is None:
+            prefix = _SHAPE_PREFIXES.setdefault(shape, repr(shape).encode())
+        hasher.update(prefix)
         hasher.update(contiguous.tobytes())
     return hasher.digest()
 
@@ -133,13 +142,16 @@ class CachedReceive:
 
     ``summaries`` are the immutable summary objects of the resulting
     collections (shared freely — nothing in the pipeline mutates a
-    summary); ``columns`` are the producing node's packed column arrays
+    summary), or ``None`` when the producer ran the native tier and
+    never built them (consumers then unpack from ``columns`` on
+    demand); ``columns`` are the producing node's packed column arrays
     for the same rows, or ``None`` when the producer ran the object path.
-    ``group_sizes`` replays the ``merge`` events and stats deltas: one
-    merge per group of size > 1.
+    At least one of the two is always present.  ``group_sizes`` replays
+    the ``merge`` events and stats deltas: one merge per group of
+    size > 1.
     """
 
-    summaries: Tuple[Any, ...]
+    summaries: Optional[Tuple[Any, ...]]
     digests: Tuple[bytes, ...]
     quanta: Tuple[int, ...]
     group_sizes: Tuple[int, ...]
@@ -174,6 +186,7 @@ class IdentityCertificate:
         "_slack",
         "_seed_orders",
         "_columns",
+        "_threshold_matrix",
     )
 
     def __init__(
@@ -202,6 +215,7 @@ class IdentityCertificate:
             Tuple[int, Tuple[int, ...]], Optional[Tuple[int, ...]]
         ] = {}
         self._columns: Dict[Tuple[bytes, ...], Dict[str, np.ndarray]] = {}
+        self._threshold_matrix: Optional[np.ndarray] = None
 
     def seed_order(
         self, first: int, ranks: Tuple[int, ...]
@@ -276,6 +290,24 @@ class IdentityCertificate:
                 if log_totals[b] - log_a >= margin_row[b] - slack_row[b]:
                     return False
         return True
+
+    def margin_threshold_matrix(self) -> Optional[np.ndarray]:
+        """``margins - slack`` as an ``(m, m)`` array, ``+inf`` diagonal.
+
+        The batched form of :meth:`margin_ok`: a log-total vector ``t``
+        (in location-index order) passes iff
+        ``(t[None, :] - t[:, None] < matrix).all()`` — the diagonal is
+        ``+inf`` so the zero self-difference never fails.  Cached; None
+        when the certificate carries no margins (greedy style).
+        """
+        matrix = self._threshold_matrix
+        if matrix is None:
+            if self._margins is None or self._slack is None:
+                return None
+            matrix = np.asarray(self._margins) - np.asarray(self._slack)
+            np.fill_diagonal(matrix, np.inf)
+            self._threshold_matrix = matrix
+        return matrix
 
     def columns_for(
         self, order: Tuple[bytes, ...], scheme: "SummaryScheme"
@@ -409,6 +441,19 @@ class MergeCache:
 
     def record_noop(self) -> None:
         self.noop_hits += 1
+
+    def certificate_lookup(
+        self, locations: Tuple[bytes, ...]
+    ) -> Optional[IdentityCertificate]:
+        """An already-built certificate, or ``None`` — never builds one.
+
+        The native receive tier probes with this first so it only
+        unpacks summary objects (the build inputs) on an actual miss.
+        """
+        certificate = self._certificates.get(locations)
+        if certificate is not None:
+            self._certificates.move_to_end(locations)
+        return certificate
 
     def certificate_for(
         self,

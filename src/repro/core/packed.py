@@ -25,12 +25,16 @@ after int64 would matter for any simulation this repository runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["PackedState"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.collection import Collection
+    from repro.core.scheme import SummaryScheme
+
+__all__ = ["PackedState", "PackedPayload"]
 
 
 @dataclass(slots=True)
@@ -141,3 +145,76 @@ class PackedState:
     def weights(self) -> np.ndarray:
         """Quanta as float weights (the scale partition math runs in)."""
         return self.quanta.astype(float)
+
+
+@dataclass(slots=True, eq=False)
+class PackedPayload:
+    """A zero-copy message payload: column views instead of collections.
+
+    Produced by a native-tier node's ``make_message``: ``columns`` are
+    (typically) the *sender's own* packed column arrays, shared without
+    copying — safe because packed columns are never mutated in place
+    (splits rebuild only the quanta vector; receipts assemble fresh
+    output arrays).  ``quanta`` carries the sent shares, ``row_digests``
+    the sender's per-row content digests when it had them.
+
+    The payload quacks like the ``list[Collection]`` that ``make_message``
+    historically returned: ``len``/truthiness give the row count (the
+    kernel's ``payload_size`` and "skip empty sends" checks), iteration
+    and indexing lazily materialise :class:`~repro.core.collection.Collection`
+    objects — the *transport seam*, paid only when a frame codec, a test,
+    or analysis code actually needs objects.  Native receivers never
+    iterate; they consume the arrays directly via ``receive_packed``.
+    """
+
+    scheme: "SummaryScheme"
+    quanta: np.ndarray
+    columns: Dict[str, np.ndarray]
+    row_digests: Optional[Tuple[bytes, ...]] = None
+    _materialized: Optional[List["Collection"]] = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return int(self.quanta.shape[0])
+
+    def to_collections(self) -> List["Collection"]:
+        """Materialise (and cache) the equivalent collection list."""
+        if self._materialized is None:
+            from repro.core.collection import Collection  # noqa: PLC0415 - cycle
+
+            unpack = self.scheme.unpack_summary
+            digests: Sequence[Optional[bytes]]
+            digests = self.row_digests or (None,) * len(self)
+            self._materialized = [
+                Collection(
+                    summary=unpack(self.columns, index),
+                    quanta=int(quanta),
+                    digest=digest,
+                )
+                for index, (quanta, digest) in enumerate(
+                    zip(self.quanta.tolist(), digests)
+                )
+            ]
+        return self._materialized
+
+    def __iter__(self) -> Iterator["Collection"]:
+        return iter(self.to_collections())
+
+    def __getitem__(self, index: int) -> "Collection":
+        return self.to_collections()[index]
+
+    def __eq__(self, other: object) -> bool:
+        """List-compatible equality (the historical payload type)."""
+        if isinstance(other, PackedPayload):
+            return (
+                self.columns.keys() == other.columns.keys()
+                and bool(np.array_equal(self.quanta, other.quanta))
+                and all(
+                    np.array_equal(column, other.columns[name])
+                    for name, column in self.columns.items()
+                )
+            )
+        if isinstance(other, (list, tuple)):
+            if len(self) != len(other):
+                return False
+            return self.to_collections() == list(other)
+        return NotImplemented

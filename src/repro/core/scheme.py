@@ -202,9 +202,32 @@ class SummaryScheme(abc.ABC, Generic[S]):
         """
         return [self.merge_set_packed(packed, group) for group in groups]
 
+    def merge_groups_columns(
+        self, packed: PackedState, groups: Sequence[Sequence[int]]
+    ) -> dict[str, Any]:
+        """Batch-merge groups straight to packed column rows.
+
+        Returns the scheme's packed columns holding one merged row per
+        group, in group order — byte-identical to packing the summaries
+        ``merge_groups_packed`` would return.  The default does exactly
+        that; schemes with array-native merges override it with the
+        batched kernels in :mod:`repro.native.kernels` so the native
+        receive tier never constructs summary objects at all.
+        """
+        return self.pack_summaries(self.merge_groups_packed(packed, groups))
+
     # ------------------------------------------------------------------
     # Content addressing — optional, see supports_fingerprints
     # ------------------------------------------------------------------
+    def digest_row(self, columns: dict[str, Any], index: int) -> bytes:
+        """Content digest of packed row ``index`` (see ``summary_digest``).
+
+        Must equal ``summary_digest(unpack_summary(columns, index))``;
+        the default computes exactly that.  Schemes override it to hash
+        the row's column slices directly, skipping the intermediate
+        summary object on the native receive tier.
+        """
+        return self.summary_digest(self.unpack_summary(columns, index))
     def summary_digest(self, summary: S) -> bytes:
         """Stable content digest of one summary.
 

@@ -154,6 +154,7 @@ class ArenaStats:
     memo_round_hits: int = 0
     memo_lru_hits: int = 0
     noop_hits: int = 0
+    noop_sweep_hits: int = 0
     full_solves: int = 0
     merges: int = 0
 
@@ -166,6 +167,7 @@ class ArenaStats:
             "memo_round_hits": self.memo_round_hits,
             "memo_lru_hits": self.memo_lru_hits,
             "noop_hits": self.noop_hits,
+            "noop_sweep_hits": self.noop_sweep_hits,
             "full_solves": self.full_solves,
             "merges": self.merges,
         }
@@ -192,6 +194,53 @@ class _Outcome:
         self.quanta = quanta
         self.columns = columns
         self.merges = merges
+
+
+_MISSING = object()
+
+
+class _NoopPlan:
+    """Everything about a certified no-op that depends only on the ids.
+
+    A receiver's local id block fixes its index maps, content digests,
+    certificate, and — per heaviest location — the output permutation and
+    the gathered id/column arrays.  Caching those per distinct
+    ``local_ids`` byte pattern leaves only the quanta-dependent scalar
+    work (minimum checks, totals, the margin test) on the per-receiver
+    path.  Safe to share the gathered arrays across receivers because an
+    interned id bijects with its packed row bytes and outcome arrays are
+    never mutated in place.
+    """
+
+    __slots__ = (
+        "local_index",
+        "certificate",
+        "cert_of_pos",
+        "pos_of_cert",
+        "ranks",
+        "style_em",
+        "orders",
+        "tight_thresholds",
+    )
+
+    def __init__(
+        self,
+        local_index: Dict[int, int],
+        certificate: Any,
+        cert_of_pos: List[int],
+        pos_of_cert: List[int],
+        style_em: bool,
+    ) -> None:
+        self.local_index = local_index
+        self.certificate = certificate
+        self.cert_of_pos = cert_of_pos
+        self.pos_of_cert = pos_of_cert
+        self.ranks = tuple(pos_of_cert)
+        self.style_em = style_em
+        # heaviest local position -> None (no certified order) or
+        # [order, out_ids, out_columns]; greedy-style plans use key -1.
+        self.orders: Dict[int, Optional[List[Any]]] = {}
+        self.tight_thresholds: Optional[np.ndarray] = None
 
 
 class ReceiveSolver:
@@ -227,6 +276,7 @@ class ReceiveSolver:
         self.memo_size = int(memo_size)
         self.stats = stats if stats is not None else ArenaStats()
         self._memo: "OrderedDict[Any, _Outcome]" = OrderedDict()
+        self._noop_plans: Dict[bytes, Optional[_NoopPlan]] = {}
 
     # ------------------------------------------------------------------
     # Batch entry point
@@ -253,8 +303,13 @@ class ReceiveSolver:
         a_quanta = arena.quanta
         a_columns = arena.columns
         memo = self._memo
+        handled: Optional[np.ndarray] = None
+        if self.merge_cache is not None and len(dests) >= 32:
+            handled = self._noop_sweep(dests, bounds, ids, quanta)
         round_memo: Dict[Any, _Outcome] = {}
         for position in range(len(dests)):
+            if handled is not None and handled[position]:
+                continue
             receiver = int(dests[position])
             start = int(bounds[position])
             stop = int(bounds[position + 1])
@@ -298,6 +353,165 @@ class ReceiveSolver:
             a_quanta[receiver, width:] = 0
             for name, column in a_columns.items():
                 column[receiver, :width] = outcome.columns[name]
+
+    # ------------------------------------------------------------------
+    # Batched certified no-ops
+    # ------------------------------------------------------------------
+    def _noop_sweep(
+        self,
+        dests: np.ndarray,
+        bounds: np.ndarray,
+        ids: np.ndarray,
+        quanta: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Apply certified no-op receives in bulk; returns a handled mask.
+
+        Post-convergence almost every receiver holds the same ``k``
+        interned summaries and every incoming id matches one of them, so
+        the scalar no-op check repeats identical id-dependent work per
+        receiver.  This pass groups receivers by their local id block and
+        runs the quanta-dependent checks (minimum weights, membership,
+        heaviest location, margin test) as array operations, scattering
+        the shared outcome arrays back in one broadcast per order.
+
+        Only receivers that *pass* every check are marked handled; any
+        rejection simply leaves the receiver to the scalar path, whose
+        ``math.log``-based margin decision stays authoritative.  The
+        vector margin test is tightened by a relative epsilon so a
+        borderline acceptance can never disagree with the scalar check
+        beyond log rounding — and even then a certified no-op is byte
+        identical to the full pipeline by construction, so which path
+        computes the state never changes the state.
+        """
+        if type(self.quantization) is not Quantization:
+            return None  # exotic lattice: is_minimum semantics unknown
+        arena = self.arena
+        k = self.k
+        n_pos = len(dests)
+        handled = np.zeros(n_pos, dtype=bool)
+        counts_d = arena.counts[dests]
+        candidate = counts_d == k
+        if not candidate.any():
+            return handled
+        widths = np.diff(bounds)
+        pos_idx = np.flatnonzero(candidate)
+        receivers = dests[pos_idx]
+        local_ids = np.ascontiguousarray(arena.ids[receivers, :k])
+        local_quanta = arena.quanta[receivers, :k]
+        blocks = local_ids.view([("v", f"V{k * 8}")]).ravel()
+        unique_blocks, inverse = np.unique(blocks, return_inverse=True)
+        a_counts = arena.counts
+        a_ids = arena.ids
+        a_quanta = arena.quanta
+        a_columns = arena.columns
+        stats = self.stats
+        for block_index in range(len(unique_blocks)):
+            members_mask = inverse == block_index
+            if int(members_mask.sum()) < 16:
+                continue  # scalar path amortises better on small groups
+            sub = np.flatnonzero(members_mask)
+            block_ids = local_ids[sub[0]]
+            plan = self._noop_plan_for(k, block_ids)
+            if plan is None or not plan.style_em:
+                continue
+            tight = plan.tight_thresholds
+            if tight is None:
+                thresholds = plan.certificate.margin_threshold_matrix()
+                if thresholds is None:
+                    continue
+                tight = thresholds.copy()
+                finite = np.isfinite(tight)
+                tight[finite] -= 1e-12 * (1.0 + np.abs(tight[finite]))
+                plan.tight_thresholds = tight
+            sub_pos = pos_idx[sub]
+            starts = bounds[sub_pos]
+            w = widths[sub_pos]
+            r_count = len(sub)
+            total_rows = int(w.sum())
+            # Ragged gather: payload row ranges per receiver, flattened.
+            seg = np.repeat(np.arange(r_count), w)
+            rows = np.repeat(starts - (np.cumsum(w) - w), w) + np.arange(total_rows)
+            in_ids = ids[rows]
+            in_quanta = quanta[rows]
+            # Map incoming ids to local positions via the sorted block.
+            sort_order = np.argsort(block_ids, kind="stable")
+            sorted_ids = block_ids[sort_order]
+            found = np.searchsorted(sorted_ids, in_ids)
+            found = np.minimum(found, k - 1)
+            row_ok = (sorted_ids[found] == in_ids) & (in_quanta != 1)
+            in_pos = sort_order[found]
+            sub_quanta = local_quanta[sub]
+            ok = (sub_quanta != 1).all(axis=1)
+            np.logical_and.at(ok, seg, row_ok)
+            if not ok.any():
+                continue
+            # Pooled totals and per-position incoming counts.
+            totals = sub_quanta.copy()
+            hits = np.zeros((r_count, k), dtype=np.int64)
+            np.add.at(totals, (seg, in_pos), in_quanta)
+            np.add.at(hits, (seg, in_pos), 1)
+            # Heaviest location: locals in position order, then incoming
+            # rows in delivery order, strict > (first-max ties).
+            best_pos = sub_quanta.argmax(axis=1)
+            best_q = np.take_along_axis(sub_quanta, best_pos[:, None], axis=1)[:, 0]
+            for j in range(int(w.max())):
+                has = np.flatnonzero(w > j)
+                if not len(has):
+                    break
+                row_j = starts[has] + j
+                iq = quanta[row_j]
+                ip_found = np.minimum(np.searchsorted(sorted_ids, ids[row_j]), k - 1)
+                beat = np.flatnonzero(iq > best_q[has])
+                target = has[beat]
+                best_q[target] = iq[beat]
+                best_pos[target] = sort_order[ip_found[beat]]
+            # Margin test, tightened so only clear passes are accepted.
+            log_totals = np.log(totals)
+            cert_totals = np.empty_like(log_totals)
+            cert_totals[:, plan.cert_of_pos] = log_totals
+            diffs = cert_totals[:, None, :] - cert_totals[:, :, None]
+            ok &= (diffs < tight[None]).all(axis=(1, 2))
+            if not ok.any():
+                continue
+            for b in np.unique(best_pos[ok]).tolist():
+                accepted = np.flatnonzero(ok & (best_pos == b))
+                entry = plan.orders.get(b, _MISSING)
+                if entry is _MISSING:
+                    seed_order = plan.certificate.seed_order(
+                        plan.cert_of_pos[b], plan.ranks
+                    )
+                    if seed_order is None:
+                        plan.orders[b] = None
+                        continue  # scalar path will reject identically
+                    order = [plan.pos_of_cert[index] for index in seed_order]
+                    take = np.asarray(order, dtype=np.intp)
+                    first = int(receivers[sub[accepted[0]]])
+                    entry = [
+                        order,
+                        block_ids[take],
+                        {
+                            name: column[first, :k][take]
+                            for name, column in a_columns.items()
+                        },
+                    ]
+                    plan.orders[b] = entry
+                elif entry is None:
+                    continue
+                order, out_ids, out_columns = entry
+                out = receivers[sub[accepted]]
+                a_counts[out] = k
+                a_ids[out, :k] = out_ids[None]
+                a_quanta[out, :k] = totals[accepted][:, order]
+                a_quanta[out, k:] = 0
+                for name, column in a_columns.items():
+                    column[out, :k] = out_columns[name][None]
+                handled[sub_pos[accepted]] = True
+                hit_count = len(accepted)
+                stats.receivers += hit_count
+                stats.noop_hits += hit_count
+                stats.noop_sweep_hits += hit_count
+                stats.merges += int((hits[accepted] > 0).sum())
+        return handled
 
     # ------------------------------------------------------------------
     # One distinct receive problem
@@ -367,17 +581,20 @@ class ReceiveSolver:
                 multi.append((group_index, group))
         if multi:
             interner = arena.interner
-            summaries = scheme.merge_groups_packed(packed, [group for _, group in multi])
-            packed_rows = scheme.pack_summaries(summaries)
+            # merge_groups_columns is contractually byte-identical to
+            # packing merge_groups_packed's summaries; the summary object
+            # behind each new id materialises lazily in the interner when
+            # a certificate needs it.
+            packed_rows = scheme.merge_groups_columns(
+                packed, [group for _, group in multi]
+            )
             for row, (group_index, group) in enumerate(multi):
                 for name in out_columns:
                     out_columns[name][group_index] = packed_rows[name][row]
                 out_quanta[group_index] = int(
                     pooled_quanta[np.asarray(group, dtype=np.intp)].sum()
                 )
-                summary_id = interner.intern_row(packed_rows, row)
-                interner.remember_summary(summary_id, summaries[row])
-                out_ids[group_index] = summary_id
+                out_ids[group_index] = interner.intern_row(packed_rows, row)
         outcome = _Outcome(out_ids, out_quanta, out_columns, len(multi))
         if self.memo_size > 0:
             memo = self._memo
@@ -385,6 +602,60 @@ class ReceiveSolver:
                 memo.popitem(last=False)
             memo[key] = outcome
         return outcome
+
+    def _noop_plan_for(
+        self, count: int, local_ids: np.ndarray
+    ) -> Optional[_NoopPlan]:
+        """The cached :class:`_NoopPlan` for one local id block (or None)."""
+        key = local_ids.tobytes()
+        plans = self._noop_plans
+        plan = plans.get(key, _MISSING)
+        if plan is not _MISSING:
+            return plan  # type: ignore[return-value]
+        plan = self._build_noop_plan(count, local_ids)
+        if len(plans) >= 65536:  # pre-convergence id churn guard
+            plans.clear()
+        plans[key] = plan
+        return plan
+
+    def _build_noop_plan(
+        self, count: int, local_ids: np.ndarray
+    ) -> Optional[_NoopPlan]:
+        cache = self.merge_cache
+        assert cache is not None
+        scheme = self.scheme
+        if count > self.k:
+            return None
+        id_list = [int(summary_id) for summary_id in local_ids]
+        local_index: Dict[int, int] = {}
+        for position, summary_id in enumerate(id_list):
+            local_index[summary_id] = position
+        if len(local_index) != count:
+            return None
+        style = scheme.identity_partition_style
+        if style is None:
+            return None
+        if style == "greedy" and count != self.k:
+            return None
+        interner = self.arena.interner
+        local_digests = [interner.digest(summary_id) for summary_id in id_list]
+        digest_position = {digest: i for i, digest in enumerate(local_digests)}
+        sorted_digests = tuple(sorted(local_digests))
+        certificate = cache.certificate_for(
+            scheme,
+            sorted_digests,
+            tuple(
+                interner.summary(id_list[digest_position[digest]])
+                for digest in sorted_digests
+            ),
+        )
+        if not certificate.valid:
+            return None
+        cert_of_pos = [certificate.index_of[digest] for digest in local_digests]
+        pos_of_cert = [digest_position[digest] for digest in certificate.locations]
+        return _NoopPlan(
+            local_index, certificate, cert_of_pos, pos_of_cert, style == "em"
+        )
 
     def _try_certified_noop(
         self,
@@ -401,89 +672,76 @@ class ReceiveSolver:
         hence with its content digest, so "incoming digest matches a
         local collection" becomes an integer set lookup; the certificate
         itself (seed order, margins) is shared with the per-node world
-        via the run's :class:`~repro.core.fingerprint.MergeCache`.
+        via the run's :class:`~repro.core.fingerprint.MergeCache`.  The
+        id-dependent setup lives on a per-block :class:`_NoopPlan`; this
+        path only does the quanta-dependent arithmetic.
         """
-        cache = self.merge_cache
-        assert cache is not None
-        scheme = self.scheme
-        if count > self.k:
+        plan = self._noop_plan_for(count, local_ids)
+        if plan is None:
             return None
-        local_index: Dict[int, int] = {}
-        for position in range(count):
-            local_index[int(local_ids[position])] = position
-        if len(local_index) != count:
-            return None
+        local_index = plan.local_index
         incoming_list = incoming_ids.tolist()
-        for summary_id in incoming_list:
-            if summary_id not in local_index:
-                return None
         if count + len(incoming_list) <= self.k:
             return None
-        style = scheme.identity_partition_style
-        if style is None:
-            return None
-        if style == "greedy" and count != self.k:
-            return None
         is_minimum = self.quantization.is_minimum
-        totals = [int(q) for q in local_quanta]
-        for total in totals:
-            if is_minimum(total):
+        totals = local_quanta.tolist()
+        best_quanta = -1
+        best_position = 0
+        for position, quanta in enumerate(totals):
+            if is_minimum(quanta):
                 return None
+            if quanta > best_quanta:
+                best_quanta = quanta
+                best_position = position
         members = [1] * count
         for summary_id, incoming_q in zip(incoming_list, incoming_quanta.tolist()):
+            position = local_index.get(summary_id)
+            if position is None:
+                return None
             if is_minimum(incoming_q):
                 return None
-            position = local_index[summary_id]
             totals[position] += incoming_q
             members[position] += 1
-        interner = self.arena.interner
-        local_digests = [interner.digest(int(sid)) for sid in local_ids]
-        digest_position = {digest: i for i, digest in enumerate(local_digests)}
-        sorted_digests = tuple(sorted(local_digests))
-        certificate = cache.certificate_for(
-            scheme,
-            sorted_digests,
-            tuple(
-                interner.summary(int(local_ids[digest_position[digest]]))
-                for digest in sorted_digests
-            ),
-        )
-        if not certificate.valid:
-            return None
-        if style == "em":
-            best_quanta = -1
-            best_digest = local_digests[0]
-            for position in range(count):
-                quanta = int(local_quanta[position])
-                if quanta > best_quanta:
-                    best_quanta = quanta
-                    best_digest = local_digests[position]
-            for summary_id, incoming_q in zip(incoming_list, incoming_quanta.tolist()):
-                if incoming_q > best_quanta:
-                    best_quanta = incoming_q
-                    best_digest = local_digests[local_index[summary_id]]
-            ranks = tuple(
-                digest_position[digest] for digest in certificate.locations
-            )
-            seed_order = certificate.seed_order(
-                certificate.index_of[best_digest], ranks
-            )
-            if seed_order is None:
-                return None
+            if incoming_q > best_quanta:
+                best_quanta = incoming_q
+                best_position = position
+        if plan.style_em:
+            certificate = plan.certificate
+            cert_of_pos = plan.cert_of_pos
+            log = math.log
             log_totals = [0.0] * count
-            for digest, position in digest_position.items():
-                log_totals[certificate.index_of[digest]] = math.log(totals[position])
+            for position in range(count):
+                log_totals[cert_of_pos[position]] = log(totals[position])
             if not certificate.margin_ok(log_totals):
                 return None
-            order = [
-                digest_position[certificate.locations[index]] for index in seed_order
-            ]
+            order_key = best_position
         else:
-            order = list(range(count))
-        take = np.asarray(order, dtype=np.intp)
-        out_ids = local_ids[take]
-        out_quanta = np.asarray([totals[position] for position in order], dtype=np.int64)
-        out_columns = {name: column[take] for name, column in local_columns.items()}
+            order_key = -1
+        entry = plan.orders.get(order_key, _MISSING)
+        if entry is _MISSING:
+            if plan.style_em:
+                seed_order = plan.certificate.seed_order(
+                    plan.cert_of_pos[best_position], plan.ranks
+                )
+                if seed_order is None:
+                    plan.orders[order_key] = None
+                    return None
+                order = [plan.pos_of_cert[index] for index in seed_order]
+            else:
+                order = list(range(count))
+            take = np.asarray(order, dtype=np.intp)
+            entry = [
+                order,
+                local_ids[take],
+                {name: column[take] for name, column in local_columns.items()},
+            ]
+            plan.orders[order_key] = entry
+        elif entry is None:
+            return None
+        order, out_ids, out_columns = entry  # type: ignore[misc]
+        out_quanta = np.asarray(
+            [totals[position] for position in order], dtype=np.int64
+        )
         merges = sum(1 for position in order if members[position] > 1)
         return _Outcome(out_ids, out_quanta, out_columns, merges)
 

@@ -29,8 +29,12 @@ from repro.ml.gmm import GaussianMixtureModel
 from repro.ml.linalg import (
     cholesky_log_det_batch,
     regularize_covariance,
-    symmetrize,
     triangular_inverse_batch,
+)
+from repro.native.kernels import (
+    compact_labels,
+    maximin_seed_walk,
+    pairwise_sq_matrix,
 )
 from repro.obs.profiling import span
 
@@ -52,6 +56,13 @@ def em_iterations_total() -> int:
 _SCORING_RIDGE = 1e-6
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: Below this component count the maximin seeding runs on a fused
+#: pairwise distance matrix (one batched computation reused by the seed
+#: walk *and* the initial assignment).  The gossip receive path always
+#: sits far below it; centralized reductions of thousands of components
+#: keep the O(l*k) row-at-a-time form to avoid an O(l^2 d) intermediate.
+_FUSED_PAIRWISE_MAX = 64
 
 
 @dataclass(frozen=True)
@@ -110,7 +121,8 @@ def _moments_from_assignment(
     group_covs = np.zeros((k_occupied, d, d))
     np.add.at(group_covs, compact, weights[:, None, None] * spread)
     group_covs /= group_weights[:, None, None]
-    return group_weights, group_means, symmetrize(group_covs)
+    group_covs = (group_covs + np.swapaxes(group_covs, -2, -1)) * 0.5
+    return group_weights, group_means, group_covs
 
 
 def _score_features(means: np.ndarray, covs: np.ndarray) -> np.ndarray:
@@ -122,9 +134,11 @@ def _score_features(means: np.ndarray, covs: np.ndarray) -> np.ndarray:
     """
     l, d = means.shape
     spread = covs + means[:, :, None] * means[:, None, :]
-    return np.concatenate(
-        [spread.reshape(l, d * d), means, np.ones((l, 1))], axis=1
-    )
+    features = np.empty((l, d * d + d + 1))
+    features[:, : d * d] = spread.reshape(l, d * d)
+    features[:, d * d : d * d + d] = means
+    features[:, -1] = 1.0
+    return features
 
 
 def _score_matrix(
@@ -142,18 +156,54 @@ def _score_matrix(
 
         log pi_j - 1/2 (d log 2pi + log|S| + tr(P C_i) + (mu_i-m_j)^T P (mu_i-m_j))
 
-    One batched Cholesky factorisation covers every group (log-determinant
-    off the factor diagonals, precisions from triangular inverses), and
-    the score decomposes linearly over the per-component features
+    The score decomposes linearly over the per-component features
     ``[vec(C_i + mu_i mu_i^T), mu_i, 1]`` with per-group coefficients
     ``[-1/2 vec(P_j), P_j m_j, const_j]``: both ``tr(P C)`` and the
     quadratic form are Frobenius inner products against ``P_j``.  The
     whole E-step is then a single ``(l, d^2+d+1) @ (d^2+d+1, k)`` matrix
     product — no per-group ``inv``/``slogdet`` calls, no ``(l, k, d)``
     intermediates.
+
+    For ``d == 2`` — every sensor-plane workload in the paper — the
+    (ridge-regularised) precisions and log-determinants come from the
+    closed-form 2x2 adjugate instead of a batched Cholesky; the gossip
+    hot path calls this on 5-group stacks where the LAPACK round trip
+    costs more than the whole remaining E-step.  Larger ``d`` keeps the
+    batched factorisation.  This routine is the *single* scoring
+    definition shared by the EM loop and the merge-cache no-op
+    certificates, so every consumer sees identical scores.
     """
     k = group_weights.shape[0]
     log_pi = np.log(group_weights / group_weights.sum())
+    if d == 2:
+        # Inline regularize_covariance for the 2x2 stack: symmetrise,
+        # then add a relative ridge on the diagonal.
+        off = (group_covs[:, 0, 1] + group_covs[:, 1, 0]) * 0.5
+        a = group_covs[:, 0, 0]
+        e = group_covs[:, 1, 1]
+        floor = np.maximum((a + e) * (0.5 * _SCORING_RIDGE), _SCORING_RIDGE)
+        a = a + floor
+        e = e + floor
+        det = a * e - off * off
+        log_dets = np.log(det)
+        inv_det = 1.0 / det
+        p00 = e * inv_det
+        p11 = a * inv_det
+        p01 = -off * inv_det
+        m0 = group_means[:, 0]
+        m1 = group_means[:, 1]
+        s0 = p00 * m0 + p01 * m1
+        s1 = p01 * m0 + p11 * m1
+        consts = log_pi - 0.5 * (2.0 * _LOG_2PI + log_dets + (s0 * m0 + s1 * m1))
+        coefficients = np.empty((k, 7))
+        coefficients[:, 0] = -0.5 * p00
+        coefficients[:, 1] = -0.5 * p01
+        coefficients[:, 2] = coefficients[:, 1]
+        coefficients[:, 3] = -0.5 * p11
+        coefficients[:, 4] = s0
+        coefficients[:, 5] = s1
+        coefficients[:, 6] = consts
+        return features @ coefficients.T
     regularized = regularize_covariance(group_covs, _SCORING_RIDGE)
     lowers, log_dets = cholesky_log_det_batch(regularized, _SCORING_RIDGE)
     lower_invs = triangular_inverse_batch(lowers)
@@ -197,6 +247,7 @@ def reduce_mixture(
     rng: np.random.Generator,
     max_iterations: int = 50,
     build_model: bool = True,
+    compute_score: bool = False,
 ) -> ReductionResult:
     """Group ``l`` weighted Gaussians into at most ``k`` groups by hard EM.
 
@@ -217,6 +268,11 @@ def reduce_mixture(
         (``result.model`` is ``None``).  The scheme partition hot path
         only needs ``groups``, so it opts out of the extra k moment
         matches per call.
+    compute_score:
+        When false (the default), ``result.score`` is reported as 0.0
+        and the per-iteration best-score gather is skipped except when
+        an empty-group repair needs it.  The assignment sequence — and
+        therefore ``groups`` — is identical either way.
 
     Returns
     -------
@@ -258,43 +314,53 @@ def reduce_mixture(
     # can never draw an unlucky seeding that merges a distant outlier
     # cluster into the bulk — an irreversible mistake under the
     # algorithm's lossy compression (merged collections never separate).
-    seeds = _maximin_seeds(weights, means, k)
-    distances_sq = np.sum((means[:, None, :] - seeds[None, :, :]) ** 2, axis=2)
-    assignment = np.argmin(distances_sq, axis=1)
+    if l <= _FUSED_PAIRWISE_MAX:
+        # Gossip-sized inputs: one fused pairwise matrix feeds both the
+        # seed walk and the initial assignment.  Byte-identical to the
+        # row-at-a-time form below (same lane lengths per reduction).
+        distance_matrix = pairwise_sq_matrix(means)
+        chosen = maximin_seed_walk(weights, distance_matrix, k)
+        distances_sq = distance_matrix[:, chosen]
+    else:
+        seeds = _maximin_seeds(weights, means, k)
+        distances_sq = np.sum((means[:, None, :] - seeds[None, :, :]) ** 2, axis=2)
+    assignment = distances_sq.argmin(axis=1)
 
     converged = False
     iteration = 0
     score = 0.0
-    component_range = np.arange(l)
+    d = means.shape[1]
     features = _score_features(means, covs)
     with span("ml.reduce_mixture"):
         for iteration in range(1, max_iterations + 1):
-            # Relabel occupied groups compactly (np.unique is sorted, so
-            # the occupied ordering matches the old group-list scan) and
+            # Relabel occupied groups compactly (occupied labels keep
+            # their sorted order, matching the old group-list scan) and
             # moment-match them all in one segment-sum pass.
-            labels = np.unique(assignment)
-            compact = np.searchsorted(labels, assignment)
-            occupied_count = labels.shape[0]
+            compact, occupied_count = compact_labels(assignment)
             group_weights, group_means, group_covs = _moments_from_assignment(
                 compact, occupied_count, weights, means, covs
             )
             scores = _score_matrix(
-                features, means.shape[1], group_weights, group_means, group_covs
+                features, d, group_weights, group_means, group_covs
             )
-            new_assignment = np.argmax(scores, axis=1)
-            best = scores[component_range, new_assignment]
-            score = float(np.sum(weights * best))
+            new_assignment = scores.argmax(axis=1)
+            best = None
+            if compute_score:
+                best = scores[np.arange(l), new_assignment]
+                score = float(np.sum(weights * best))
 
             # Repair empty groups (possible when k seeds collapse): move the
             # worst-explained component into its own group.
-            used = set(new_assignment.tolist())
-            free = [j for j in range(occupied_count) if j not in used]
-            if free:
+            counts = np.bincount(new_assignment, minlength=occupied_count)
+            if not counts.all():
+                free = np.flatnonzero(counts == 0)
+                if best is None:
+                    best = scores[np.arange(l), new_assignment]
                 order = np.argsort(best)  # worst fit first
                 for j, i in zip(free, order):
-                    new_assignment[int(i)] = j
+                    new_assignment[int(i)] = int(j)
 
-            if np.array_equal(new_assignment, compact):
+            if (new_assignment == compact).all():
                 converged = True
                 break
             assignment = new_assignment
@@ -302,11 +368,12 @@ def reduce_mixture(
     global _EM_ITERATIONS_TOTAL
     _EM_ITERATIONS_TOTAL += iteration
 
-    groups = [
-        [int(i) for i in np.where(assignment == j)[0]]
-        for j in range(int(assignment.max()) + 1)
-    ]
-    groups = [group for group in groups if group]
+    # Bucket indices by label in one pass; ascending labels with ascending
+    # member indices, exactly like the old per-label ``np.where`` scan.
+    buckets: dict[int, list[int]] = {}
+    for i, label in enumerate(assignment.tolist()):
+        buckets.setdefault(label, []).append(i)
+    groups = [buckets[label] for label in sorted(buckets)]
     model = None
     if build_model:
         group_weights, group_means, group_covs = _group_moments(

@@ -1,0 +1,29 @@
+"""numba-compiled tier: jitted wrappers over the scalar kernel bodies.
+
+Imported only when :data:`repro.native.HAVE_NUMBA` is true; import
+failure anywhere here falls back to the numpy tier (the guard lives in
+``repro.native.kernels``).  The jitted functions are the *same* Python
+bodies the fallback tests exercise (``repro.native._scalar``), so both
+tiers share one source of truth for the merge order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # type: ignore[import-not-found]
+
+from repro.native import _scalar
+
+# Rebind the helper inside the scalar module so the jitted greedy_core
+# resolves its global reference to the jitted dispatcher.
+_scalar.merge_pair = njit(cache=True)(_scalar.merge_pair)
+_greedy_core = njit(cache=True)(_scalar.greedy_core)
+
+
+def greedy_partition(positions, weights, heavy, k):
+    """Jitted masked greedy closest-pair partition (see kernels.greedy_partition)."""
+    points = np.ascontiguousarray(positions, dtype=np.float64).copy()
+    masses = np.ascontiguousarray(weights, dtype=np.float64).copy()
+    heavy_mut = np.ascontiguousarray(heavy, dtype=np.bool_).copy()
+    dead, nxt = _greedy_core(points, masses, heavy_mut, k)
+    return _scalar.groups_from_links(dead, nxt)

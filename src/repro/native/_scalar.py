@@ -1,0 +1,132 @@
+"""Scalar (loop-level) kernel bodies shared by the numba tier.
+
+These are plain-Python functions written in the restricted style numba
+compiles (explicit loops, preallocated arrays, no closures): the numba
+tier in :mod:`repro.native._numba` jits them unchanged, and the test
+suite exercises them *uncompiled* so their byte-parity with the numpy
+fallbacks is verified even where numba is not installed.
+
+Order discipline: every float reduction here runs over a lane shorter
+than numpy's pairwise unroll width (the dispatch in
+``repro.native.kernels`` guarantees ``d < 8``), where numpy reductions
+are strictly sequential — so these scalar loops round identically to
+the vectorized forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def merge_pair(points, masses, size, has_heavy, dead, nxt, tail, dist, a, b):
+    """Fold group ``b`` into group ``a`` (requires ``a < b``), in place."""
+    n, d = points.shape
+    total = masses[a] + masses[b]
+    same = True
+    for t in range(d):
+        if points[a, t] != points[b, t]:
+            same = False
+            break
+    if not same:
+        # Coincident points average to themselves; skipping the
+        # arithmetic keeps merged positions byte-exact (no float dust).
+        for t in range(d):
+            points[a, t] = (masses[a] * points[a, t] + masses[b] * points[b, t]) / total
+    masses[a] = total
+    size[a] += size[b]
+    has_heavy[a] = True
+    nxt[tail[a]] = b
+    tail[a] = tail[b]
+    dead[b] = True
+    for j in range(n):
+        dist[b, j] = np.inf
+        dist[j, b] = np.inf
+    for j in range(n):
+        if dead[j] or j == a:
+            dist[a, j] = np.inf
+            dist[j, a] = np.inf
+        else:
+            s = 0.0
+            for t in range(d):
+                diff = points[j, t] - points[a, t]
+                s += diff * diff
+            dist[a, j] = s
+            dist[j, a] = s
+
+
+def greedy_core(points, masses, heavy, k):
+    """Masked greedy closest-pair loop over preallocated scalar state.
+
+    Mutates its array arguments; callers pass copies.  Returns
+    ``(dead, nxt)``: groups are the non-dead indices, each group's
+    members chained through ``nxt`` (terminated by ``-1``) in merge
+    order — exactly the order the list-based loop's ``extend`` builds.
+    """
+    n, d = points.shape
+    dist = np.empty((n, n))
+    for i in range(n):
+        dist[i, i] = np.inf
+        for j in range(i + 1, n):
+            s = 0.0
+            for t in range(d):
+                diff = points[i, t] - points[j, t]
+                s += diff * diff
+            dist[i, j] = s
+            dist[j, i] = s
+    dead = np.zeros(n, np.bool_)
+    size = np.ones(n, np.int64)
+    nxt = np.full(n, -1, np.int64)
+    tail = np.arange(n)
+    alive = n
+
+    # Rule 2: merge every minimum-weight singleton with its nearest group.
+    while alive > 1:
+        lonely = -1
+        for g in range(n):
+            if (not dead[g]) and size[g] == 1 and (not heavy[g]):
+                lonely = g
+                break
+        if lonely == -1:
+            break
+        other = 0
+        best = np.inf
+        for j in range(n):
+            if dist[lonely, j] < best:
+                best = dist[lonely, j]
+                other = j
+        a = lonely if lonely < other else other
+        b = other if lonely < other else lonely
+        merge_pair(points, masses, size, heavy, dead, nxt, tail, dist, a, b)
+        alive -= 1
+
+    # Rule 1: enforce the k bound by merging closest pairs.
+    while alive > k:
+        bi = 0
+        bj = 0
+        best = np.inf
+        for i in range(n):
+            for j in range(n):
+                if dist[i, j] < best:
+                    best = dist[i, j]
+                    bi = i
+                    bj = j
+        a = bi if bi < bj else bj
+        b = bj if bi < bj else bi
+        merge_pair(points, masses, size, heavy, dead, nxt, tail, dist, a, b)
+        alive -= 1
+
+    return dead, nxt
+
+
+def groups_from_links(dead, nxt):
+    """Materialise the member chains from :func:`greedy_core` as lists."""
+    groups = []
+    for g in range(dead.shape[0]):
+        if not dead[g]:
+            members = []
+            cur = g
+            while cur != -1:
+                members.append(int(cur))
+                cur = int(nxt[cur])
+            groups.append(members)
+    return groups

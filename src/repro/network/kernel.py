@@ -429,6 +429,15 @@ class SimulationKernel(Network):
         if reference_digests is None or scheme is None:
             return False
         for payload in self.in_flight_payloads():
+            digests = getattr(payload, "row_digests", None)
+            if digests is not None:
+                # Native-tier payloads carry their rows' content digests;
+                # comparing them is equivalent to re-hashing the summaries
+                # (digest == summary_digest of the row, by construction)
+                # without materialising any collection objects.
+                if any(digest not in reference_digests for digest in digests):
+                    return False
+                continue
             for collection in payload:
                 if scheme.summary_digest(collection.summary) not in reference_digests:
                     return False

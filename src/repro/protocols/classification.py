@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.collection import Collection
 from repro.core.fingerprint import MergeCache, merge_cache_default
 from repro.core.node import ClassifierNode
+from repro.core.packed import PackedPayload
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
 from repro.network.factory import make_engine
@@ -38,23 +39,36 @@ class ClassificationProtocol(GossipProtocol):
     def __init__(self, node: ClassifierNode) -> None:
         self.node = node
 
-    def make_payload(self) -> Optional[list[Collection]]:
+    def make_payload(self) -> "Optional[list[Collection] | PackedPayload]":
         """Split the local classification; the sent halves are the payload.
 
         Returns ``None`` when quantisation leaves nothing sendable (every
-        local collection holds a single quantum).
+        local collection holds a single quantum).  Native-tier nodes
+        return a zero-copy :class:`~repro.core.packed.PackedPayload`
+        instead of a collection list; both are falsy when empty.
         """
         with span("protocol.split"):
             payload = self.node.make_message()
         return payload if payload else None
 
-    def receive_batch(self, payloads: Sequence[list[Collection]]) -> None:
+    def receive_batch(
+        self, payloads: "Sequence[list[Collection] | PackedPayload]"
+    ) -> None:
         """Pool all delivered collections and merge once (Section 5.3)."""
+        node = self.node
+        if node.native and all(
+            isinstance(payload, PackedPayload) for payload in payloads
+        ):
+            # Straight through to the array pipeline — the payloads'
+            # columns are consumed as-is, nothing is materialised.
+            with span("protocol.merge"):
+                node.receive_packed(payloads)  # type: ignore[arg-type]
+            return
         incoming: list[Collection] = []
         for payload in payloads:
             incoming.extend(payload)
         with span("protocol.merge"):
-            self.node.receive(incoming)
+            node.receive(incoming)
 
     # Convenience pass-throughs used pervasively by analysis code.
     @property

@@ -18,6 +18,7 @@ from repro.core.fingerprint import digest_arrays
 from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
+from repro.native.kernels import greedy_partition, weighted_average_groups
 from repro.obs.profiling import span
 
 __all__ = ["CentroidScheme", "greedy_closest_pair_partition"]
@@ -41,12 +42,13 @@ def greedy_closest_pair_partition(
     collections are first merged with their nearest group, and merging
     continues until at most ``k`` groups remain.
 
-    The closest pair is tracked through a squared-distance matrix that is
-    updated incrementally per merge (one recomputed row/column), instead
-    of rescanning all pairs with per-pair norm calls — the rescan made
-    this O(l^3) Python-level work per partition.  Squared distances order
-    pairs exactly like distances, so the greedy choices are unchanged up
-    to exact-tie rounding of ``sqrt``.
+    The closest pair is tracked through a squared-distance matrix with
+    merged-away groups masked to ``inf`` (one recomputed row/column per
+    merge, no matrix reallocation); see
+    :func:`repro.native.kernels.greedy_partition` for the loop itself
+    and its byte-parity argument against the delete-based form.
+    Squared distances order pairs exactly like distances, so the greedy
+    choices are unchanged up to exact-tie rounding of ``sqrt``.
     """
     positions = np.atleast_2d(np.asarray(positions, dtype=float))
     weights = np.asarray(weights, dtype=float)
@@ -55,60 +57,10 @@ def greedy_closest_pair_partition(
         raise ValueError("cannot partition zero collections")
 
     with span("schemes.greedy_partition"):
-        groups: list[list[int]] = [[i] for i in range(n)]
-        points = positions.copy()
-        masses = weights.astype(float, copy=True)
         has_heavy = np.fromiter(
             (not quantization.is_minimum(int(q)) for q in quanta), dtype=bool, count=n
         )
-        deltas = points[:, None, :] - points[None, :, :]
-        distances_sq = np.einsum("abd,abd->ab", deltas, deltas)
-        np.fill_diagonal(distances_sq, np.inf)
-
-        def merge(a: int, b: int) -> None:
-            """Fold group ``b`` into group ``a`` (requires ``a < b``)."""
-            nonlocal points, masses, has_heavy, distances_sq
-            total = masses[a] + masses[b]
-            if not np.array_equal(points[a], points[b]):
-                # Coincident points average to themselves; skipping the
-                # arithmetic keeps the result byte-exact (no float dust),
-                # which converged states rely on for content addressing.
-                points[a] = (masses[a] * points[a] + masses[b] * points[b]) / total
-            masses[a] = total
-            groups[a].extend(groups[b])
-            has_heavy[a] = True  # merged groups always have >= 2 members
-            del groups[b]
-            keep = np.arange(points.shape[0]) != b
-            points = points[keep]
-            masses = masses[keep]
-            has_heavy = has_heavy[keep]
-            distances_sq = distances_sq[np.ix_(keep, keep)]
-            row = ((points - points[a]) ** 2).sum(axis=1)
-            distances_sq[a, :] = row
-            distances_sq[:, a] = row
-            distances_sq[a, a] = np.inf
-
-        # Rule 2: merge every minimum-weight singleton with its nearest group.
-        while len(groups) > 1:
-            lonely = next(
-                (
-                    g
-                    for g in range(len(groups))
-                    if len(groups[g]) == 1 and not has_heavy[g]
-                ),
-                None,
-            )
-            if lonely is None:
-                break
-            other = int(np.argmin(distances_sq[lonely]))
-            merge(min(lonely, other), max(lonely, other))
-
-        # Rule 1: enforce the k bound by merging closest pairs.
-        while len(groups) > k:
-            a, b = divmod(int(np.argmin(distances_sq)), len(groups))
-            merge(min(a, b), max(a, b))
-
-    return groups
+        return greedy_partition(positions, weights, has_heavy, k)
 
 
 class CentroidScheme(SummaryScheme):
@@ -197,6 +149,18 @@ class CentroidScheme(SummaryScheme):
         total = sum(float(quanta[i]) for i in group)
         merged = sum(float(quanta[i]) * positions[i] for i in group) / total
         return np.asarray(merged, dtype=float)
+
+    def merge_groups_columns(
+        self, packed: PackedState, groups: Sequence[Sequence[int]]
+    ) -> dict[str, np.ndarray]:
+        return {
+            "position": weighted_average_groups(
+                packed.columns["position"], packed.quanta, groups
+            )
+        }
+
+    def digest_row(self, columns: dict[str, np.ndarray], index: int) -> bytes:
+        return digest_arrays(columns["position"][index])
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))

@@ -111,3 +111,18 @@ class DiagonalGaussianScheme(SummaryScheme):
         self, packed: PackedState, group: Sequence[int]
     ) -> GaussianSummary:
         return diagonalize(self._full.merge_set_packed(packed, group))
+
+    def merge_groups_columns(
+        self, packed: PackedState, groups: Sequence[Sequence[int]]
+    ) -> dict[str, np.ndarray]:
+        columns = self._full.merge_groups_columns(packed, groups)
+        covs = columns["cov"]
+        # Batched diagonalize: fresh zeros with the diagonal copied in,
+        # byte-identical to np.diag(np.diag(cov)) per row.
+        diag = np.zeros_like(covs)
+        axis = np.arange(covs.shape[1])
+        diag[:, axis, axis] = covs[:, axis, axis]
+        return {"mean": columns["mean"], "cov": diag}
+
+    def digest_row(self, columns: dict[str, np.ndarray], index: int) -> bytes:
+        return self._full.digest_row(columns, index)

@@ -24,6 +24,7 @@ from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
 from repro.ml.gaussian import pool_moments
 from repro.ml.reduction import reduce_mixture
+from repro.native.kernels import pool_moments_groups
 from repro.schemes.gaussian import (
     GaussianSummary,
     merge_gaussian_summaries,
@@ -163,6 +164,17 @@ class GaussianMixtureScheme(SummaryScheme):
             packed.columns["cov"][idx],
         )
         return GaussianSummary.trusted(mean, cov)
+
+    def merge_groups_columns(
+        self, packed: PackedState, groups: Sequence[Sequence[int]]
+    ) -> dict[str, np.ndarray]:
+        means, covs = pool_moments_groups(
+            packed.quanta, packed.columns["mean"], packed.columns["cov"], groups
+        )
+        return {"mean": means, "cov": covs}
+
+    def digest_row(self, columns: dict[str, np.ndarray], index: int) -> bytes:
+        return digest_arrays(columns["mean"][index], columns["cov"][index])
 
     @staticmethod
     def _enforce_minimum_weight_rule(

@@ -25,6 +25,7 @@ from repro.core.fingerprint import digest_arrays
 from repro.core.packed import PackedState
 from repro.core.scheme import SummaryScheme
 from repro.core.weights import Quantization
+from repro.native.kernels import weighted_average_groups
 from repro.schemes.centroid import greedy_closest_pair_partition
 
 __all__ = ["HistogramScheme"]
@@ -131,6 +132,18 @@ class HistogramScheme(SummaryScheme):
         total = sum(float(quanta[i]) for i in group)
         merged = sum(float(quanta[i]) * masses[i] for i in group) / total
         return np.asarray(merged, dtype=float)
+
+    def merge_groups_columns(
+        self, packed: PackedState, groups: Sequence[Sequence[int]]
+    ) -> dict[str, np.ndarray]:
+        return {
+            "mass": weighted_average_groups(
+                packed.columns["mass"], packed.quanta, groups
+            )
+        }
+
+    def digest_row(self, columns: dict[str, np.ndarray], index: int) -> bytes:
+        return digest_arrays(columns["mass"][index])
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         """Total-variation distance between the two bin-mass vectors."""
