@@ -3,21 +3,32 @@
 Drives :class:`repro.mega.ArenaEngine` over discrete-valued GM data (the
 byte-converging regime of ``BENCH_cache``: every node's value sits on
 one of three centers, so merges are float-exact and the population
-reaches structural quiescence) at 1k / 10k / 100k nodes, plus one
-sharded 10k run to record multi-process overhead, and writes the curve
-to ``benchmarks/results/BENCH_megascale.json``.
+reaches structural quiescence) at 1k / 10k / 100k nodes, plus a
+shard-scaling sweep over the :class:`repro.mega.ShardedArenaEngine`
+shared-memory exchange, and writes everything to
+``benchmarks/results/BENCH_megascale.json``.  Results are *merged* into
+the existing JSON — curve entries by node count, shard-scaling entries
+by ``(nodes, shards, exchange)`` — so a ``fast``-scale CI run refreshes
+its own points without clobbering the recorded 100k / million-node
+entries.
 
-Two gates ride along:
+Three gates ride along:
 
 - **parity** — at 1,000 nodes the arena's final classifications must be
   byte-identical to the per-node ``SimulationKernel``'s (same seed, same
   rounds), the ISSUE 8 correctness contract at benchmark scale;
 - **budget** — the 100k-node run must finish within ``BUDGET_S``
-  (minutes, not hours, on CI hardware).
+  (minutes, not hours, on CI hardware);
+- **shard speedup** — when the machine actually has >= 4 cores, the
+  4-shard shared-memory run must be no slower than single-process at
+  the sweep size (target >= 1.5x).  On smaller machines the gate is
+  recorded as skipped with the core count — workers would time-slice
+  one core, which measures the scheduler, not the exchange.
 
 Scale presets via ``REPRO_BENCH_SCALE``: ``fast`` stops at 10k (the CI
 ``megascale-smoke`` configuration), the default ``bench`` carries the
-curve through 100k, ``paper`` adds 250k.
+curve through 100k, ``paper`` adds 250k, and ``mega`` adds the
+1,000,000-node run to structural quiescence.
 
 Run with::
 
@@ -45,13 +56,34 @@ SEED = 11
 MAX_ROUNDS = 200
 PARITY_N = 1000
 BUDGET_S = 600.0
+MILLION_N = 1_000_000
+MILLION_BUDGET_S = 3600.0
+SPEEDUP_TARGET = 1.5
 CENTERS = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0]])
 
 CURVE_SIZES = {
     "fast": [1000, 10000],
     "bench": [1000, 10000, 100000],
     "paper": [1000, 10000, 100000, 250000],
+    "mega": [1000, 10000, 100000],
 }
+
+#: Shard-scaling sweep per preset: (nodes, shard counts).  Shards=1 is
+#: the protocol floor (one worker, no cross-shard traffic) and 0 the
+#: single-process baseline the speedup gate compares against.
+SHARD_SWEEP = {
+    "fast": (10000, [1, 2, 4]),
+    "bench": (100000, [1, 2, 4, 8]),
+    "paper": (100000, [1, 2, 4, 8]),
+    "mega": (100000, [1, 2, 4, 8]),
+}
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _values(n: int) -> np.ndarray:
@@ -59,12 +91,13 @@ def _values(n: int) -> np.ndarray:
     return CENTERS[rng.integers(0, 3, size=n)]
 
 
-def _arena_run(n: int, shards: int = 0) -> dict:
+def _arena_run(n: int, shards: int = 0, use_shm: bool = True) -> dict:
     values = _values(n)
     start = time.perf_counter()
     if shards:
         engine = ShardedArenaEngine(
-            values, GaussianMixtureScheme(seed=0), K, seed=SEED, shards=shards, use_cache=True
+            values, GaussianMixtureScheme(seed=0), K, seed=SEED,
+            shards=shards, use_cache=True, use_shm=use_shm,
         )
     else:
         engine = ArenaEngine(
@@ -76,9 +109,10 @@ def _arena_run(n: int, shards: int = 0) -> dict:
     wall_s = time.perf_counter() - start
     stats = engine.stats.as_dict()
     assert engine.quiescent, f"n={n}: no quiescence within {MAX_ROUNDS} rounds"
-    return {
+    record = {
         "nodes": n,
         "shards": shards,
+        "exchange": engine.exchange if shards else "single",
         "rounds": executed,
         "quiescent_at": engine.quiescent_at,
         "wall_s": wall_s,
@@ -89,11 +123,53 @@ def _arena_run(n: int, shards: int = 0) -> dict:
         "dedup_hits": stats["memo_round_hits"] + stats["memo_lru_hits"] + stats["noop_hits"],
         "full_solves": stats["full_solves"],
     }
+    if shards:
+        record["phase_s"] = {
+            name: round(value, 3) for name, value in engine.phase_seconds.items()
+        }
+    return record
+
+
+def _merge_records(new: dict) -> dict:
+    """Merge this run's records into the existing benchmark JSON.
+
+    Curve points merge by node count and shard-scaling points by
+    ``(nodes, shards, exchange)``; the ``million_node`` entry survives
+    runs that did not regenerate it.  The legacy ``sharded_10k`` key is
+    dropped — ``shard_scaling`` supersedes it.
+    """
+    old: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            old = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:  # pragma: no cover - corrupt file
+            old = {}
+    merged = dict(old)
+    merged.pop("sharded_10k", None)
+    for key, value in new.items():
+        if key not in ("curve", "shard_scaling"):
+            merged[key] = value
+    curve = {entry["nodes"]: entry for entry in old.get("curve", [])}
+    curve.update({entry["nodes"]: entry for entry in new.get("curve", [])})
+    merged["curve"] = [curve[nodes] for nodes in sorted(curve)]
+    scaling = {
+        (entry["nodes"], entry["shards"], entry.get("exchange", "shm")): entry
+        for entry in old.get("shard_scaling", [])
+    }
+    scaling.update(
+        {
+            (entry["nodes"], entry["shards"], entry["exchange"]): entry
+            for entry in new.get("shard_scaling", [])
+        }
+    )
+    merged["shard_scaling"] = [scaling[key] for key in sorted(scaling)]
+    return merged
 
 
 def test_megascale_curve():
     scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
     sizes = CURVE_SIZES.get(scale, CURVE_SIZES["bench"])
+    cores = _available_cores()
 
     # Parity gate: the arena vs the per-node kernel, byte for byte.
     values = _values(PARITY_N)
@@ -121,7 +197,50 @@ def test_megascale_curve():
     )
 
     curve = [_arena_run(n) for n in sizes]
-    sharded = _arena_run(10000, shards=4)
+
+    # Shard-scaling sweep: single-process baseline plus 1/2/4/... shard
+    # shared-memory runs at one size, and a 4-shard pipe point so the
+    # exchange-tier gap itself is on record.
+    sweep_nodes, shard_counts = SHARD_SWEEP.get(scale, SHARD_SWEEP["bench"])
+    baseline = next(
+        (point for point in curve if point["nodes"] == sweep_nodes), None
+    )
+    if baseline is None:
+        baseline = _arena_run(sweep_nodes)
+    shard_scaling = [baseline]
+    shard_scaling += [_arena_run(sweep_nodes, shards=s) for s in shard_counts]
+    if 4 in shard_counts:
+        shard_scaling.append(_arena_run(sweep_nodes, shards=4, use_shm=False))
+
+    # Speedup gate: only meaningful when 4 workers can actually run in
+    # parallel; on fewer cores record the skip instead of measuring the
+    # scheduler.
+    four_shard = next(
+        (p for p in shard_scaling if p["shards"] == 4 and p["exchange"] == "shm"),
+        None,
+    )
+    if four_shard is not None and cores >= 4:
+        speedup = baseline["wall_s"] / four_shard["wall_s"]
+        gate = {
+            "status": "enforced",
+            "available_cores": cores,
+            "speedup_4shard_vs_single": round(speedup, 3),
+            "target": SPEEDUP_TARGET,
+        }
+        assert four_shard["wall_s"] <= baseline["wall_s"], (
+            f"4-shard shm run ({four_shard['wall_s']:.1f}s) slower than "
+            f"single-process ({baseline['wall_s']:.1f}s) on {cores} cores"
+        )
+    else:
+        gate = {
+            "status": "skipped",
+            "available_cores": cores,
+            "reason": (
+                f"needs >= 4 cores for a meaningful parallel measurement, have {cores}"
+                if cores < 4
+                else "no 4-shard point in this sweep"
+            ),
+        }
 
     records = {
         "workload": (
@@ -135,10 +254,25 @@ def test_megascale_curve():
             "matches_kernel": True,
         },
         "curve": curve,
-        "sharded_10k": sharded,
+        "shard_scaling": shard_scaling,
+        "shard_speedup_gate": gate,
     }
+
+    if scale == "mega":
+        # The first recorded million-node run: structural quiescence of
+        # a 1,000,000-node GM population.  Sharded when the hardware can
+        # host parallel workers, single-process otherwise.
+        million_shards = 4 if cores >= 4 else 0
+        million = _arena_run(MILLION_N, shards=million_shards)
+        assert million["wall_s"] <= MILLION_BUDGET_S, (
+            f"1M nodes: {million['wall_s']:.0f}s exceeds the "
+            f"{MILLION_BUDGET_S:.0f}s budget"
+        )
+        records["million_node"] = million
+
     RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    merged = _merge_records(records)
+    RESULTS_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
     for point in curve:
         assert point["wall_s"] <= BUDGET_S, (

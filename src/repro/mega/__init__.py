@@ -14,7 +14,10 @@ split, one stable sort routing every payload to its receiver, and a
 content-addressed receive solver that collapses the post-convergence
 tail into dictionary lookups across the whole population.  For runs that
 outgrow one process, :mod:`repro.mega.shard` splits the arena across
-worker processes with a deterministic, seed-keyed cross-shard exchange.
+worker processes with a deterministic, seed-keyed cross-shard exchange —
+payload rows travel through double-buffered shared-memory slabs
+(:mod:`repro.mega.shm`) by default, with a pickled-pipe fallback
+(``REPRO_MEGA_SHM=0``).
 
 The correctness contract is byte-parity: at overlapping sizes and equal
 seeds an arena run produces exactly the per-node kernel's classifications
@@ -25,11 +28,14 @@ seeds an arena run produces exactly the per-node kernel's classifications
 from repro.mega.arena import NetworkArena, SummaryInterner
 from repro.mega.engine import ArenaEngine, ArenaStats
 from repro.mega.shard import ShardedArenaEngine
+from repro.mega.shm import SlabExchange, SlabExchangeSpec
 
 __all__ = [
     "ArenaEngine",
     "ArenaStats",
     "NetworkArena",
     "ShardedArenaEngine",
+    "SlabExchange",
+    "SlabExchangeSpec",
     "SummaryInterner",
 ]

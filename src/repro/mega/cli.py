@@ -4,12 +4,17 @@ Usage::
 
     python -m repro.mega --nodes 100000 --scheme gm --stop-on-quiescence
     python -m repro.mega --nodes 250000 --shards 4 --rounds 40 --json run.json
+    python -m repro.mega --nodes 1000000 --shards 8 --stop-on-quiescence
+    python -m repro.mega --nodes 10000 --shards 2 --no-shm --rounds 20
     python -m repro.mega --nodes 1000 --data normal --scheme centroid
 
 Runs one whole-network arena simulation — single-process
 :class:`~repro.mega.engine.ArenaEngine` by default, the multi-process
 :class:`~repro.mega.shard.ShardedArenaEngine` with ``--shards N`` — and
-prints a round/time/cache summary (optionally as JSON for scripting).
+prints a round/time/cache summary plus the exchange tier in use
+(optionally as JSON for scripting).  Sharded runs move payload rows
+through shared-memory slabs by default; ``--no-shm`` (or
+``REPRO_MEGA_SHM=0``) selects the pickled-pipe fallback.
 
 ``--data centers`` (the default) draws each node's value from three
 well-separated cluster centers: merges are float-exact, so the
@@ -96,6 +101,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--shards", type=int, default=0,
         help="worker processes (0 = single-process engine, the default)",
     )
+    parser.add_argument(
+        "--shm", action=argparse.BooleanOptionalAction, default=None,
+        help="cross-shard exchange via shared-memory slabs "
+        "(default: REPRO_MEGA_SHM, on; --no-shm pickles bundles over pipes)",
+    )
     parser.add_argument("--topology", default="complete")
     parser.add_argument(
         "--stop-on-quiescence", action="store_true",
@@ -124,6 +134,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 seed=args.seed,
                 topology=args.topology,
                 use_cache=use_cache,
+                use_shm=args.shm,
                 checkpoint_every=args.checkpoint_every,
             )
         else:
@@ -145,6 +156,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     elapsed = time.perf_counter() - start
 
     stats = engine.stats.as_dict()
+    if args.shards > 0:
+        exchange = engine.exchange
+        tier = (
+            f"shared-memory slabs ({len(engine.segment_names)} segments)"
+            if exchange == "shm"
+            else "pickled pipes"
+        )
+    else:
+        exchange = "single"
+        tier = "in-process (single arena)"
     summary = {
         "nodes": args.nodes,
         "scheme": args.scheme,
@@ -153,17 +174,24 @@ def main(argv: Optional[list[str]] = None) -> int:
         "data": args.data,
         "topology": args.topology,
         "shards": args.shards,
+        "exchange": exchange,
         "rounds_executed": executed,
         "quiescent_at": engine.quiescent_at,
         "wall_s": round(elapsed, 3),
         "rounds_per_s": round(executed / elapsed, 3) if elapsed > 0 else None,
         "stats": stats,
     }
+    if args.shards > 0:
+        summary["exchange_phase_s"] = {
+            name: round(value, 3) for name, value in engine.phase_seconds.items()
+        }
+        summary["shard_solver"] = engine.shard_solver_stats()
 
     mode = f"{args.shards} shards" if args.shards > 0 else "single process"
     print(banner(f"repro.mega — {args.nodes} nodes, {args.scheme}, {mode}"))
     hits = stats["memo_round_hits"] + stats["memo_lru_hits"] + stats["noop_hits"]
     rows = [
+        ["exchange tier", tier],
         ["rounds executed", executed],
         ["quiescent at", engine.quiescent_at if engine.quiescent_at is not None else "-"],
         ["wall clock (s)", summary["wall_s"]],
@@ -172,7 +200,35 @@ def main(argv: Optional[list[str]] = None) -> int:
         ["dedup/no-op hits", hits],
         ["full merges solved", stats["full_solves"]],
     ]
+    if args.shards > 0:
+        phases = engine.phase_seconds
+        rows.append(
+            [
+                "exchange phases (s)",
+                "split {split:.3f} / route {route:.3f} / deliver {deliver:.3f}".format(
+                    **phases
+                ),
+            ]
+        )
     print(format_table(["metric", "value"], rows))
+    if args.shards > 0:
+        print(banner("Per-shard receive solver (caches are shard-private)"))
+        solver_rows = [
+            [
+                entry["shard"],
+                entry["receivers"],
+                entry["cache_hits"],
+                entry["full_solves"],
+                f"{entry['solver_hit_rate']:.4f}",
+            ]
+            for entry in engine.shard_solver_stats()
+        ]
+        print(
+            format_table(
+                ["shard", "receives", "cache hits", "full solves", "hit rate"],
+                solver_rows,
+            )
+        )
 
     if args.json:
         text = json.dumps(summary, indent=2, sort_keys=True)

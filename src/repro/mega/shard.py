@@ -8,20 +8,36 @@ each round as a two-phase barrier protocol over pipes:
 
 1. **split** — every worker draws the whole population's peers vector
    from the shared seed (identical across workers: same stream, same
-   selector), splits its own rows, and returns the payload bundles bound
+   selector), splits its own rows, and emits the payload bundles bound
    for *other* shards.  The portion addressed to its own shard never
    leaves the process.
-2. **deliver** — the parent routes bundles to their destination shards
-   and each worker applies its receives through the shared
-   :class:`~repro.mega.engine.ReceiveSolver`, assembling payload rows in
+2. **deliver** — each worker applies its inbound payloads through the
+   shared :class:`~repro.mega.engine.ReceiveSolver`, assembling rows in
    ascending source-shard order so the concatenation reproduces the
    in-memory transport's ascending-sender delivery order exactly.
+
+Payload rows move through one of two exchange tiers:
+
+- **shared memory** (the default; disable with ``REPRO_MEGA_SHM=0``) —
+  workers write packed dest/quanta/column rows directly into
+  double-buffered :mod:`multiprocessing.shared_memory` outbox slabs
+  (:mod:`repro.mega.shm`); only tiny ``(target, rows)`` control tuples
+  cross the pipes, and receivers read zero-copy views.  Nothing is
+  pickled on the data path.
+- **pipes** — the historical parent-routed star: bundles are pickled
+  worker → parent → worker.  Kept as the portable fallback and as the
+  parity reference for the shm tier.
+
+Both tiers post all of a phase's messages before draining any reply and
+collect replies concurrently (``multiprocessing.connection.wait``), so
+a round costs the *slowest* worker, not the sum of workers.
 
 Because pairing is replicated rather than communicated, the exchange is
 deterministic and byte-parity with the single-process
 :class:`~repro.mega.engine.ArenaEngine` (and hence with the per-node
-kernel) holds shard-count-independently; ``tests/mega/`` pins
-``shards=1`` against ``shards=4`` against the unsharded engine.
+kernel) holds shard-count- and exchange-tier-independently;
+``tests/mega/`` pins ``shards=1`` against ``shards=4`` against the
+unsharded engine, shm against pipes.
 
 Fault tolerance reuses the sweep runner's worker-pool discipline
 (:mod:`repro.sweep.runner`): rounds are atomic — the parent distributes
@@ -29,22 +45,29 @@ nothing until every worker's ``sent`` reply is in — so a worker death
 only ever loses state the parent can reconstruct.  Workers piggyback
 checkpoint slabs (counts/quanta/columns; ids are re-interned on load)
 every ``checkpoint_every`` rounds, the parent buffers each shard's
-inbound bundles since its last checkpoint, and a respawned worker
-rebuilds its arena, fast-forwards the pairing stream by discarding
-draws, and replays the buffered rounds — regenerating its own splits,
-which cost nothing to recompute and were already routed.  Deterministic
+inbound bundles since its last checkpoint (under shared memory it
+snapshots the slab contents before the double buffer is reused), and a
+respawned worker rebuilds its arena, re-attaches to the shm segments,
+fast-forwards the pairing stream by discarding draws, and replays the
+buffered rounds — regenerating its own splits, which cost nothing to
+recompute and were already routed (replay never writes the slabs: the
+pre-crash content other shards may still be reading is byte-identical
+by determinism, and the history copy is authoritative).  Deterministic
 crash injection for tests mirrors ``REPRO_SWEEP_CRASH_TASK``:
-``REPRO_MEGA_CRASH_SHARD="<shard>:<round>"`` plus a
-``REPRO_MEGA_CRASH_FLAG`` path make exactly one worker ``os._exit`` at
-the matching split.
+``REPRO_MEGA_CRASH_SHARD="<shard>:<round>"`` (split phase) or
+``"<shard>:<round>:deliver"`` plus a ``REPRO_MEGA_CRASH_FLAG`` path
+make exactly one worker ``os._exit`` at the matching point.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import time
+import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import networkx as nx
 import numpy as np
@@ -53,25 +76,45 @@ from repro.core.fingerprint import MergeCache, merge_cache_default
 from repro.core.weights import Quantization
 from repro.mega.arena import NetworkArena, SummaryInterner
 from repro.mega.engine import ArenaStats, GossipPairing, ReceiveSolver
+from repro.mega.shm import SlabExchange, SlabExchangeSpec
 from repro.network.simulator import NeighborSelector, RandomSelector
 from repro.obs.profiling import current_registry
 from repro.sweep.runner import _pool_context
 
-__all__ = ["ShardedArenaEngine", "CRASH_FLAG_ENV", "CRASH_SHARD_ENV"]
+__all__ = [
+    "ShardedArenaEngine",
+    "CRASH_FLAG_ENV",
+    "CRASH_SHARD_ENV",
+    "SHM_ENV",
+    "shm_default",
+]
 
-#: ``"<shard>:<round>"`` — which worker crashes, and at which round's split.
+#: ``"<shard>:<round>"`` (split) or ``"<shard>:<round>:deliver"`` —
+#: which worker crashes, and at which protocol point.
 CRASH_SHARD_ENV = "REPRO_MEGA_CRASH_SHARD"
 #: Flag-file path; ``O_EXCL`` creation makes the crash once-only.
 CRASH_FLAG_ENV = "REPRO_MEGA_CRASH_FLAG"
+#: ``"0"`` selects the pickled-pipe exchange; anything else (or unset)
+#: keeps the shared-memory tier.
+SHM_ENV = "REPRO_MEGA_SHM"
 
 #: Exit code of an injected worker crash (visible in worker exitcodes).
 _CRASH_EXIT = 23
 
 
-def _maybe_inject_crash(shard: int, round_index: int) -> None:
+def shm_default() -> bool:
+    """The ambient exchange-tier default (``REPRO_MEGA_SHM``, on)."""
+    return os.environ.get(SHM_ENV, "1").strip().lower() not in ("0", "false", "off")
+
+
+def _maybe_inject_crash(shard: int, round_index: int, phase: str = "split") -> None:
     """Deterministic once-only hard crash, driven by environment knobs."""
     needle = os.environ.get(CRASH_SHARD_ENV)
-    if not needle or needle != f"{shard}:{round_index}":
+    if not needle:
+        return
+    parts = needle.split(":")
+    wanted_phase = parts[2] if len(parts) > 2 else "split"
+    if parts[:2] != [str(shard), str(round_index)] or phase != wanted_phase:
         return
     flag = os.environ.get(CRASH_FLAG_ENV)
     if not flag:
@@ -125,6 +168,8 @@ class _ShardConfig:
     use_cache: bool
     memo_size: int
     checkpoint_every: int
+    #: Shared-memory exchange geometry; ``None`` selects the pipe tier.
+    exchange: Optional[SlabExchangeSpec] = None
 
     @property
     def lo(self) -> int:
@@ -327,12 +372,19 @@ def _shard_worker_main(
     replay: List[Tuple[int, List[Any]]],
 ) -> None:
     """Worker entry point: rebuild, replay, then serve the round protocol."""
+    exchange: Optional[SlabExchange] = None
     try:
+        if config.exchange is not None:
+            exchange = SlabExchange(config.exchange, create=False)
         state = _ShardState(config, values, checkpoint)
         for _, external in replay:
             # Regenerate own splits (already routed by the parent — the
             # draw both advances the stream and recreates the quanta
-            # halving) and re-apply the buffered inbound bundles.
+            # halving) and re-apply the buffered inbound bundles.  The
+            # outgoing bundles are discarded, *not* written to the shm
+            # slabs: other shards may still be reading this worker's
+            # pre-crash round content, which determinism makes
+            # byte-identical to what a rewrite would produce.
             state.split_round()
             state.apply_round(external)
         conn.send(("ready", state.rounds_done, state.probe(), state.stats.as_dict()))
@@ -341,12 +393,44 @@ def _shard_worker_main(
             kind = message[0]
             if kind == "split":
                 round_index = message[1]
-                _maybe_inject_crash(config.shard, round_index)
+                _maybe_inject_crash(config.shard, round_index, "split")
                 outgoing, messages = state.split_round()
-                conn.send(("sent", round_index, outgoing, messages))
+                if exchange is not None:
+                    # Data rows go straight into the outbox slabs; the
+                    # pipe carries only (target, rows) control tuples.
+                    parity = round_index & 1
+                    counts: List[Tuple[int, int]] = []
+                    for target, dest, quanta, columns in outgoing:
+                        exchange.write(
+                            config.shard, parity, target, round_index,
+                            dest, quanta, columns,
+                        )
+                        counts.append((target, len(dest)))
+                    conn.send(("sent", round_index, counts, messages))
+                else:
+                    conn.send(("sent", round_index, outgoing, messages))
             elif kind == "deliver":
-                round_index, external, want_probe = message[1], message[2], message[3]
+                round_index, inbound, want_probe = message[1], message[2], message[3]
+                _maybe_inject_crash(config.shard, round_index, "deliver")
+                if exchange is not None:
+                    # Zero-copy views into the source shards' outboxes;
+                    # consumed (and copied where needed) inside
+                    # apply_round, before the buffers can be reused.
+                    parity = round_index & 1
+                    external = [
+                        (source,)
+                        + exchange.read(
+                            source, parity, config.shard, round_index, rows
+                        )
+                        for source, rows in inbound
+                    ]
+                else:
+                    external = inbound
                 state.apply_round(external)
+                # Drop the slab views before replying: the buffers may
+                # be rewritten two rounds on, and lingering exports
+                # would make the final segment close a BufferError.
+                external = None
                 probe = state.probe() if want_probe else None
                 snapshot = None
                 if (
@@ -363,6 +447,9 @@ def _shard_worker_main(
                 raise RuntimeError(f"unknown message {kind!r}")
     except (EOFError, KeyboardInterrupt, BrokenPipeError):  # pragma: no cover
         pass
+    finally:
+        if exchange is not None:
+            exchange.close()
 
 
 class _WorkerHandle:
@@ -381,6 +468,13 @@ class ShardedArenaEngine:
     shards:
         Worker-process count; each owns a contiguous node range (the
         ``np.array_split`` partition of ``range(n)``).
+    use_shm:
+        Exchange tier: ``True`` moves payload rows through the
+        shared-memory slab exchange (:mod:`repro.mega.shm`), ``False``
+        pickles bundles through the parent-routed pipes; ``None`` (the
+        default) defers to ``REPRO_MEGA_SHM`` (on).  With one shard no
+        payload ever crosses processes and the pipe tier is used
+        degenerately.  Byte parity holds across tiers.
     checkpoint_every:
         Rounds between piggybacked worker checkpoints.  Bounds both the
         replay a respawn performs and the bundle history the parent
@@ -410,6 +504,7 @@ class ShardedArenaEngine:
         selector: Optional[NeighborSelector] = None,
         variant: str = "push",
         use_cache: Optional[bool] = None,
+        use_shm: Optional[bool] = None,
         memo_size: int = 65536,
         checkpoint_every: int = 4,
         max_restarts: int = 3,
@@ -440,11 +535,25 @@ class ShardedArenaEngine:
         self.worker_timeout = worker_timeout
         if use_cache is None:
             use_cache = merge_cache_default()
+        if use_shm is None:
+            use_shm = shm_default()
         selector = selector if selector is not None else RandomSelector()
         # Validate the topology/selector combination eagerly, in-process.
         GossipPairing(n, topology, selector, seed)
         sizes = [len(chunk) for chunk in np.array_split(np.arange(n), shards)]
         bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self.exchange = "shm" if (use_shm and shards > 1) else "pipe"
+        self._slabs: Optional[SlabExchange] = None
+        self._segment_names: List[str] = []
+        spec: Optional[SlabExchangeSpec] = None
+        if self.exchange == "shm":
+            # Region sizes need the scheme's packed column shapes; one
+            # probe row is enough (pack_values is shape-stable in n).
+            probe = scheme.pack_values(values[:1])
+            column_specs = {name: array.shape[1:] for name, array in probe.items()}
+            spec = SlabExchangeSpec(bounds, k, column_specs, uuid.uuid4().hex[:16])
+            self._slabs = SlabExchange(spec, create=True)
+            self._segment_names = list(self._slabs.segment_names)
         self._configs = [
             _ShardConfig(
                 shard=shard,
@@ -460,6 +569,7 @@ class ShardedArenaEngine:
                 use_cache=bool(use_cache and scheme.supports_fingerprints),
                 memo_size=memo_size,
                 checkpoint_every=checkpoint_every,
+                exchange=spec,
             )
             for shard in range(shards)
         ]
@@ -476,8 +586,24 @@ class ShardedArenaEngine:
         self._messages = 0
         self._arena: Optional[NetworkArena] = None
         self._closed = False
-        for shard in range(shards):
-            self._spawn(shard)
+        #: Cumulative parent-side wall time per exchange phase (seconds).
+        self.phase_seconds: Dict[str, float] = {"split": 0.0, "route": 0.0, "deliver": 0.0}
+        self._phase_last: Dict[str, float] = dict(self.phase_seconds)
+        try:
+            for shard in range(shards):
+                self._spawn(shard)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of this engine's shared-memory segments (empty on the
+        pipe tier).  The list is a creation-time snapshot, so it stays
+        readable after ``collect()``/``close()`` unlink the segments —
+        reporting and leak-guard tests both want the names then.
+        """
+        return list(self._segment_names)
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -546,6 +672,57 @@ class ShardedArenaEngine:
         handle.process.terminate()
         return None
 
+    def _collect_replies(self, pending: Set[int]) -> List[Optional[Tuple[Any, ...]]]:
+        """Drain one reply from every pending worker, concurrently.
+
+        ``connection.wait`` over all pending pipes replaces the old
+        in-order per-worker ``poll``: a slow shard 0 no longer delays
+        reading shard 3's already-queued reply, and a full phase costs
+        the slowest worker rather than the recv order.  A worker whose
+        pipe errors (death) or that stays silent past ``worker_timeout``
+        while every other reply is in yields ``None`` — the caller's
+        respawn path recovers it.
+        """
+        replies: List[Optional[Tuple[Any, ...]]] = [None] * self.shards
+        pending = set(pending)
+        while pending:
+            conn_of = {}
+            for shard in pending:
+                handle = self._workers[shard]
+                assert handle is not None
+                conn_of[handle.conn] = shard
+            ready = mp_connection.wait(list(conn_of), timeout=self.worker_timeout)
+            if not ready:
+                # Everything still pending is hung: treat as dead.
+                for shard in pending:
+                    handle = self._workers[shard]
+                    assert handle is not None
+                    handle.process.terminate()
+                break
+            for conn in ready:
+                shard = conn_of[conn]
+                try:
+                    replies[shard] = conn.recv()
+                except (EOFError, ConnectionResetError, OSError):
+                    replies[shard] = None
+                pending.discard(shard)
+        return replies
+
+    def _broadcast_collect(
+        self, messages: List[Tuple[Any, ...]]
+    ) -> List[Optional[Tuple[Any, ...]]]:
+        """Post every message before draining any reply, then collect."""
+        pending: Set[int] = set()
+        for shard in range(self.shards):
+            handle = self._workers[shard]
+            assert handle is not None
+            try:
+                handle.conn.send(messages[shard])
+                pending.add(shard)
+            except (BrokenPipeError, OSError):
+                pass  # stays None; the caller respawns
+        return self._collect_replies(pending)
+
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
@@ -554,67 +731,75 @@ class ShardedArenaEngine:
         if self._closed:
             raise RuntimeError("engine already collected/closed")
         round_index = self.round_index
-        # Phase 1: split.  Broadcast first so workers compute in parallel.
-        send_failed: List[bool] = [False] * self.shards
-        for shard in range(self.shards):
-            handle = self._workers[shard]
-            assert handle is not None
-            try:
-                handle.conn.send(("split", round_index))
-            except (BrokenPipeError, OSError):
-                send_failed[shard] = True
+        parity = round_index & 1
+        shm = self._slabs is not None
+        t_start = time.perf_counter()
+        # Phase 1: split.  Broadcast first so workers compute in
+        # parallel; under shm the replies are (target, rows) tuples and
+        # the payload rows are already sitting in the outbox slabs.
+        replies = self._broadcast_collect(
+            [("split", round_index)] * self.shards
+        )
         outgoing_by_shard: List[List[Any]] = [[] for _ in range(self.shards)]
         messages = 0
         for shard in range(self.shards):
-            reply = None
-            if not send_failed[shard]:
-                handle = self._workers[shard]
-                assert handle is not None
-                try:
-                    if handle.conn.poll(self.worker_timeout):
-                        reply = handle.conn.recv()
-                    else:
-                        handle.process.terminate()
-                except (EOFError, ConnectionResetError, OSError):
-                    reply = None
+            reply = replies[shard]
             while reply is None:
                 # Death before its bundles were routed: the respawn
                 # rebuilds to the end of the previous round, then this
-                # shard redoes the split solo.
+                # shard redoes the split solo (rewriting its own outbox
+                # slabs, which no reader has touched yet this round).
                 self._respawn(shard)
                 reply = self._exchange(shard, ("split", round_index))
             kind, echoed, outgoing, shard_messages = reply
             assert kind == "sent" and echoed == round_index, reply
             outgoing_by_shard[shard] = outgoing
             messages += shard_messages
-        # Route: destination shard <- [(source, dest, quanta, columns)...]
-        # in ascending source order (the global ascending-sender order).
+        t_split = time.perf_counter()
+        # Route: destination shard <- inbound descriptors in ascending
+        # source order (the global ascending-sender order).  Under shm a
+        # descriptor is (source, rows); on pipes it carries the bundle.
         inbound: List[List[Any]] = [[] for _ in range(self.shards)]
-        for source in range(self.shards):
-            for target, dest, quanta, columns in outgoing_by_shard[source]:
-                inbound[int(target)].append((source, dest, quanta, columns))
-        for shard in range(self.shards):
-            self._history[shard].append((round_index, inbound[shard]))
-        # Phase 2: deliver.
+        if shm:
+            for source in range(self.shards):
+                for target, rows in outgoing_by_shard[source]:
+                    inbound[int(target)].append((source, int(rows)))
+        else:
+            for source in range(self.shards):
+                for target, dest, quanta, columns in outgoing_by_shard[source]:
+                    inbound[int(target)].append((source, dest, quanta, columns))
+            for shard in range(self.shards):
+                self._history[shard].append((round_index, inbound[shard]))
+        # Phase 2: deliver.  Post every notification before draining any
+        # done reply — the notifications are tiny, so the broadcast
+        # cannot block on pipe backpressure and all workers apply
+        # concurrently.
         for shard in range(self.shards):
             handle = self._workers[shard]
             assert handle is not None
             try:
                 handle.conn.send(("deliver", round_index, inbound[shard], want_probe))
             except (BrokenPipeError, OSError):
-                pass  # detected at the reply poll below
+                pass  # detected at the reply collection below
+        if shm:
+            # Snapshot this round's slab contents into the replay
+            # history while the workers apply: buffer ``parity`` is
+            # rewritten at round + 2, and a respawn during this deliver
+            # phase replays *through* this round from the history.
+            slabs = self._slabs
+            assert slabs is not None
+            for target in range(self.shards):
+                bundles = [
+                    (source,)
+                    + slabs.read(source, parity, target, round_index, rows, copy=True)
+                    for source, rows in inbound[target]
+                ]
+                self._history[target].append((round_index, bundles))
+        t_route = time.perf_counter()
+        done = self._collect_replies(set(range(self.shards)))
         probes: List[Optional[Tuple[bool, bytes]]] = [None] * self.shards
         for shard in range(self.shards):
-            handle = self._workers[shard]
-            assert handle is not None
-            reply = None
-            try:
-                if handle.conn.poll(self.worker_timeout):
-                    reply = handle.conn.recv()
-                else:
-                    handle.process.terminate()
-            except (EOFError, ConnectionResetError, OSError):
-                reply = None
+            reply = done[shard]
             if reply is None:
                 # Death mid-apply: this round's bundles are already in
                 # the history, so the respawn replays *through* this
@@ -631,6 +816,7 @@ class ShardedArenaEngine:
                 self._history[shard] = [
                     entry for entry in self._history[shard] if entry[0] >= resumed
                 ]
+        t_deliver = time.perf_counter()
         self.round_index += 1
         self._messages += messages
         quiescent = False
@@ -641,6 +827,13 @@ class ShardedArenaEngine:
                 and all(flag for flag, _ in gathered)
                 and len({fingerprint for _, fingerprint in gathered}) == 1
             )
+        self._phase_last = {
+            "split": t_split - t_start,
+            "route": t_route - t_split,
+            "deliver": t_deliver - t_route,
+        }
+        for name, value in self._phase_last.items():
+            self.phase_seconds[name] += value
         self._publish_gauges(messages)
         return messages, quiescent
 
@@ -721,9 +914,12 @@ class ShardedArenaEngine:
         return self._arena
 
     def close(self) -> None:
-        """Tear down worker processes (idempotent)."""
+        """Tear down workers and release every shm segment (idempotent)."""
         for shard in range(self.shards):
             self._kill(shard)
+        if self._slabs is not None:
+            self._slabs.destroy()
+            self._slabs = None
         self._closed = True
 
     def __enter__(self) -> "ShardedArenaEngine":
@@ -741,6 +937,31 @@ class ShardedArenaEngine:
     def state_digests(self, node: int) -> Tuple[Tuple[bytes, int], ...]:
         return self.collect().state_digests(node)
 
+    def shard_solver_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard ReceiveSolver cache effectiveness, for reporting.
+
+        Each shard's memo/LRU/no-op caches are private, so a problem
+        distinct shards both see is solved once *per shard* — the
+        sharded full-solve total exceeds the single-process engine's by
+        exactly the cross-shard duplicates (see docs/performance.md,
+        "Sharded exchange").  ``solver_hit_rate`` is cumulative:
+        ``1 - full_solves / receivers``.
+        """
+        out: List[Dict[str, Any]] = []
+        for shard, stats in enumerate(self._shard_stats):
+            receivers = stats["receivers"]
+            hits = receivers - stats["full_solves"]
+            out.append(
+                {
+                    "shard": shard,
+                    "receivers": receivers,
+                    "full_solves": stats["full_solves"],
+                    "cache_hits": hits,
+                    "solver_hit_rate": (hits / receivers) if receivers else 1.0,
+                }
+            )
+        return out
+
     def _publish_gauges(self, messages: int) -> None:
         deltas = []
         for shard in range(self.shards):
@@ -756,3 +977,20 @@ class ShardedArenaEngine:
         registry.set_gauge(
             "mega.shard_imbalance", (max(deltas) / mean) if mean > 0 else 1.0
         )
+        # Exchange cost per phase, parent-side wall clock for the round
+        # just completed (split: broadcast -> last sent reply; route:
+        # descriptor build + history snapshot; deliver: post -> last
+        # done reply).
+        for name, value in self._phase_last.items():
+            registry.set_gauge(f"mega.exchange.{name}_s", value)
+        # Per-shard solver-cache effectiveness (cumulative rates): the
+        # caches are shard-private, so comparing these against the
+        # single-process run makes the dedup gap visible.
+        for entry in self.shard_solver_stats():
+            shard = entry["shard"]
+            registry.set_gauge(
+                f"mega.shard{shard}.solver_hit_rate", entry["solver_hit_rate"]
+            )
+            registry.set_gauge(
+                f"mega.shard{shard}.solver_full_solves", entry["full_solves"]
+            )

@@ -4,10 +4,13 @@ Sharding must be observationally invisible — ``shards=1`` equals
 ``shards=4`` equals the single-process engine byte for byte, because the
 pairing draw is replicated (not communicated) and bundles are applied in
 ascending source-shard order, which reconstructs the transport's global
-ascending-sender delivery order.  The fault-tolerance tests use the
-deterministic crash knobs (``REPRO_MEGA_CRASH_SHARD``/``_FLAG``) to kill
-a worker at exact protocol points and require byte-identical results
-after recovery.
+ascending-sender delivery order.  Parity and crash tests run on both
+exchange tiers (shared-memory slabs and the pickled-pipe fallback); the
+fault-tolerance tests use the deterministic crash knobs
+(``REPRO_MEGA_CRASH_SHARD``/``_FLAG``) to kill a worker at exact
+protocol points — including mid-``deliver``, which exercises the slab
+snapshot/replay path — and require byte-identical results after
+recovery.
 """
 
 from __future__ import annotations
@@ -23,6 +26,10 @@ from repro.schemes.gm import GaussianMixtureScheme
 N = 60
 ROUNDS = 10
 
+EXCHANGES = pytest.mark.parametrize(
+    "use_shm", [True, False], ids=["shm", "pipe"]
+)
+
 
 @pytest.fixture
 def values() -> np.ndarray:
@@ -35,23 +42,27 @@ def _single_states(values, scheme, k, seed, rounds, **kwargs):
     return [engine.state_digests(node) for node in range(N)]
 
 
+@EXCHANGES
 @pytest.mark.parametrize("shards", [1, 3, 4])
-def test_sharded_matches_single_process(values, shards):
+def test_sharded_matches_single_process(values, shards, use_shm):
     expected = _single_states(values, GaussianMixtureScheme(seed=0), 3, 0, ROUNDS, use_cache=True)
     with ShardedArenaEngine(
-        values, GaussianMixtureScheme(seed=0), 3, seed=0, shards=shards, use_cache=True
+        values, GaussianMixtureScheme(seed=0), 3, seed=0, shards=shards,
+        use_cache=True, use_shm=use_shm,
     ) as engine:
         engine.run(ROUNDS)
         arena = engine.collect()
         assert [arena.state_digests(node) for node in range(N)] == expected
 
 
-def test_sharded_matches_single_on_ring(values):
+@EXCHANGES
+def test_sharded_matches_single_on_ring(values, use_shm):
     expected = _single_states(
         values, CentroidScheme(), 3, 5, ROUNDS, topology="ring", use_cache=True
     )
     with ShardedArenaEngine(
-        values, CentroidScheme(), 3, seed=5, shards=3, topology="ring", use_cache=True
+        values, CentroidScheme(), 3, seed=5, shards=3, topology="ring",
+        use_cache=True, use_shm=use_shm,
     ) as engine:
         engine.run(ROUNDS)
         arena = engine.collect()
@@ -92,8 +103,26 @@ def test_sharded_stats_match_single(values):
         engine.collect()
 
 
-@pytest.mark.parametrize("crash_at", ["1:0", "1:4", "0:9"])
-def test_worker_crash_recovers_with_identical_state(values, crash_at, monkeypatch, tmp_path):
+def test_shard_solver_stats_cover_all_receives(values):
+    with ShardedArenaEngine(
+        values, GaussianMixtureScheme(seed=0), 3, seed=0, shards=3, use_cache=True
+    ) as engine:
+        engine.run(ROUNDS)
+        per_shard = engine.shard_solver_stats()
+        assert len(per_shard) == 3
+        assert sum(entry["receivers"] for entry in per_shard) == engine.stats.receivers
+        assert sum(entry["full_solves"] for entry in per_shard) == engine.stats.full_solves
+        for entry in per_shard:
+            assert entry["cache_hits"] == entry["receivers"] - entry["full_solves"]
+            assert 0.0 <= entry["solver_hit_rate"] <= 1.0
+        engine.collect()
+
+
+@EXCHANGES
+@pytest.mark.parametrize("crash_at", ["1:0", "1:4", "0:9", "1:4:deliver"])
+def test_worker_crash_recovers_with_identical_state(
+    values, crash_at, use_shm, monkeypatch, tmp_path
+):
     expected = _single_states(values, GaussianMixtureScheme(seed=0), 3, 0, ROUNDS, use_cache=True)
     flag = tmp_path / "crash.flag"
     monkeypatch.setenv(CRASH_SHARD_ENV, crash_at)
@@ -105,6 +134,7 @@ def test_worker_crash_recovers_with_identical_state(values, crash_at, monkeypatc
         seed=0,
         shards=3,
         use_cache=True,
+        use_shm=use_shm,
         checkpoint_every=4,
         worker_timeout=120.0,
     ) as engine:
